@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Configlang Confmask Float Hashtbl List Netcore Netgen Printf Routing Runs Spec Staged String Sys Test Time Toolkit Unix

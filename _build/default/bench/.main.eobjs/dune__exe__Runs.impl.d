@@ -1,0 +1,1 @@
+bench/runs.ml: Configlang Confmask Hashtbl List Netcore Netgen Nethide Printf Result Routing String Unix

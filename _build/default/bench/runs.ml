@@ -1,0 +1,160 @@
+(* Shared runners and a memo cache for the benchmark harness: every figure
+   reuses pipeline runs, so each (network, k_r, k_h, variant) combination
+   is executed once. *)
+
+module Ast = Configlang.Ast
+module Smap = Routing.Device.Smap
+
+type variant = Confmask_v | Strawman1_v | Strawman2_v
+
+let variant_name = function
+  | Confmask_v -> "ConfMask"
+  | Strawman1_v -> "Strawman1"
+  | Strawman2_v -> "Strawman2"
+
+type run = {
+  entry : Netgen.Nets.entry;
+  k_r : int;
+  k_h : int;
+  orig_configs : Ast.config list;
+  anon_configs : Ast.config list;
+  orig_snapshot : Routing.Simulate.snapshot;
+  anon_snapshot : Routing.Simulate.snapshot;
+  fake_edges : (string * string) list;
+  seconds : float;
+}
+
+let seed = 42
+
+(* The pipeline with a pluggable route-fixing stage (step 2.1), so the
+   strawman baselines slot into the exact same workflow. *)
+let pipeline ~variant ~k_r ~k_h configs =
+  let rng = Netcore.Rng.create seed in
+  let t0 = Unix.gettimeofday () in
+  match Routing.Simulate.run configs with
+  | Error m -> Error m
+  | Ok orig -> (
+      let topo = Confmask.Topo_anon.anonymize ~rng ~k:k_r ~orig configs in
+      let fixed =
+        match variant with
+        | Confmask_v ->
+            Result.map
+              (fun (o : Confmask.Route_equiv.outcome) -> o.configs)
+              (Confmask.Route_equiv.fix ~orig ~fake_edges:topo.fake_edges topo.configs)
+        | Strawman1_v ->
+            Result.map
+              (fun (o : Confmask.Strawman.outcome) -> o.configs)
+              (Confmask.Strawman.strawman1 ~orig ~fake_edges:topo.fake_edges topo.configs)
+        | Strawman2_v ->
+            Result.map
+              (fun (o : Confmask.Strawman.outcome) -> o.configs)
+              (Confmask.Strawman.strawman2 ~orig ~fake_edges:topo.fake_edges topo.configs)
+      in
+      match fixed with
+      | Error m -> Error m
+      | Ok fixed_configs -> (
+          match Confmask.Route_anon.anonymize ~rng ~k_h fixed_configs with
+          | Error m -> Error m
+          | Ok anon -> (
+              match Routing.Simulate.run anon.configs with
+              | Error m -> Error m
+              | Ok anon_snapshot ->
+                  let seconds = Unix.gettimeofday () -. t0 in
+                  Ok
+                    ( orig,
+                      anon.configs,
+                      anon_snapshot,
+                      topo.fake_edges,
+                      seconds ))))
+
+let cache : (string * int * int * variant, run) Hashtbl.t = Hashtbl.create 64
+
+let get ?(variant = Confmask_v) ~k_r ~k_h id =
+  let key = (id, k_r, k_h, variant) in
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+      let entry = Netgen.Nets.find id in
+      let configs = Netgen.Nets.configs entry in
+      let r =
+        match pipeline ~variant ~k_r ~k_h configs with
+        | Ok (orig_snapshot, anon_configs, anon_snapshot, fake_edges, seconds) ->
+            {
+              entry;
+              k_r;
+              k_h;
+              orig_configs = configs;
+              anon_configs;
+              orig_snapshot;
+              anon_snapshot;
+              fake_edges;
+              seconds;
+            }
+        | Error m ->
+            failwith
+              (Printf.sprintf "%s (net %s, k_r=%d, k_h=%d): %s"
+                 (variant_name variant) id k_r k_h m)
+      in
+      Hashtbl.replace cache key r;
+      r
+
+let orig_dp_cache : (string, Routing.Dataplane.t) Hashtbl.t = Hashtbl.create 16
+
+let orig_dp r =
+  match Hashtbl.find_opt orig_dp_cache r.entry.id with
+  | Some dp -> dp
+  | None ->
+      let dp = Routing.Simulate.dataplane r.orig_snapshot in
+      Hashtbl.replace orig_dp_cache r.entry.id dp;
+      dp
+
+let anon_dp_cache : (string * int * int, Routing.Dataplane.t) Hashtbl.t =
+  Hashtbl.create 64
+
+let anon_dp r =
+  let key = (r.entry.id, r.k_r, r.k_h) in
+  match Hashtbl.find_opt anon_dp_cache key with
+  | Some dp -> dp
+  | None ->
+      let dp = Routing.Simulate.dataplane r.anon_snapshot in
+      Hashtbl.replace anon_dp_cache key dp;
+      dp
+
+let real_hosts r = List.map fst (Smap.bindings r.orig_snapshot.net.hosts)
+
+(* NetHide baseline: obfuscate the router topology, then answer host-level
+   forwarding with single deterministic shortest paths in the virtual
+   topology. *)
+let nethide_paths r =
+  let g = Routing.Device.router_graph r.orig_snapshot.net in
+  let hosts = real_hosts r in
+  let gateway h =
+    fst (List.hd (Smap.find h r.orig_snapshot.net.attachments))
+  in
+  let flows =
+    List.concat_map
+      (fun u ->
+        List.filter_map
+          (fun v ->
+            if u < v then Some (gateway u, gateway v) else None)
+          hosts)
+      hosts
+    |> List.sort_uniq compare
+  in
+  let rng = Netcore.Rng.create seed in
+  let params = { Nethide.default_params with candidates = 128 } in
+  let g' = Nethide.obfuscate ~params ~rng g ~flows in
+  List.concat_map
+    (fun s ->
+      List.filter_map
+        (fun d ->
+          if String.equal s d then None
+          else
+            match Nethide.forwarding_path g' (gateway s) (gateway d) with
+            | Some p -> Some ((s, d), [ (s :: p) @ [ d ] ])
+            | None -> Some ((s, d), []))
+        hosts)
+    hosts
+
+let all_ids = [ "A"; "B"; "C"; "D"; "E"; "F"; "G"; "H" ]
+let fast_ids = [ "A"; "B"; "C"; "G" ]

@@ -1,0 +1,1 @@
+bin/confmask_cli.ml: Arg Array Cmd Cmdliner Configlang Confmask Filename List Netcore Netgen Printf Routing Spec String Sys Term

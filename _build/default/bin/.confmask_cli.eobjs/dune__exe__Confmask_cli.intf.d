@@ -1,0 +1,1 @@
+bin/confmask_cli.mli:

@@ -1,0 +1,1 @@
+bin/scratch.ml: Array Confmask List Netgen Printf Routing Sys Unix

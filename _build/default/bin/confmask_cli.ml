@@ -1,0 +1,292 @@
+(* The confmask command-line tool: generate evaluation networks, anonymize
+   a directory of configurations, simulate, and compare metrics. *)
+
+open Cmdliner
+
+let read_dir dir =
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".cfg")
+    |> List.sort String.compare
+  in
+  if files = [] then failwith (Printf.sprintf "no .cfg files in %s" dir);
+  List.map
+    (fun f ->
+      let path = Filename.concat dir f in
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      close_in ic;
+      match Configlang.Vendor.parse text with
+      | Ok c -> c
+      | Error m -> failwith (Printf.sprintf "%s: %s" path m))
+    files
+
+let write_configs ?(format = "cisco") dir configs =
+  let printer =
+    match Configlang.Vendor.of_string format with
+    | Ok v -> Configlang.Vendor.print v
+    | Error m -> failwith m
+  in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun (c : Configlang.Ast.config) ->
+      let path = Filename.concat dir (c.hostname ^ ".cfg") in
+      let oc = open_out path in
+      output_string oc (printer c);
+      close_out oc)
+    configs;
+  Printf.printf "wrote %d configurations to %s\n" (List.length configs) dir
+
+(* ---- generate ---- *)
+
+let generate net out format =
+  let entry = Netgen.Nets.find net in
+  write_configs ~format out (Netgen.Nets.configs entry);
+  0
+
+let net_arg =
+  let doc =
+    "Network to generate: A-H from the evaluation catalog (Table 2), or a \
+     label such as 'enterprise', 'fattree04', 'uscarrier', 'ccnp'."
+  in
+  Arg.(required & opt (some string) None & info [ "net" ] ~docv:"ID" ~doc)
+
+let out_arg =
+  Arg.(required & opt (some string) None & info [ "out" ] ~docv:"DIR"
+         ~doc:"Output directory for .cfg files.")
+
+let format_arg =
+  Arg.(value & opt string "cisco" & info [ "format" ] ~docv:"VENDOR"
+         ~doc:"Output dialect: 'cisco' (CiscoLite) or 'junos' (JunosLite). \
+               Input files are auto-detected per file.")
+
+let generate_cmd =
+  let info = Cmd.info "generate" ~doc:"Generate an evaluation network's configurations" in
+  Cmd.v info Term.(const generate $ net_arg $ out_arg $ format_arg)
+
+(* ---- anonymize ---- *)
+
+let anonymize in_dir out_dir format k_r k_h noise seed pii fake_routers =
+  let configs = read_dir in_dir in
+  let params = { Confmask.Workflow.k_r; k_h; noise; seed; pii; fake_routers } in
+  match Confmask.Workflow.run ~params configs with
+  | Error m ->
+      Printf.eprintf "anonymization failed: %s\n" m;
+      1
+  | Ok r ->
+      write_configs ~format out_dir r.anon_configs;
+      (* The owner-side secret: which elements are fake. Needed to
+         interpret answers coming back from collaborators; never share. *)
+      let oc = open_out (Filename.concat out_dir "confmask-secrets.txt") in
+      Printf.fprintf oc "# Private mapping - do NOT share with the configs\n";
+      List.iter
+        (fun (u, v) -> Printf.fprintf oc "fake-link %s %s\n" u v)
+        r.fake_edges;
+      List.iter
+        (fun (fake, real) -> Printf.fprintf oc "fake-host %s (copy of %s)\n" fake real)
+        r.fake_hosts;
+      List.iter (fun fr -> Printf.fprintf oc "fake-router %s\n" fr) r.fake_router_names;
+      close_out oc;
+      let topo = Confmask.Metrics.topology_of_snapshot r.anon_snapshot in
+      let uc = Confmask.Metrics.config_utility ~orig:r.orig_configs ~anon:r.anon_configs in
+      Printf.printf
+        "fake links: %d\nfake hosts: %d\nfake routers: %d\n\
+         route-equivalence iterations: %d\n\
+         filters (equivalence): %d\nfilters (anonymity): %d (+%d rolled back)\n\
+         topology anonymity k: %d\nconfig utility U_C: %.3f\n\
+         functional equivalence: %b\n"
+        (List.length r.fake_edges)
+        (List.length r.fake_hosts)
+        (List.length r.fake_router_names)
+        r.equiv_iterations r.equiv_filters r.anon_filters_added
+        r.anon_filters_removed topo.min_degree_group uc
+        (Confmask.Workflow.functional_equivalence r);
+      0
+
+let in_arg =
+  Arg.(required & opt (some dir) None & info [ "in" ] ~docv:"DIR"
+         ~doc:"Directory of original .cfg files.")
+
+let kr_arg =
+  Arg.(value & opt int 6 & info [ "kr" ] ~docv:"K"
+         ~doc:"Topology anonymity parameter $(docv) (k-degree anonymity).")
+
+let kh_arg =
+  Arg.(value & opt int 2 & info [ "kh" ] ~docv:"K"
+         ~doc:"Route anonymity parameter $(docv) (fake hosts per real host).")
+
+let noise_arg =
+  Arg.(value & opt float 0.1 & info [ "noise" ] ~docv:"P"
+         ~doc:"Noise coefficient of the route anonymization algorithm.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let pii_arg =
+  Arg.(value & flag & info [ "pii" ]
+         ~doc:"Also run the PII add-on (prefix-preserving IP anonymization, \
+               device renaming, secret redaction).")
+
+let fake_routers_arg =
+  Arg.(value & opt int 0 & info [ "fake-routers" ] ~docv:"N"
+         ~doc:"Network-scale obfuscation: add $(docv) fake routers before \
+               topology anonymization (IGP-only networks).")
+
+let anonymize_cmd =
+  let info = Cmd.info "anonymize" ~doc:"Anonymize a directory of configurations" in
+  Cmd.v info
+    Term.(const anonymize $ in_arg $ out_arg $ format_arg $ kr_arg $ kh_arg $ noise_arg
+          $ seed_arg $ pii_arg $ fake_routers_arg)
+
+(* ---- simulate ---- *)
+
+let simulate in_dir show_paths =
+  let configs = read_dir in_dir in
+  match Routing.Simulate.run configs with
+  | Error m ->
+      Printf.eprintf "simulation failed: %s\n" m;
+      1
+  | Ok snap ->
+      let g = Routing.Device.router_graph snap.net in
+      Printf.printf "routers: %d\nhosts: %d\nrouter links: %d\n"
+        (Netcore.Graph.num_nodes g)
+        (Routing.Device.Smap.cardinal snap.net.hosts)
+        (Netcore.Graph.num_edges g);
+      let dp = Routing.Simulate.dataplane snap in
+      let delivered = Routing.Dataplane.all_delivered dp in
+      Printf.printf "host pairs with a route: %d\n" (List.length delivered);
+      if show_paths then
+        List.iter
+          (fun ((s, d), paths) ->
+            List.iter
+              (fun p -> Printf.printf "%s -> %s: %s\n" s d (String.concat " " p))
+              paths)
+          delivered;
+      0
+
+let paths_arg =
+  Arg.(value & flag & info [ "paths" ] ~doc:"Print every host-to-host path.")
+
+let simulate_cmd =
+  let info = Cmd.info "simulate" ~doc:"Simulate a directory of configurations" in
+  Cmd.v info Term.(const simulate $ in_arg $ paths_arg)
+
+(* ---- metrics ---- *)
+
+let metrics orig_dir anon_dir =
+  let orig_configs = read_dir orig_dir in
+  let anon_configs = read_dir anon_dir in
+  match (Routing.Simulate.run orig_configs, Routing.Simulate.run anon_configs) with
+  | Error m, _ | _, Error m ->
+      Printf.eprintf "simulation failed: %s\n" m;
+      1
+  | Ok orig, Ok anon ->
+      let dp0 = Routing.Simulate.dataplane orig in
+      let dp1 = Routing.Simulate.dataplane anon in
+      let hosts = List.map fst (Routing.Device.Smap.bindings orig.net.hosts) in
+      let nr0 = Confmask.Metrics.route_anonymity dp0 in
+      let nr1 = Confmask.Metrics.route_anonymity dp1 in
+      let t0 = Confmask.Metrics.topology_of_snapshot orig in
+      let t1 = Confmask.Metrics.topology_of_snapshot anon in
+      let kept = Confmask.Metrics.kept_paths_fraction ~orig:dp0 ~anon:dp1 ~hosts in
+      let uc = Confmask.Metrics.config_utility ~orig:orig_configs ~anon:anon_configs in
+      let d =
+        Spec.compare_specs ~orig:(Spec.mine dp0) ~anon:(Spec.mine dp1)
+      in
+      Printf.printf
+        "route anonymity N_r: %.2f -> %.2f\nkept paths: %.1f%%\n\
+         topology anonymity k: %d -> %d\nclustering coefficient: %.3f -> %.3f\n\
+         config utility U_C: %.3f\nkept specifications: %.1f%%\n"
+        nr0.nr_avg nr1.nr_avg (100.0 *. kept) t0.min_degree_group
+        t1.min_degree_group t0.clustering t1.clustering uc
+        (100.0 *. Spec.kept_fraction d);
+      0
+
+(* ---- deanon ---- *)
+
+let deanon in_dir =
+  let configs = read_dir in_dir in
+  match Routing.Simulate.run configs with
+  | Error m ->
+      Printf.eprintf "simulation failed: %s\n" m;
+      1
+  | Ok snap ->
+      let uniform = Confmask.Deanon.uniform_filter_links snap configs in
+      let dead = Confmask.Deanon.no_traffic_links snap in
+      Printf.printf "links flagged by the uniform-filter attack: %d\n"
+        (List.length uniform);
+      List.iter (fun (u, v) -> Printf.printf "  %s -- %s\n" u v) uniform;
+      Printf.printf "links flagged by the no-traffic attack: %d\n"
+        (List.length dead);
+      List.iter (fun (u, v) -> Printf.printf "  %s -- %s\n" u v) dead;
+      0
+
+let deanon_cmd =
+  let info =
+    Cmd.info "deanon"
+      ~doc:"Run the fake-link identification attacks against a (shared) \
+            configuration directory - the adversary's view"
+  in
+  Cmd.v info Term.(const deanon $ in_arg)
+
+let orig_arg =
+  Arg.(required & opt (some dir) None & info [ "orig" ] ~docv:"DIR"
+         ~doc:"Original configuration directory.")
+
+let anon_arg =
+  Arg.(required & opt (some dir) None & info [ "anon" ] ~docv:"DIR"
+         ~doc:"Anonymized configuration directory.")
+
+let metrics_cmd =
+  let info = Cmd.info "metrics" ~doc:"Compare an original and an anonymized network" in
+  Cmd.v info Term.(const metrics $ orig_arg $ anon_arg)
+
+(* ---- diff ---- *)
+
+let diff orig_dir anon_dir =
+  let orig = read_dir orig_dir in
+  let anon = read_dir anon_dir in
+  Printf.printf "%-16s %10s %10s %10s %10s\n" "device" "protocol" "filter" "iface"
+    "other";
+  let find cs name =
+    List.find_opt (fun (c : Configlang.Ast.config) -> c.hostname = name) cs
+  in
+  List.iter
+    (fun (a : Configlang.Ast.config) ->
+      let b =
+        match find orig a.hostname with
+        | Some o ->
+            Confmask.Metrics.line_breakdown ~orig:[ o ] ~anon:[ a ]
+        | None -> Confmask.Metrics.line_breakdown ~orig:[] ~anon:[ a ]
+      in
+      if Configlang.Count.total b > 0 then
+        Printf.printf "%-16s %10d %10d %10d %10d%s\n" a.hostname b.protocol_lines
+          b.filter_lines b.interface_lines b.other_lines
+          (if find orig a.hostname = None then "  (new device)" else ""))
+    anon;
+  let total = Confmask.Metrics.line_breakdown ~orig ~anon in
+  Printf.printf "%-16s %10d %10d %10d %10d\n" "TOTAL" total.protocol_lines
+    total.filter_lines total.interface_lines total.other_lines;
+  Printf.printf "config utility U_C = %.3f\n"
+    (Confmask.Metrics.config_utility ~orig ~anon);
+  0
+
+let diff_cmd =
+  let info =
+    Cmd.info "diff"
+      ~doc:"Summarize the lines an anonymization run injected, per device and \
+            category (the Table 3 view)"
+  in
+  Cmd.v info Term.(const diff $ orig_arg $ anon_arg)
+
+
+let () =
+  let info =
+    Cmd.info "confmask" ~version:"1.0.0"
+      ~doc:"Privacy-preserving network configuration sharing via anonymization"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ generate_cmd; anonymize_cmd; simulate_cmd; metrics_cmd; diff_cmd; deanon_cmd ]))

@@ -1,0 +1,1 @@
+examples/bgp_enterprise.ml: Configlang Confmask List Netgen Printf Routing Spec String

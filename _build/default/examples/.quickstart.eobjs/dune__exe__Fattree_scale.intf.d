@@ -1,0 +1,1 @@
+examples/fattree_scale.mli:

@@ -1,0 +1,1 @@
+examples/properties_audit.ml: Configlang Confmask List Printf Routing String

@@ -1,0 +1,1 @@
+examples/properties_audit.mli:

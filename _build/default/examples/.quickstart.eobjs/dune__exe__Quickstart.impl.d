@@ -1,0 +1,1 @@
+examples/quickstart.ml: Confmask List Netcore Netgen Printf Routing String

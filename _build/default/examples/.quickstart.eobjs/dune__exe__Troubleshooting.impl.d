@@ -1,0 +1,1 @@
+examples/troubleshooting.ml: Configlang Confmask List Netcore Netgen Nethide Printf Routing String

@@ -1,0 +1,1 @@
+lib/configlang/ast.ml: Int Ipv4 List Netcore Option Prefix String

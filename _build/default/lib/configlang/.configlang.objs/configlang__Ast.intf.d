@@ -1,0 +1,1 @@
+lib/configlang/ast.mli: Ipv4 Netcore Prefix

@@ -1,0 +1,1 @@
+lib/configlang/count.ml: Ast List Printer String

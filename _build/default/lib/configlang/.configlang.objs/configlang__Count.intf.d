@@ -1,0 +1,1 @@
+lib/configlang/count.mli: Ast

@@ -1,0 +1,1 @@
+lib/configlang/junos.ml: Ast Buffer Ipv4 List Netcore Option Prefix Printf String

@@ -1,0 +1,1 @@
+lib/configlang/junos.mli: Ast

@@ -1,0 +1,1 @@
+lib/configlang/masks.ml: Ipv4 Netcore

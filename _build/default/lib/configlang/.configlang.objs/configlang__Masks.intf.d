@@ -1,0 +1,1 @@
+lib/configlang/masks.mli: Ipv4 Netcore

@@ -1,0 +1,1 @@
+lib/configlang/parser.ml: Ast Ipv4 List Masks Netcore Prefix Printf String

@@ -1,0 +1,1 @@
+lib/configlang/parser.mli: Ast

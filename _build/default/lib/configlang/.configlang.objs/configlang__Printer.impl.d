@@ -1,0 +1,1 @@
+lib/configlang/printer.ml: Ast Buffer Ipv4 List Masks Netcore Prefix Printf String

@@ -1,0 +1,1 @@
+lib/configlang/printer.mli: Ast

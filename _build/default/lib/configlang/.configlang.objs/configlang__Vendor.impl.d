@@ -1,0 +1,1 @@
+lib/configlang/vendor.ml: Junos Parser Printer Printf

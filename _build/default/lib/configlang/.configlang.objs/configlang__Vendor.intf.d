@@ -1,0 +1,1 @@
+lib/configlang/vendor.mli: Ast

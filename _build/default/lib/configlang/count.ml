@@ -1,0 +1,108 @@
+open Ast
+
+type breakdown = {
+  protocol_lines : int;
+  filter_lines : int;
+  interface_lines : int;
+  other_lines : int;
+}
+
+let total b = b.protocol_lines + b.filter_lines + b.interface_lines + b.other_lines
+
+let zero = { protocol_lines = 0; filter_lines = 0; interface_lines = 0; other_lines = 0 }
+
+let add a b =
+  {
+    protocol_lines = a.protocol_lines + b.protocol_lines;
+    filter_lines = a.filter_lines + b.filter_lines;
+    interface_lines = a.interface_lines + b.interface_lines;
+    other_lines = a.other_lines + b.other_lines;
+  }
+
+let clamp n = max 0 n
+
+let sub a b =
+  {
+    protocol_lines = clamp (a.protocol_lines - b.protocol_lines);
+    filter_lines = clamp (a.filter_lines - b.filter_lines);
+    interface_lines = clamp (a.interface_lines - b.interface_lines);
+    other_lines = clamp (a.other_lines - b.other_lines);
+  }
+
+let ospf_counts o =
+  (* header + networks + extras are protocol lines; distribute-lists are
+     filter lines. *)
+  ( 1 + List.length o.ospf_networks + List.length o.ospf_extra,
+    List.length o.ospf_distribute_in )
+
+let rip_counts r =
+  ( 2 (* header + version *) + List.length r.rip_networks + List.length r.rip_extra,
+    List.length r.rip_distribute_in )
+
+let eigrp_counts e =
+  ( 1 + List.length e.eigrp_networks + List.length e.eigrp_extra,
+    List.length e.eigrp_distribute_in )
+
+let bgp_counts g =
+  let neighbor_protocol = List.length g.bgp_neighbors in
+  let neighbor_filter =
+    List.length (List.filter (fun n -> n.nb_distribute_in <> None) g.bgp_neighbors)
+    + List.length (List.filter (fun n -> n.nb_route_map_in <> None) g.bgp_neighbors)
+  in
+  let router_id = if g.bgp_router_id = None then 0 else 1 in
+  ( 1 + router_id + List.length g.bgp_networks + neighbor_protocol
+    + List.length g.bgp_extra,
+    neighbor_filter )
+
+let of_config c =
+  let proto_of f = function Some x -> f x | None -> (0, 0) in
+  let po, fo = proto_of ospf_counts c.ospf in
+  let pr, fr = proto_of rip_counts c.rip in
+  let pe, fe = proto_of eigrp_counts c.eigrp in
+  let pb, fb = proto_of bgp_counts c.bgp in
+  let prefix_list_rules =
+    List.fold_left (fun acc pl -> acc + List.length pl.pl_rules) 0 c.prefix_lists
+  in
+  let acl_lines =
+    List.fold_left (fun acc a -> acc + 1 + List.length a.acl_rules) 0 c.acls
+  in
+  let route_map_lines =
+    List.fold_left
+      (fun acc rm ->
+        List.fold_left
+          (fun acc cl -> acc + 1 + (if cl.rm_set_local_pref = None then 0 else 1))
+          acc rm.rm_clauses)
+      0 c.route_maps
+  in
+  let interface_lines =
+    List.fold_left
+      (fun acc i -> acc + List.length (Printer.interface_lines i))
+      0 c.interfaces
+  in
+  {
+    protocol_lines = po + pr + pe + pb + List.length c.statics;
+    filter_lines = fo + fr + fe + fb + prefix_list_rules + acl_lines + route_map_lines;
+    interface_lines;
+    other_lines =
+      1 (* hostname *)
+      + (if c.default_gateway = None then 0 else 1)
+      + List.length c.extra;
+  }
+
+let of_configs cs = List.fold_left (fun acc c -> add acc (of_config c)) zero cs
+let lines_of_config c = total (of_config c)
+
+let added ~orig ~anon =
+  let find cs name = List.find_opt (fun c -> String.equal c.hostname name) cs in
+  List.fold_left
+    (fun acc a ->
+      let a_counts = of_config a in
+      match find orig a.hostname with
+      | None -> add acc a_counts
+      | Some o -> add acc (sub a_counts (of_config o)))
+    zero anon
+
+let config_utility ~orig ~anon =
+  let n_l = total (added ~orig ~anon) in
+  let p_l = total (of_configs anon) in
+  if p_l = 0 then 1.0 else 1.0 -. (float_of_int n_l /. float_of_int p_l)

@@ -1,0 +1,33 @@
+(** Line accounting for configuration-utility metrics.
+
+    The configuration utility of ConfMask §7.1 is
+    [U_C = 1 - N_l / P_l], where [N_l] is the number of lines the
+    anonymizer injected and [P_l] the total number of lines. Table 3
+    additionally breaks the injected lines down into routing-protocol
+    lines, filter lines, and interface lines. Lines are counted on the
+    canonical printed form, excluding blank and [!] separator lines. *)
+
+type breakdown = {
+  protocol_lines : int;  (** router ospf/rip/bgp blocks minus filters *)
+  filter_lines : int;  (** prefix-list rules and distribute-list bindings *)
+  interface_lines : int;  (** interface blocks *)
+  other_lines : int;  (** hostname, default gateway, verbatim extras *)
+}
+
+val total : breakdown -> int
+
+val of_config : Ast.config -> breakdown
+val of_configs : Ast.config list -> breakdown
+
+val lines_of_config : Ast.config -> int
+(** [total (of_config c)]. *)
+
+val added : orig:Ast.config list -> anon:Ast.config list -> breakdown
+(** Per-category lines present in [anon] but not in [orig], matching
+    devices by hostname. Devices that only exist in [anon] (fake hosts)
+    count entirely as added. Categories never go negative: the ConfMask
+    pipeline is append-only. *)
+
+val config_utility : orig:Ast.config list -> anon:Ast.config list -> float
+(** [U_C = 1 - N_l / P_l] with [N_l = total (added ~orig ~anon)] and
+    [P_l] the total line count of [anon]. *)

@@ -1,0 +1,23 @@
+(** JunosLite: a second vendor dialect for the same configuration model.
+
+    The paper notes its implementation is "easily extendable to more
+    protocols and vendors using the same logic" (§6); this module is that
+    extension point exercised. JunosLite is a Juniper-flavored
+    hierarchical curly-brace syntax covering exactly the CiscoLite model,
+    so every anonymization stage works unchanged on Junos-style files:
+    parse to the shared {!Ast.config}, anonymize, print back.
+
+    [parse (to_string c)] equals [c] up to canonical form — the test suite
+    checks the round trip and the cross-vendor equality
+    [Parser.parse (Printer.to_string c) = parse (to_string c)]. *)
+
+val to_string : Ast.config -> string
+
+val parse : string -> (Ast.config, string) result
+(** Error messages include the 1-based line of the offending token. *)
+
+val parse_exn : string -> Ast.config
+
+val looks_like_junos : string -> bool
+(** Cheap syntax sniffing for vendor auto-detection: the first
+    non-comment, non-blank line of a JunosLite file opens a block. *)

@@ -1,0 +1,21 @@
+open Netcore
+
+let mask32 = 0xFFFFFFFF
+
+let netmask_of_len len =
+  Ipv4.of_int (if len = 0 then 0 else mask32 lsl (32 - len) land mask32)
+
+let wildcard_of_len len =
+  Ipv4.of_int (lnot (Ipv4.to_int (netmask_of_len len)) land mask32)
+
+let len_of_netmask m =
+  let m = Ipv4.to_int m in
+  let rec count len =
+    if len > 32 then None
+    else if Ipv4.to_int (netmask_of_len len) = m then Some len
+    else count (len + 1)
+  in
+  count 0
+
+let len_of_wildcard w =
+  len_of_netmask (Ipv4.of_int (lnot (Ipv4.to_int w) land mask32))

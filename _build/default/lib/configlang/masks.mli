@@ -1,0 +1,12 @@
+(** Conversions between prefix lengths and Cisco netmask / wildcard forms. *)
+
+open Netcore
+
+val netmask_of_len : int -> Ipv4.t
+val wildcard_of_len : int -> Ipv4.t
+
+val len_of_netmask : Ipv4.t -> int option
+(** [None] when the mask is not a contiguous run of leading ones. *)
+
+val len_of_wildcard : Ipv4.t -> int option
+(** [None] when the wildcard is not a contiguous run of trailing ones. *)

@@ -1,0 +1,13 @@
+(** Parser for CiscoLite configuration files.
+
+    The grammar is line-oriented: top-level statements start in column 0,
+    block sub-statements are indented by one space, and [!] lines separate
+    blocks (and are ignored). Unrecognized lines are preserved verbatim so
+    that parse-print round trips never lose information. *)
+
+val parse : string -> (Ast.config, string) result
+(** [parse text] parses one device configuration. The error message
+    includes the 1-based line number of the first offending line. *)
+
+val parse_exn : string -> Ast.config
+(** Like {!parse} but raises [Failure]. *)

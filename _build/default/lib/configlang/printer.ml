@@ -1,0 +1,161 @@
+open Netcore
+open Ast
+
+let interface_lines i =
+  let b = Buffer.create 64 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "interface %s" i.if_name;
+  (match i.if_description with Some d -> line " description %s" d | None -> ());
+  (match i.if_address with
+  | Some (addr, len) ->
+      line " ip address %s %s" (Ipv4.to_string addr)
+        (Ipv4.to_string (Masks.netmask_of_len len))
+  | None -> ());
+  (match i.if_cost with Some c -> line " ip ospf cost %d" c | None -> ());
+  (match i.if_delay with Some d -> line " delay %d" d | None -> ());
+  (match i.if_acl_in with Some a -> line " ip access-group %s in" a | None -> ());
+  (match i.if_acl_out with Some a -> line " ip access-group %s out" a | None -> ());
+  if i.if_shutdown then line " shutdown";
+  List.iter (fun e -> line " %s" e) i.if_extra;
+  String.split_on_char '\n' (Buffer.contents b)
+  |> List.filter (fun l -> l <> "")
+
+let to_string c =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  let bang () = line "!" in
+  line "hostname %s" c.hostname;
+  bang ();
+  List.iter
+    (fun i ->
+      List.iter (fun l -> line "%s" l) (interface_lines i);
+      bang ())
+    c.interfaces;
+  (match c.ospf with
+  | Some o ->
+      line "router ospf %d" o.ospf_process;
+      List.iter
+        (fun (p, area) ->
+          line " network %s %s area %d"
+            (Ipv4.to_string (Prefix.network p))
+            (Ipv4.to_string (Masks.wildcard_of_len (Prefix.length p)))
+            area)
+        o.ospf_networks;
+      List.iter
+        (fun d -> line " distribute-list prefix %s in %s" d.dl_list d.dl_iface)
+        o.ospf_distribute_in;
+      List.iter (fun e -> line " %s" e) o.ospf_extra;
+      bang ()
+  | None -> ());
+  (match c.rip with
+  | Some r ->
+      line "router rip";
+      line " version 2";
+      List.iter
+        (fun p ->
+          line " network %s %s"
+            (Ipv4.to_string (Prefix.network p))
+            (Ipv4.to_string (Masks.wildcard_of_len (Prefix.length p))))
+        r.rip_networks;
+      List.iter
+        (fun d -> line " distribute-list prefix %s in %s" d.dl_list d.dl_iface)
+        r.rip_distribute_in;
+      List.iter (fun e -> line " %s" e) r.rip_extra;
+      bang ()
+  | None -> ());
+  (match c.eigrp with
+  | Some e ->
+      line "router eigrp %d" e.eigrp_as;
+      List.iter
+        (fun p ->
+          line " network %s %s"
+            (Ipv4.to_string (Prefix.network p))
+            (Ipv4.to_string (Masks.wildcard_of_len (Prefix.length p))))
+        e.eigrp_networks;
+      List.iter
+        (fun d -> line " distribute-list prefix %s in %s" d.dl_list d.dl_iface)
+        e.eigrp_distribute_in;
+      List.iter (fun x -> line " %s" x) e.eigrp_extra;
+      bang ()
+  | None -> ());
+  (match c.bgp with
+  | Some g ->
+      line "router bgp %d" g.bgp_as;
+      (match g.bgp_router_id with
+      | Some id -> line " bgp router-id %s" (Ipv4.to_string id)
+      | None -> ());
+      List.iter
+        (fun p ->
+          line " network %s mask %s"
+            (Ipv4.to_string (Prefix.network p))
+            (Ipv4.to_string (Masks.netmask_of_len (Prefix.length p))))
+        g.bgp_networks;
+      List.iter
+        (fun n ->
+          line " neighbor %s remote-as %d" (Ipv4.to_string n.nb_addr) n.nb_remote_as;
+          (match n.nb_distribute_in with
+          | Some name ->
+              line " neighbor %s distribute-list %s in" (Ipv4.to_string n.nb_addr) name
+          | None -> ());
+          match n.nb_route_map_in with
+          | Some name ->
+              line " neighbor %s route-map %s in" (Ipv4.to_string n.nb_addr) name
+          | None -> ())
+        g.bgp_neighbors;
+      List.iter (fun e -> line " %s" e) g.bgp_extra;
+      bang ()
+  | None -> ());
+  List.iter
+    (fun pl ->
+      List.iter
+        (fun r ->
+          let action = match r.action with Permit -> "permit" | Deny -> "deny" in
+          let le = match r.le with Some n -> Printf.sprintf " le %d" n | None -> "" in
+          line "ip prefix-list %s seq %d %s %s%s" pl.pl_name r.seq action
+            (Prefix.to_string r.rule_prefix) le)
+        pl.pl_rules;
+      bang ())
+    c.prefix_lists;
+  List.iter
+    (fun a ->
+      line "ip access-list extended %s" a.acl_name;
+      List.iter
+        (fun r ->
+          let action = match r.acl_action with Permit -> "permit" | Deny -> "deny" in
+          let endpoint = function
+            | None -> "any"
+            | Some p ->
+                Printf.sprintf "%s %s"
+                  (Ipv4.to_string (Prefix.network p))
+                  (Ipv4.to_string (Masks.wildcard_of_len (Prefix.length p)))
+          in
+          line " %s ip %s %s" action (endpoint r.acl_src) (endpoint r.acl_dst))
+        a.acl_rules;
+      bang ())
+    c.acls;
+  List.iter
+    (fun rm ->
+      List.iter
+        (fun cl ->
+          let action = match cl.rm_action with Permit -> "permit" | Deny -> "deny" in
+          line "route-map %s %s %d" rm.rm_name action cl.rm_seq;
+          (match cl.rm_set_local_pref with
+          | Some v -> line " set local-preference %d" v
+          | None -> ());
+          bang ())
+        rm.rm_clauses)
+    c.route_maps;
+  List.iter
+    (fun st ->
+      line "ip route %s %s %s"
+        (Ipv4.to_string (Prefix.network st.st_prefix))
+        (Ipv4.to_string (Masks.netmask_of_len (Prefix.length st.st_prefix)))
+        (Ipv4.to_string st.st_next_hop))
+    c.statics;
+  (match c.default_gateway with
+  | Some gw ->
+      line "ip default-gateway %s" (Ipv4.to_string gw);
+      bang ()
+  | None -> ());
+  List.iter (fun e -> line "%s" e) c.extra;
+  Buffer.contents b

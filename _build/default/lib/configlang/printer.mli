@@ -1,0 +1,12 @@
+(** Canonical printer for CiscoLite configurations.
+
+    [Parser.parse_exn (Printer.to_string c)] is structurally equal to the
+    canonical form of [c] — the round-trip property the test suite checks
+    with qcheck. Anonymized configurations are emitted with this printer,
+    so they follow the same syntax as the input files (ConfMask §9, "PII
+    obfuscation"). *)
+
+val to_string : Ast.config -> string
+
+val interface_lines : Ast.interface -> string list
+(** The lines an interface block contributes, without the trailing [!]. *)

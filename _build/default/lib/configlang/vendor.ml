@@ -1,0 +1,14 @@
+type t = Cisco | Junos
+
+let of_string = function
+  | "cisco" -> Ok Cisco
+  | "junos" -> Ok Junos
+  | s -> Error (Printf.sprintf "unknown vendor %S (expected cisco or junos)" s)
+
+let to_string = function Cisco -> "cisco" | Junos -> "junos"
+let detect text = if Junos.looks_like_junos text then Junos else Cisco
+
+let parse text =
+  match detect text with Junos -> Junos.parse text | Cisco -> Parser.parse text
+
+let print = function Cisco -> Printer.to_string | Junos -> Junos.to_string

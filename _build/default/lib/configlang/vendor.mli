@@ -1,0 +1,16 @@
+(** Vendor dispatch: parse and print configurations in any supported
+    dialect. CiscoLite is the default; JunosLite files are recognized by
+    their block syntax. *)
+
+type t = Cisco | Junos
+
+val of_string : string -> (t, string) result
+val to_string : t -> string
+
+val detect : string -> t
+(** Sniff the dialect of a configuration text. *)
+
+val parse : string -> (Ast.config, string) result
+(** Parse with auto-detection. *)
+
+val print : t -> Ast.config -> string

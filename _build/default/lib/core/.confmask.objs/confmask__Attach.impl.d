@@ -1,0 +1,1 @@
+lib/core/attach.ml: Edits Ipv4 Netcore Routing

@@ -1,0 +1,1 @@
+lib/core/attach.mli: Configlang Ipv4 Netcore Prefix Routing

@@ -1,0 +1,1 @@
+lib/core/deanon.ml: Configlang Graph Hashtbl List Netcore Option Prefix Routing String

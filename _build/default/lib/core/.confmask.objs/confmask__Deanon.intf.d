@@ -1,0 +1,1 @@
+lib/core/deanon.mli: Configlang Routing

@@ -1,0 +1,1 @@
+lib/core/edits.ml: Ast Configlang Ipv4 List Netcore Prefix Printf String

@@ -1,0 +1,1 @@
+lib/core/edits.mli: Ast Configlang Ipv4 Netcore Prefix

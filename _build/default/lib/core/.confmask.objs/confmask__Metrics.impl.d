@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Configlang Hashtbl List Map Netcore Option Routing String

@@ -1,0 +1,1 @@
+lib/core/node_anon.ml: Buffer Configlang Edits Hashtbl List Netcore Option Prefix Printf Rng Routing String

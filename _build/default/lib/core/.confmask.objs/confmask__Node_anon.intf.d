@@ -1,0 +1,1 @@
+lib/core/node_anon.mli: Configlang Netcore Routing Stdlib

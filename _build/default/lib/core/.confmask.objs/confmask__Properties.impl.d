@@ -1,0 +1,1 @@
+lib/core/properties.ml: Hashtbl List Printf Routing Set String

@@ -1,0 +1,1 @@
+lib/core/route_anon.ml: Attach Configlang Edits List Netcore Option Prefix Printf Result Rng Routing String

@@ -1,0 +1,1 @@
+lib/core/route_equiv.ml: Attach Configlang List Map Netcore Option Prefix Printf Routing String

@@ -1,0 +1,1 @@
+lib/core/route_equiv.mli: Configlang Routing

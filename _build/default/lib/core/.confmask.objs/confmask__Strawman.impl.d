@@ -1,0 +1,1 @@
+lib/core/strawman.ml: Attach Configlang Edits Hashtbl List Netcore Option Prefix Printf Route_equiv Routing String

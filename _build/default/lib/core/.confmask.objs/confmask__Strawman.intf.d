@@ -1,0 +1,1 @@
+lib/core/strawman.mli: Configlang Routing

@@ -1,0 +1,1 @@
+lib/core/topo_anon.ml: Configlang Edits Graph Graphanon List Netcore Prefix Rng Routing String

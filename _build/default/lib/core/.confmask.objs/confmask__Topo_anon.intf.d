@@ -1,0 +1,1 @@
+lib/core/topo_anon.mli: Configlang Netcore Rng Routing

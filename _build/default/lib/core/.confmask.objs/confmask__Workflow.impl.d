@@ -1,0 +1,1 @@
+lib/core/workflow.ml: Configlang List Netcore Node_anon Pii Result Rng Route_anon Route_equiv Routing Topo_anon

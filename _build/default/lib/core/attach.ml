@@ -1,0 +1,31 @@
+open Netcore
+module Smap = Routing.Device.Smap
+
+type t = Iface of string | Neighbor of Ipv4.t
+
+let point (net : Routing.Device.network) r nxt =
+  match Routing.Device.find_adj net r nxt with
+  | None -> None
+  | Some adj ->
+      let router = Smap.find r net.routers in
+      if
+        Routing.Device.ospf_enabled router adj.a_out_iface
+        || Routing.Device.rip_enabled router adj.a_out_iface
+        || Routing.Device.eigrp_enabled router adj.a_out_iface
+      then Some (Iface adj.a_out_iface.ifc_name)
+      else Some (Neighbor adj.a_in_iface.ifc_addr)
+
+let deny_at c attach p =
+  match attach with
+  | Iface iface -> Edits.deny_on_iface c ~iface p
+  | Neighbor addr -> Edits.deny_on_bgp_neighbor c ~neighbor:addr p
+
+let undeny_at c attach p =
+  match attach with
+  | Iface iface -> Edits.undeny_on_iface c ~iface p
+  | Neighbor addr -> Edits.undeny_on_bgp_neighbor c ~neighbor:addr p
+
+let deny configs net ~router ~toward p =
+  match point net router toward with
+  | None -> configs
+  | Some attach -> Edits.update configs router (fun c -> deny_at c attach p)

@@ -1,0 +1,28 @@
+(** Filter attachment points.
+
+    A deny filter against a destination prefix is attached where the
+    offending route enters the router: the inbound IGP distribute-list of
+    the interface toward the next hop when the link runs OSPF/RIP, or the
+    BGP neighbor's inbound filter when the link is an eBGP adjacency.
+    Shared by Algorithm 1, Algorithm 2, and the strawman baselines. *)
+
+open Netcore
+
+type t = Iface of string | Neighbor of Ipv4.t
+
+val point : Routing.Device.network -> string -> string -> t option
+(** [point net r nxt]: the attachment on router [r] for routes arriving
+    from adjacent router [nxt]; [None] if they are not adjacent. *)
+
+val deny :
+  Configlang.Ast.config list ->
+  Routing.Device.network ->
+  router:string ->
+  toward:string ->
+  Prefix.t ->
+  Configlang.Ast.config list
+(** Adds the deny filter for the prefix at [point net router toward]; a
+    no-op when the routers are not adjacent. *)
+
+val deny_at : Configlang.Ast.config -> t -> Prefix.t -> Configlang.Ast.config
+val undeny_at : Configlang.Ast.config -> t -> Prefix.t -> Configlang.Ast.config

@@ -1,0 +1,34 @@
+(** De-anonymization adversary (the threat model of §2.2 / §4.3).
+
+    The adversary holds the shared (anonymized) configurations and any
+    analysis tooling — here, the simulator — and tries to identify the
+    fake links. Two attacks from the paper's discussion:
+
+    - {!no_traffic_links}: simulate and flag router links that no
+      host-to-host forwarding path ever crosses (the §3.2 strawman's
+      "large cost" tell);
+    - {!uniform_filter_links}: flag links whose inbound filter denies the
+      same large prefix set as filters on other routers — the "unified
+      pattern" that makes Strawman 1 trivially identifiable (Listing 3).
+
+    [assess] scores an attack against the ground-truth fake edge set. *)
+
+type score = {
+  flagged : (string * string) list;  (** links the adversary accuses *)
+  true_positives : int;
+  precision : float;  (** 1.0 when nothing is flagged *)
+  recall : float;  (** 1.0 when there are no fake edges *)
+}
+
+val no_traffic_links : Routing.Simulate.snapshot -> (string * string) list
+
+val uniform_filter_links :
+  Routing.Simulate.snapshot -> Configlang.Ast.config list -> (string * string) list
+(** Links whose attachment-point deny set (IGP distribute-list or BGP
+    neighbor filter) has at least 3 prefixes and recurs verbatim on at
+    least one other router. *)
+
+val assess :
+  fake_edges:(string * string) list ->
+  flagged:(string * string) list ->
+  score

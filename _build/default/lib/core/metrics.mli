@@ -1,0 +1,48 @@
+(** The evaluation metrics of ConfMask §7.1.
+
+    (a) route anonymity [N_r]: distinct routing paths between edge-router
+    pairs; (b) route utility: fraction of exactly-kept host-to-host paths;
+    (c) topology anonymity: minimum same-degree group size; (d) topology
+    utility: clustering coefficient; (e) configuration utility [U_C]. *)
+
+type route_anonymity = {
+  nr_avg : float;
+  nr_min : int;
+  nr_pairs : int;  (** how many (ingress, egress) pairs were measured *)
+}
+
+val route_anonymity : Routing.Dataplane.t -> route_anonymity
+(** Groups all delivered paths by (first router, last router) and counts
+    distinct interior router sequences per group. *)
+
+val kept_paths_fraction :
+  orig:Routing.Dataplane.t -> anon:Routing.Dataplane.t -> hosts:string list -> float
+(** Fraction of ordered host pairs (with at least one original path) whose
+    delivered path *set* is preserved exactly — the [P_U] of Figure 8. *)
+
+val kept_paths_fraction_of_pairs :
+  orig:((string * string) * string list list) list ->
+  anon:((string * string) * string list list) list ->
+  float
+(** Same metric over explicit path sets (for the NetHide baseline). *)
+
+type topology = {
+  min_degree_group : int;
+  clustering : float;
+  routers : int;
+  router_edges : int;
+}
+
+val topology_of_snapshot : Routing.Simulate.snapshot -> topology
+
+val config_utility :
+  orig:Configlang.Ast.config list -> anon:Configlang.Ast.config list -> float
+(** [U_C = 1 - N_l / P_l] (re-exported from {!Configlang.Count}). *)
+
+val line_breakdown :
+  orig:Configlang.Ast.config list ->
+  anon:Configlang.Ast.config list ->
+  Configlang.Count.breakdown
+(** The Table 3 decomposition of injected lines. *)
+
+val pearson : (float * float) list -> float

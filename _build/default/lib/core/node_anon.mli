@@ -1,0 +1,31 @@
+(** Network scale obfuscation: fake router addition (the §9 extension).
+
+    The paper's workflow keeps the router set fixed but notes that the
+    functional-equivalence proof never requires it — any graph
+    anonymization that only *adds* nodes fits (Takbiri et al. 2019). This
+    module implements that extension for IGP-only networks: each fake
+    router connects to two or three real anchor routers with link costs
+    [cost(n_i, f) = max_j min_cost(n_i, n_j)], which makes every path
+    through the fake router strictly longer than the existing shortest
+    path between any pair of anchors — so the original data plane is
+    untouched by construction. Each fake router also hosts a fake subnet
+    so that it originates plausible traffic and configuration.
+
+    Run *before* topology anonymization so that the k-degree guarantee
+    covers the fake routers too. *)
+
+type t = {
+  configs : Configlang.Ast.config list;
+  fake_routers : string list;
+  fake_router_edges : (string * string) list;
+}
+
+val add :
+  rng:Netcore.Rng.t ->
+  count:int ->
+  orig:Routing.Simulate.snapshot ->
+  Configlang.Ast.config list ->
+  (t, string) Stdlib.result
+(** Errors on BGP networks (fake routers would need AS placement and iBGP
+    mesh updates — future work, as in the paper) and when the network has
+    fewer than two routers. *)

@@ -1,0 +1,38 @@
+(** The routing utility properties of ConfMask Appendix B.
+
+    Theorem B.7 states that functional equivalence preserves reachability,
+    path lengths, black holes, multipath consistency, waypointing, and
+    routing loops. This module mines all six property families from a
+    data plane so that the theorem can be checked *operationally* on any
+    pipeline run (see the test suite and the troubleshooting example):
+    the property sets of the original and anonymized networks, restricted
+    to real hosts, must be identical. *)
+
+type t =
+  | Reachable of string * string
+      (** at least one delivered forwarding path *)
+  | Path_length of string * string * int
+      (** every delivered path has exactly this hop count *)
+  | Black_hole of string * string
+      (** some walk is dropped or filtered before delivery (B.3) *)
+  | Multipath_inconsistent of string * string
+      (** delivered on some path, dropped/filtered on another (B.4) *)
+  | Waypointed of string * string * string
+      (** the router is on every delivered path (B.5) *)
+  | Routing_loop of string * string
+      (** some walk revisits a router (B.6) *)
+
+val to_string : t -> string
+
+val mine : ?hosts:string list -> Routing.Dataplane.t -> t list
+(** All properties of the data plane, sorted; [hosts] restricts to pairs
+    among the listed hosts (both endpoints). *)
+
+type diff = { kept : t list; lost : t list; gained : t list }
+
+val compare_properties :
+  hosts:string list -> orig:Routing.Dataplane.t -> anon:Routing.Dataplane.t -> diff
+(** Property sets over the given (real) hosts. Functional equivalence
+    (Theorem B.7) holds exactly when [lost] and [gained] are empty. *)
+
+val preserved : diff -> bool

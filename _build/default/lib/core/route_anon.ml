@@ -1,0 +1,212 @@
+open Netcore
+module Ast = Configlang.Ast
+module Smap = Routing.Device.Smap
+
+type outcome = {
+  configs : Ast.config list;
+  fake_hosts : (string * string) list;
+  filters_added : int;
+  filters_removed : int;
+}
+
+let default_noise = 0.1
+
+(* A filter planned/applied by this algorithm, remembered for rollback. *)
+type filter = {
+  f_router : string;
+  f_prefix : Prefix.t;
+  f_attach : Attach.t;
+}
+
+let fresh_host_name existing =
+  let taken = List.map (fun (c : Ast.config) -> c.hostname) existing in
+  let rec search k =
+    let candidate = Printf.sprintf "fh%d" k in
+    if List.mem candidate taken then search (k + 1) else candidate
+  in
+  search 1
+
+let add_fake_hosts ~k_h configs (snap : Routing.Simulate.snapshot) =
+  let alloc = Prefix.alloc_create ~avoid:(Edits.used_prefixes configs) () in
+  let hosts = Smap.bindings snap.net.hosts in
+  List.fold_left
+    (fun (configs, fakes) (hname, _) ->
+      let ingress, _ = List.hd (Smap.find hname snap.net.attachments) in
+      let real_config =
+        List.find (fun (c : Ast.config) -> c.hostname = hname) configs
+      in
+      let rec copies configs fakes i =
+        if i >= k_h then (configs, fakes)
+        else begin
+          let subnet = Prefix.alloc_fresh alloc ~len:24 in
+          let gw = Prefix.host subnet 1 and ha = Prefix.host subnet 10 in
+          let fake_name = fresh_host_name configs in
+          (* Same configuration as the original host except hostname and
+             addresses (§5.3). *)
+          let fake_config =
+            {
+              real_config with
+              Ast.hostname = fake_name;
+              interfaces =
+                List.map
+                  (fun (i : Ast.interface) ->
+                    match i.if_address with
+                    | Some (_, _) -> { i with if_address = Some (ha, 24) }
+                    | None -> i)
+                  real_config.interfaces;
+              default_gateway = Some gw;
+            }
+          in
+          let configs =
+            Edits.update configs ingress (fun c ->
+                let name = Edits.fresh_iface_name c in
+                let c =
+                  Edits.add_interface c ~name ~addr:gw ~plen:24
+                    ~desc:("to-" ^ fake_name) ()
+                in
+                let c = Edits.add_igp_network c subnet in
+                Edits.add_bgp_network c subnet)
+          in
+          copies (configs @ [ fake_config ]) ((fake_name, hname) :: fakes) (i + 1)
+        end
+      in
+      copies configs fakes 1)
+    (configs, []) hosts
+
+let apply_one configs f =
+  Edits.update configs f.f_router (fun c -> Attach.deny_at c f.f_attach f.f_prefix)
+
+let remove_one configs f =
+  Edits.update configs f.f_router (fun c -> Attach.undeny_at c f.f_attach f.f_prefix)
+
+(* Routers that can deliver traffic for [fp]: walk every router's FIB and
+   check that all ECMP branches reach a router owning the prefix. *)
+let reachable_routers (snap : Routing.Simulate.snapshot) fp =
+  let owners =
+    Smap.fold
+      (fun rname (r : Routing.Device.router) acc ->
+        if List.exists (fun i -> Prefix.equal (Routing.Device.ifc_prefix i) fp) r.r_ifaces
+        then rname :: acc
+        else acc)
+      snap.net.routers []
+  in
+  let rec delivers r visited =
+    if List.mem r owners then true
+    else if List.mem r visited then false
+    else
+      match Smap.find_opt r snap.fibs with
+      | None -> false
+      | Some fib -> (
+          match Routing.Fib.lookup fib (Prefix.host fp 10) with
+          | None -> false
+          | Some route when route.rt_nexthops = [] -> false
+          | Some route ->
+              List.for_all
+                (fun (nh : Routing.Fib.nexthop) -> delivers nh.nh_router (r :: visited))
+                route.rt_nexthops)
+  in
+  Smap.fold
+    (fun rname _ acc -> if delivers rname [] then rname :: acc else acc)
+    snap.net.routers []
+  |> List.sort String.compare
+
+let anonymize ~rng ~k_h ?(p = default_noise) configs =
+  match Routing.Simulate.run configs with
+  | Error m -> Error ("route_anon: baseline simulation failed: " ^ m)
+  | Ok snap0 -> (
+      let configs, fake_hosts = add_fake_hosts ~k_h configs snap0 in
+      if fake_hosts = [] then
+        Ok { configs; fake_hosts = []; filters_added = 0; filters_removed = 0 }
+      else
+        match Routing.Simulate.run configs with
+        | Error m -> Error ("route_anon: fake-host simulation failed: " ^ m)
+        | Ok snap ->
+            let fake_prefixes =
+              List.filter_map
+                (fun (fh, _) ->
+                  Option.map Routing.Device.host_prefix
+                    (Smap.find_opt fh snap.net.hosts))
+                fake_hosts
+            in
+            (* Baseline reachability per fake prefix (before any noise). *)
+            let baseline =
+              List.map (fun fp -> (fp, reachable_routers snap fp)) fake_prefixes
+            in
+            (* Plan filters: per (router, fake prefix, next hop), with
+               probability p. *)
+            let planned =
+              List.concat_map
+                (fun (r, hp, nxts) ->
+                  if not (List.exists (Prefix.equal hp) fake_prefixes) then []
+                  else
+                    List.filter_map
+                      (fun nxt ->
+                        if Rng.bool rng ~p then
+                          Option.map
+                            (fun attach ->
+                              { f_router = r; f_prefix = hp; f_attach = attach })
+                            (Attach.point snap.net r nxt)
+                        else None)
+                      nxts)
+                (Routing.Simulate.host_routes snap)
+            in
+            let configs =
+              List.fold_left apply_one configs planned
+            in
+            (* Reachability repair: any fake prefix that lost a router must
+               shed the filters on the routers where walks now dead-end. *)
+            let rec repair configs active removed guard =
+              match Routing.Simulate.run configs with
+              | Error m -> Error ("route_anon: repair simulation failed: " ^ m)
+              | Ok snap' ->
+                  let broken =
+                    List.filter_map
+                      (fun (fp, routers0) ->
+                        let now = reachable_routers snap' fp in
+                        let lost = List.filter (fun r -> not (List.mem r now)) routers0 in
+                        if lost = [] then None else Some (fp, lost))
+                      baseline
+                  in
+                  if broken = [] then Ok (configs, active, removed)
+                  else if guard <= 0 then
+                    Error "route_anon: reachability repair did not converge"
+                  else begin
+                    let to_remove, keep =
+                      List.partition
+                        (fun f ->
+                          List.exists
+                            (fun (fp, lost) ->
+                              Prefix.equal f.f_prefix fp && List.mem f.f_router lost)
+                            broken)
+                        active
+                    in
+                    (* No filter sits on a lost router: fall back to
+                       removing every filter of the broken prefixes. *)
+                    let to_remove, keep =
+                      if to_remove <> [] then (to_remove, keep)
+                      else
+                        List.partition
+                          (fun f ->
+                            List.exists
+                              (fun (fp, _) -> Prefix.equal f.f_prefix fp)
+                              broken)
+                          active
+                    in
+                    if to_remove = [] then
+                      Error
+                        "route_anon: fake host unreachable with no filter to \
+                         roll back"
+                    else
+                      let configs = List.fold_left remove_one configs to_remove in
+                      repair configs keep (removed + List.length to_remove) (guard - 1)
+                  end
+            in
+            Result.map
+              (fun (configs, active, removed) ->
+                {
+                  configs;
+                  fake_hosts = List.rev fake_hosts;
+                  filters_added = List.length active;
+                  filters_removed = removed;
+                })
+              (repair configs planned 0 (List.length planned + 4)))

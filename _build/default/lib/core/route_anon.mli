@@ -1,0 +1,29 @@
+(** Step 2.2: the route anonymity algorithm (Algorithm 2, §5.3).
+
+    Adds [k_h - 1] fake hosts per real host on the same ingress router —
+    each a copy of the real host's configuration with a fresh name and an
+    IP from a prefix disjoint from everything in the original network —
+    then randomly (with the noise coefficient [p]) adds deny filters on
+    FIB entries toward fake-host destinations, rolling back any filter
+    that breaks a fake host's reachability. Real-host forwarding is
+    untouched: the filters only ever name fake prefixes, which no real
+    route resolves through. *)
+
+type outcome = {
+  configs : Configlang.Ast.config list;
+  fake_hosts : (string * string) list;  (** (fake host, real host) *)
+  filters_added : int;
+  filters_removed : int;  (** rolled back by the reachability check *)
+}
+
+val default_noise : float
+(** 0.1, the paper's evaluation setting. *)
+
+val anonymize :
+  rng:Netcore.Rng.t ->
+  k_h:int ->
+  ?p:float ->
+  Configlang.Ast.config list ->
+  (outcome, string) result
+(** [anonymize ~rng ~k_h configs]: [configs] is the network after route
+    equivalence. [k_h = 1] adds no fake hosts and no filters. *)

@@ -1,0 +1,86 @@
+open Netcore
+module Smap = Routing.Device.Smap
+
+type outcome = {
+  configs : Configlang.Ast.config list;
+  iterations : int;
+  filters_added : int;
+}
+
+module Key = struct
+  type t = string * Prefix.t
+
+  let compare (r1, p1) (r2, p2) =
+    match String.compare r1 r2 with 0 -> Prefix.compare p1 p2 | c -> c
+end
+
+module Kmap = Map.Make (Key)
+
+let nexthop_map snap =
+  List.fold_left
+    (fun acc (r, hp, nxts) -> Kmap.add (r, hp) nxts acc)
+    Kmap.empty
+    (Routing.Simulate.host_routes snap)
+
+let restrict_to host_prefixes m =
+  Kmap.filter (fun (_, p) _ -> List.exists (Prefix.equal p) host_prefixes) m
+
+let fib_equal_on_hosts ~orig snap =
+  let hps = List.map fst (Routing.Simulate.host_prefixes orig.Routing.Simulate.net) in
+  let a = restrict_to hps (nexthop_map orig) in
+  let b = restrict_to hps (nexthop_map snap) in
+  Kmap.equal (List.equal String.equal) a b
+
+(* Apply one deny filter at router [r] against destination [hp], on the
+   fake attachment toward [nxt]: an IGP distribute-list when the fake link
+   runs the IGP, a BGP neighbor filter when it is a fake eBGP adjacency. *)
+let apply_filter net configs r nxt hp =
+  Attach.deny configs net ~router:r ~toward:nxt hp
+
+let fix ?max_iters ~orig ~fake_edges configs =
+  let max_iters =
+    match max_iters with Some m -> m | None -> (2 * List.length fake_edges) + 8
+  in
+  let fake u v =
+    let key = if String.compare u v <= 0 then (u, v) else (v, u) in
+    List.mem key fake_edges
+  in
+  let orig_nexthops = nexthop_map orig in
+  let orig_set r hp =
+    Option.value ~default:[] (Kmap.find_opt (r, hp) orig_nexthops)
+  in
+  let rec loop configs iter filters =
+    match Routing.Simulate.run configs with
+    | Error m -> Error ("route_equiv: simulation failed: " ^ m)
+    | Ok snap ->
+        let wrong =
+          List.concat_map
+            (fun (r, hp, nxts) ->
+              let ok = orig_set r hp in
+              List.filter_map
+                (fun nxt ->
+                  if (not (List.mem nxt ok)) && fake r nxt then Some (r, hp, nxt)
+                  else None)
+                nxts)
+            (Routing.Simulate.host_routes snap)
+        in
+        if wrong = [] then
+          if fib_equal_on_hosts ~orig snap then
+            Ok { configs; iterations = iter; filters_added = filters }
+          else
+            Error
+              "route_equiv: FIBs differ from the original but no fake-edge \
+               next hop is left to filter"
+        else if iter >= max_iters then
+          Error
+            (Printf.sprintf "route_equiv: no convergence after %d iterations"
+               iter)
+        else
+          let configs =
+            List.fold_left
+              (fun configs (r, hp, nxt) -> apply_filter snap.net configs r nxt hp)
+              configs wrong
+          in
+          loop configs (iter + 1) (filters + List.length wrong)
+  in
+  loop configs 1 0

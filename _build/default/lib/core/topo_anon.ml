@@ -1,0 +1,162 @@
+open Netcore
+module Ast = Configlang.Ast
+module Smap = Routing.Device.Smap
+
+type result = {
+  configs : Ast.config list;
+  fake_edges : (string * string) list;
+}
+
+type cost_policy = Min_cost | Default_cost | Large_cost
+
+let large_cost = 60000 (* below the OSPF metric ceiling of 65535 *)
+
+let as_map (net : Routing.Device.network) =
+  Smap.filter_map (fun _ r -> Routing.Device.as_of_router r) net.routers
+
+(* AS-level supergraph: one node per AS number, an edge when any pair of
+   border routers is adjacent. *)
+let as_graph (net : Routing.Device.network) asns =
+  let g =
+    Smap.fold
+      (fun _ asn g -> Graph.add_node (string_of_int asn) g)
+      asns Graph.empty
+  in
+  Smap.fold
+    (fun r adjs g ->
+      List.fold_left
+        (fun g (a : Routing.Device.adj) ->
+          match (Smap.find_opt r asns, Smap.find_opt a.a_to asns) with
+          | Some x, Some y when x <> y ->
+              Graph.add_edge (string_of_int x) (string_of_int y) g
+          | _ -> g)
+        g adjs)
+    net.adjs g
+
+(* New AS-AS adjacencies become router-level fake edges between randomly
+   chosen routers of the two ASes that are not already adjacent. *)
+let realize_as_edges ~rng net asns as_fake_edges =
+  let members asn =
+    Smap.fold (fun r a acc -> if a = asn then r :: acc else acc) asns []
+    |> List.sort String.compare
+  in
+  List.filter_map
+    (fun (x, y) ->
+      let xs = members (int_of_string x) and ys = members (int_of_string y) in
+      let candidates =
+        List.concat_map
+          (fun u ->
+            List.filter_map
+              (fun v ->
+                if Routing.Device.find_adj net u v = None then Some (u, v) else None)
+              ys)
+          xs
+      in
+      match candidates with
+      | [] -> None
+      | _ -> Some (Rng.pick rng candidates))
+    as_fake_edges
+
+let anonymize ?(cost_policy = Min_cost) ~rng ~k ~orig:(snap : Routing.Simulate.snapshot)
+    configs =
+  let net = snap.net in
+  let g = Routing.Device.router_graph net in
+  let asns = as_map net in
+  let is_bgp = not (Smap.is_empty asns) in
+  (* Decide the fake edge set at the graph level. k-degree anonymity
+     beyond the number of routers is unattainable (the maximum is the
+     regular graph), so k is clamped. *)
+  let k = min k (max 1 (Graph.num_nodes g)) in
+  let fake_edges =
+    if not is_bgp then snd (Graphanon.Realize.add_edges ~rng ~k g)
+    else begin
+      let ag = as_graph net asns in
+      let k_as = min k (Graph.num_nodes ag) in
+      let _, as_new = Graphanon.Realize.add_edges ~rng ~k:k_as ag in
+      let inter_edges = realize_as_edges ~rng net asns as_new in
+      let g_with_inter =
+        List.fold_left (fun g (u, v) -> Graph.add_edge u v g) g inter_edges
+      in
+      let same_as u v = Smap.find_opt u asns = Smap.find_opt v asns in
+      let _, intra_new =
+        Graphanon.Realize.add_edges ~allowed:same_as ~rng ~k g_with_inter
+      in
+      inter_edges @ intra_new
+    end
+  in
+  let fake_edges =
+    List.map (fun (u, v) -> if String.compare u v <= 0 then (u, v) else (v, u)) fake_edges
+    |> List.sort_uniq compare
+  in
+  (* Per-direction IGP shortest-path distances, for the OSPF cost rule.
+     Scoped per AS in BGP networks. *)
+  let scope_of u =
+    match Smap.find_opt u asns with
+    | None -> fun _ -> true
+    | Some a -> fun r -> Smap.find_opt r asns = Some a
+  in
+  let min_cost u v =
+    let d = Routing.Ospf.min_cost ~scope:(scope_of u) net u in
+    Smap.find_opt v d
+  in
+  let alloc = Prefix.alloc_create ~avoid:(Edits.used_prefixes configs) () in
+  let runs_ospf name =
+    match Smap.find_opt name net.routers with
+    | Some r -> r.Routing.Device.r_ospf <> None
+    | None -> false
+  in
+  let configs =
+    List.fold_left
+      (fun configs (u, v) ->
+        let subnet = Prefix.alloc_fresh alloc ~len:30 in
+        let ua = Prefix.host subnet 1 and va = Prefix.host subnet 2 in
+        let inter_as =
+          is_bgp && Smap.find_opt u asns <> Smap.find_opt v asns
+        in
+        if inter_as then begin
+          let as_u = Smap.find u asns and as_v = Smap.find v asns in
+          let configs =
+            Edits.update configs u (fun c ->
+                let name = Edits.fresh_iface_name c in
+                let c = Edits.add_interface c ~name ~addr:ua ~plen:30 ~desc:("to-" ^ v) () in
+                Edits.add_bgp_neighbor c ~addr:va ~remote_as:as_v)
+          in
+          Edits.update configs v (fun c ->
+              let name = Edits.fresh_iface_name c in
+              let c = Edits.add_interface c ~name ~addr:va ~plen:30 ~desc:("to-" ^ u) () in
+              Edits.add_bgp_neighbor c ~addr:ua ~remote_as:as_u)
+        end
+        else begin
+          (* Intra-AS / IGP-only: SFE cost rule for link-state, plain link
+             for distance-vector. Disconnected components fall back to the
+             default cost (they cannot create shortcuts anyway). *)
+          let policy_cost r_to other =
+            if not (runs_ospf r_to) then None
+            else
+              match cost_policy with
+              | Min_cost -> min_cost r_to other
+              | Default_cost -> None
+              | Large_cost -> Some large_cost
+          in
+          let cost_uv = policy_cost u v in
+          let cost_vu = policy_cost v u in
+          let configs =
+            Edits.update configs u (fun c ->
+                let name = Edits.fresh_iface_name c in
+                let c =
+                  Edits.add_interface c ~name ~addr:ua ~plen:30 ?cost:cost_uv
+                    ~desc:("to-" ^ v) ()
+                in
+                Edits.add_igp_network c subnet)
+          in
+          Edits.update configs v (fun c ->
+              let name = Edits.fresh_iface_name c in
+              let c =
+                Edits.add_interface c ~name ~addr:va ~plen:30 ?cost:cost_vu
+                  ~desc:("to-" ^ u) ()
+              in
+              Edits.add_igp_network c subnet)
+        end)
+      configs fake_edges
+  in
+  { configs; fake_edges }

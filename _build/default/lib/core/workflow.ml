@@ -1,0 +1,125 @@
+open Netcore
+module Smap = Routing.Device.Smap
+
+type params = {
+  k_r : int;
+  k_h : int;
+  noise : float;
+  seed : int;
+  pii : bool;
+  fake_routers : int;
+}
+
+let default_params =
+  { k_r = 6; k_h = 2; noise = 0.1; seed = 42; pii = false; fake_routers = 0 }
+
+type report = {
+  params : params;
+  orig_configs : Configlang.Ast.config list;
+  anon_configs : Configlang.Ast.config list;
+  orig_snapshot : Routing.Simulate.snapshot;
+  anon_snapshot : Routing.Simulate.snapshot;
+  fake_edges : (string * string) list;
+  fake_hosts : (string * string) list;
+  fake_router_names : string list;
+  equiv_iterations : int;
+  equiv_filters : int;
+  anon_filters_added : int;
+  anon_filters_removed : int;
+}
+
+let ( let* ) = Result.bind
+
+let run ?(params = default_params) orig_configs =
+  if params.k_r < 1 || params.k_h < 1 then Error "workflow: k_r and k_h must be >= 1"
+  else
+    let rng = Rng.create params.seed in
+    (* Preprocess: the original topology and routes are the baseline. *)
+    let* orig_snapshot =
+      Result.map_error (fun m -> "workflow: original network: " ^ m)
+        (Routing.Simulate.run orig_configs)
+    in
+    (* §9 extension (optional): grow the router set first, so the k-degree
+       guarantee also covers the fake routers. The extended network keeps
+       the original data plane by construction, so it serves as the
+       baseline for the route-equivalence stage. *)
+    let* base_configs, base_snapshot, fake_router_names =
+      if params.fake_routers = 0 then Ok (orig_configs, orig_snapshot, [])
+      else
+        let* n =
+          Node_anon.add ~rng ~count:params.fake_routers ~orig:orig_snapshot
+            orig_configs
+        in
+        let* snap =
+          Result.map_error (fun m -> "workflow: extended network: " ^ m)
+            (Routing.Simulate.run n.configs)
+        in
+        Ok (n.configs, snap, n.fake_routers)
+    in
+    (* Step 1: topology anonymization. *)
+    let topo = Topo_anon.anonymize ~rng ~k:params.k_r ~orig:base_snapshot base_configs in
+    (* Step 2.1: route equivalence. *)
+    let* equiv =
+      Route_equiv.fix ~orig:base_snapshot ~fake_edges:topo.fake_edges topo.configs
+    in
+    (* Step 2.2: route anonymity. *)
+    let* anon =
+      Route_anon.anonymize ~rng ~k_h:params.k_h ~p:params.noise equiv.configs
+    in
+    (* Optional add-on: PII scrubbing. *)
+    let anon_configs =
+      if params.pii then Pii.Scrub.scrub ~key:(Pii.Pan.key_of_int params.seed) anon.configs
+      else anon.configs
+    in
+    let* anon_snapshot =
+      Result.map_error (fun m -> "workflow: anonymized network: " ^ m)
+        (Routing.Simulate.run anon_configs)
+    in
+    Ok
+      {
+        params;
+        orig_configs;
+        anon_configs;
+        orig_snapshot;
+        anon_snapshot;
+        fake_edges = topo.fake_edges;
+        fake_hosts = anon.fake_hosts;
+        fake_router_names;
+        equiv_iterations = equiv.iterations;
+        equiv_filters = equiv.filters_added;
+        anon_filters_added = anon.filters_added;
+        anon_filters_removed = anon.filters_removed;
+      }
+
+let run_exn ?params configs =
+  match run ?params configs with Ok r -> r | Error m -> failwith m
+
+let real_hosts r =
+  List.map fst (Smap.bindings r.orig_snapshot.net.hosts)
+
+let functional_equivalence r =
+  if r.params.pii then
+    (* Names and addresses were rewritten; equivalence is only meaningful
+       up to the renaming, which the PII test suite checks separately. *)
+    true
+  else begin
+    let topo_preserved =
+      let g0 = Routing.Device.router_graph r.orig_snapshot.net in
+      let g1 = Routing.Device.router_graph r.anon_snapshot.net in
+      List.for_all (fun n -> Netcore.Graph.mem_node n g1) (Netcore.Graph.nodes g0)
+      && List.for_all
+           (fun (u, v) -> Netcore.Graph.mem_edge u v g1)
+           (Netcore.Graph.edges g0)
+      && Smap.for_all (fun h _ -> Smap.mem h r.anon_snapshot.net.hosts)
+           r.orig_snapshot.net.hosts
+    in
+    topo_preserved
+    && Routing.Dataplane.equal_on ~hosts:(real_hosts r)
+         (Routing.Simulate.dataplane r.orig_snapshot)
+         (Routing.Simulate.dataplane r.anon_snapshot)
+  end
+
+let anon_texts r =
+  List.map
+    (fun (c : Configlang.Ast.config) -> (c.hostname, Configlang.Printer.to_string c))
+    r.anon_configs

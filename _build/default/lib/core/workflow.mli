@@ -1,0 +1,47 @@
+(** The end-to-end ConfMask workflow (Figure 3): preprocess (simulate the
+    original), anonymize the topology, fix route equivalence (Algorithm
+    1), anonymize routes (Algorithm 2), and optionally run the PII
+    scrubbing add-on. *)
+
+type params = {
+  k_r : int;  (** topology anonymity parameter (paper default 6) *)
+  k_h : int;  (** route anonymity parameter (paper default 2) *)
+  noise : float;  (** Algorithm 2 noise coefficient (paper default 0.1) *)
+  seed : int;  (** all randomness derives from this seed *)
+  pii : bool;  (** run the PII add-on as a final stage *)
+  fake_routers : int;
+      (** §9 extension: fake routers to add before topology anonymization
+          (IGP-only networks; 0 disables) *)
+}
+
+val default_params : params
+(** [k_r = 6; k_h = 2; noise = 0.1; seed = 42; pii = false;
+    fake_routers = 0] — the paper's default evaluation setting. *)
+
+type report = {
+  params : params;
+  orig_configs : Configlang.Ast.config list;
+  anon_configs : Configlang.Ast.config list;
+  orig_snapshot : Routing.Simulate.snapshot;
+  anon_snapshot : Routing.Simulate.snapshot;
+  fake_edges : (string * string) list;
+  fake_hosts : (string * string) list;  (** (fake, real) *)
+  fake_router_names : string list;  (** §9 extension; empty by default *)
+  equiv_iterations : int;
+  equiv_filters : int;
+  anon_filters_added : int;
+  anon_filters_removed : int;
+}
+
+val run : ?params:params -> Configlang.Ast.config list -> (report, string) result
+
+val run_exn : ?params:params -> Configlang.Ast.config list -> report
+
+val functional_equivalence : report -> bool
+(** Definition 3.3 restricted to real hosts: identical delivered path sets
+    for every ordered pair of original hosts, all original routers, hosts
+    and links still present. *)
+
+val real_hosts : report -> string list
+val anon_texts : report -> (string * string) list
+(** [(hostname, printed configuration)] for every anonymized device. *)

@@ -1,0 +1,1 @@
+lib/graphanon/degree_anon.mli:

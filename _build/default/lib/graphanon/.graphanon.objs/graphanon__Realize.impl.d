@@ -1,0 +1,1 @@
+lib/graphanon/realize.ml: Degree_anon Gmetrics Graph Hashtbl Int List Netcore Option Printf Rng String

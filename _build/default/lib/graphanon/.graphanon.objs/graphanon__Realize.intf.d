@@ -1,0 +1,1 @@
+lib/graphanon/realize.mli: Graph Netcore Rng

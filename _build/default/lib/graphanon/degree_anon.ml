@@ -1,0 +1,78 @@
+module Imap = Map.Make (Int)
+
+let is_k_anonymous ~k degrees =
+  let counts =
+    List.fold_left
+      (fun m d -> Imap.update d (function None -> Some 1 | Some n -> Some (n + 1)) m)
+      Imap.empty degrees
+  in
+  Imap.for_all (fun _ n -> n >= k) counts
+
+(* Dynamic program over the descending-sorted sequence: group cost of
+   positions i..j (inclusive) is the cost of raising every degree in the
+   group to the group's maximum (the first element, since sorted). Each
+   group must have >= k members; optimal substructure as in Liu-Terzi. *)
+let anonymize_sequence ~k degrees =
+  if k <= 0 then invalid_arg "Degree_anon.anonymize_sequence: k <= 0";
+  match degrees with
+  | [] -> []
+  | _ ->
+      let indexed =
+        List.mapi (fun i d -> (i, d)) degrees
+        |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+        |> Array.of_list
+      in
+      let n = Array.length indexed in
+      if n <= k then begin
+        (* One group: everyone gets the maximum degree. *)
+        let maxd = snd indexed.(0) in
+        let result = Array.make n 0 in
+        Array.iter (fun (i, _) -> result.(i) <- maxd) indexed;
+        Array.to_list result
+      end
+      else begin
+        let deg j = snd indexed.(j) in
+        (* prefix.(j) = sum of degrees of positions 0..j-1 *)
+        let prefix = Array.make (n + 1) 0 in
+        for j = 0 to n - 1 do
+          prefix.(j + 1) <- prefix.(j) + deg j
+        done;
+        let group_cost i j =
+          (* raise positions i..j to deg i *)
+          ((j - i + 1) * deg i) - (prefix.(j + 1) - prefix.(i))
+        in
+        (* dp.(j) = minimal cost to anonymize positions 0..j-1;
+           choice.(j) = start of the last group. *)
+        let dp = Array.make (n + 1) max_int in
+        let choice = Array.make (n + 1) 0 in
+        dp.(0) <- 0;
+        for j = 1 to n do
+          if j >= k then
+            for i = max 0 (j - (2 * k) + 1) to j - k do
+              if dp.(i) < max_int then begin
+                let c = dp.(i) + group_cost i (j - 1) in
+                if c < dp.(j) then begin
+                  dp.(j) <- c;
+                  choice.(j) <- i
+                end
+              end
+            done
+        done;
+        let result = Array.make n 0 in
+        let rec assign j =
+          if j > 0 then begin
+            let i = choice.(j) in
+            let target = deg i in
+            for pos = i to j - 1 do
+              let orig_index, _ = indexed.(pos) in
+              result.(orig_index) <- target
+            done;
+            assign i
+          end
+        in
+        assign n;
+        Array.to_list result
+      end
+
+let total_increase ~orig ~target =
+  List.fold_left2 (fun acc o t -> acc + (t - o)) 0 orig target

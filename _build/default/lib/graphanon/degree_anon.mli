@@ -1,0 +1,21 @@
+(** k-anonymization of degree sequences (Liu & Terzi, SIGMOD 2008).
+
+    Given a degree sequence, compute a k-anonymous target sequence that
+    only *increases* degrees — the variant ConfMask needs, because its
+    topology anonymization may only add links, never remove them (§4.2).
+    The dynamic program minimizes the total degree increase subject to
+    every degree value being shared by at least [k] nodes. *)
+
+val anonymize_sequence : k:int -> int list -> int list
+(** [anonymize_sequence ~k degrees] returns the target degree for each
+    input position (same order as the input). Every target is >= the
+    corresponding input degree, and the multiset of targets is
+    k-anonymous, provided the input has at least [k] elements; shorter
+    inputs collapse to a single group. Raises [Invalid_argument] if
+    [k <= 0]. *)
+
+val is_k_anonymous : k:int -> int list -> bool
+(** Whether every distinct value occurs at least [k] times (vacuously true
+    for the empty list). *)
+
+val total_increase : orig:int list -> target:int list -> int

@@ -1,0 +1,119 @@
+open Netcore
+
+let one_attempt ?(allowed = fun _ _ -> true) ~rng ~k g =
+  let n = Graph.num_nodes g in
+  let added = ref [] in
+  let add u v g =
+    added := (u, v) :: !added;
+    Graph.add_edge u v g
+  in
+  (* One matching pass: pair up deficient nodes greedily, largest
+     deficiency first, random choice among allowed non-adjacent partners. *)
+  let matching_pass ~respect_allowed g targets =
+    let deficiency = Hashtbl.create 16 in
+    List.iter
+      (fun (v, t) ->
+        let d = t - Graph.degree v g in
+        if d > 0 then Hashtbl.replace deficiency v d)
+      targets;
+    let get v = Option.value ~default:0 (Hashtbl.find_opt deficiency v) in
+    let dec v =
+      let d = get v - 1 in
+      if d <= 0 then Hashtbl.remove deficiency v else Hashtbl.replace deficiency v d
+    in
+    let rec loop g =
+      let deficient =
+        Hashtbl.fold (fun v d acc -> (v, d) :: acc) deficiency []
+        |> List.sort (fun (a, da) (b, db) ->
+               match Int.compare db da with 0 -> String.compare a b | c -> c)
+      in
+      match deficient with
+      | [] | [ _ ] -> g
+      | (v, _) :: rest ->
+          let candidates =
+            List.filter
+              (fun (u, _) ->
+                (not (Graph.mem_edge u v g))
+                && ((not respect_allowed) || allowed u v))
+              rest
+          in
+          if candidates = [] then begin
+            (* No partner for the hardest node: drop it for this pass. *)
+            Hashtbl.remove deficiency v;
+            loop g
+          end
+          else begin
+            let u, _ = Rng.pick rng candidates in
+            dec u;
+            dec v;
+            loop (add u v g)
+          end
+    in
+    loop g
+  in
+  (* Outer relaxation: recompute targets on current degrees until the
+     graph is k-anonymous. Degrees are monotonically non-decreasing and
+     bounded by n-1, so this terminates; the guard is belt and braces. *)
+  let rec outer g round =
+    if Gmetrics.is_k_degree_anonymous k g then g
+    else if round > 4 * n + 8 then g
+    else begin
+      let nodes = Graph.nodes g in
+      let degrees = List.map (fun v -> Graph.degree v g) nodes in
+      let targets = Degree_anon.anonymize_sequence ~k degrees in
+      let node_targets = List.combine nodes targets in
+      let g' = matching_pass ~respect_allowed:true g node_targets in
+      let g' =
+        if Gmetrics.is_k_degree_anonymous k g' then g'
+        else matching_pass ~respect_allowed:false g' node_targets
+      in
+      if Graph.num_edges g' = Graph.num_edges g then begin
+        (* Stuck: the remaining deficient nodes are pairwise adjacent.
+           Connect the most deficient node to any non-adjacent node to
+           shake the histogram, then retry. *)
+        let nodes = Graph.nodes g' in
+        let candidates =
+          List.concat_map
+            (fun u ->
+              List.filter_map
+                (fun v ->
+                  if String.compare u v < 0 && not (Graph.mem_edge u v g') then
+                    Some (u, v)
+                  else None)
+                nodes)
+            nodes
+        in
+        match candidates with
+        | [] -> g' (* complete graph: trivially anonymous *)
+        | _ ->
+            let u, v = Rng.pick rng candidates in
+            outer (add u v g') (round + 1)
+      end
+      else outer g' (round + 1)
+    end
+  in
+  let g' = outer g 0 in
+  (g', List.rev !added)
+
+let add_edges ?allowed ?(attempts = 3) ~rng ~k g =
+  let n = Graph.num_nodes g in
+  if n > 0 && k > n then
+    invalid_arg
+      (Printf.sprintf "Realize.add_edges: k = %d exceeds %d nodes" k n);
+  (* The greedy matching is randomized and its edge count varies; keep the
+     cheapest of a few attempts (the paper's utility metric counts every
+     injected line). *)
+  let rec best acc remaining =
+    if remaining = 0 then acc
+    else
+      let candidate = one_attempt ?allowed ~rng:(Rng.split rng) ~k g in
+      let acc =
+        match acc with
+        | Some (_, edges) when List.length edges <= List.length (snd candidate) -> acc
+        | _ -> Some candidate
+      in
+      best acc (remaining - 1)
+  in
+  match best None (max 1 attempts) with
+  | Some result -> result
+  | None -> (g, [])

@@ -1,0 +1,1 @@
+lib/netcore/gmetrics.ml: Graph Int List Map Pqueue Queue String

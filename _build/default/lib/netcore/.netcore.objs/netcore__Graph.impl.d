@@ -1,0 +1,1 @@
+lib/netcore/graph.ml: Format List Map Option Set String

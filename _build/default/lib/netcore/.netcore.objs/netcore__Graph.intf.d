@@ -1,0 +1,1 @@
+lib/netcore/graph.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/netcore/prefix.ml: Format Int Ipv4 List Map Printf Result Set String

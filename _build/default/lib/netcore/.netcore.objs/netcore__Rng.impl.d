@@ -1,0 +1,1 @@
+lib/netcore/rng.ml: Array Int64 List

@@ -1,0 +1,55 @@
+module Sset = Set.Make (String)
+module Smap = Map.Make (String)
+
+type t = Sset.t Smap.t
+
+let empty = Smap.empty
+
+let add_node v g =
+  if Smap.mem v g then g else Smap.add v Sset.empty g
+
+let add_half u v g =
+  Smap.update u
+    (function None -> Some (Sset.singleton v) | Some s -> Some (Sset.add v s))
+    g
+
+let add_edge u v g =
+  if String.equal u v then add_node u g
+  else add_half u v (add_half v u g)
+
+let remove_half u v g =
+  Smap.update u (Option.map (fun s -> Sset.remove v s)) g
+
+let remove_edge u v g = remove_half u v (remove_half v u g)
+let of_edges es = List.fold_left (fun g (u, v) -> add_edge u v g) empty es
+let mem_node v g = Smap.mem v g
+
+let neighbors v g =
+  match Smap.find_opt v g with Some s -> s | None -> Sset.empty
+
+let mem_edge u v g = Sset.mem v (neighbors u g)
+let nodes g = List.map fst (Smap.bindings g)
+let num_nodes g = Smap.cardinal g
+let degree v g = Sset.cardinal (neighbors v g)
+
+let num_edges g =
+  Smap.fold (fun _ s acc -> acc + Sset.cardinal s) g 0 / 2
+
+let edges g =
+  Smap.fold
+    (fun u s acc ->
+      Sset.fold (fun v acc -> if String.compare u v < 0 then (u, v) :: acc else acc) s acc)
+    g []
+  |> List.rev
+
+let fold_nodes f g acc = Smap.fold (fun v _ acc -> f v acc) g acc
+
+let union a b =
+  Smap.union (fun _ s1 s2 -> Some (Sset.union s1 s2)) a b
+
+let equal a b = Smap.equal Sset.equal a b
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph (%d nodes, %d edges)" (num_nodes g) (num_edges g);
+  List.iter (fun (u, v) -> Format.fprintf ppf "@,  %s -- %s" u v) (edges g);
+  Format.fprintf ppf "@]"

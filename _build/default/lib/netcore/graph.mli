@@ -1,0 +1,37 @@
+(** Undirected simple graphs over string-named nodes.
+
+    This is the topology substrate shared by the anonymizer, the NetHide
+    baseline, and the generators. Self-loops and parallel edges are
+    rejected silently ([add_edge] is idempotent), matching the "simple
+    graph" view of the topology in ConfMask §4.2. *)
+
+module Sset : Set.S with type elt = string
+module Smap : Map.S with type key = string
+
+type t
+
+val empty : t
+val add_node : string -> t -> t
+val add_edge : string -> string -> t -> t
+(** Adds both endpoints as nodes if absent. Adding a self-loop is a no-op. *)
+
+val remove_edge : string -> string -> t -> t
+val of_edges : (string * string) list -> t
+val mem_node : string -> t -> bool
+val mem_edge : string -> string -> t -> bool
+val nodes : t -> string list
+val num_nodes : t -> int
+val num_edges : t -> int
+
+val edges : t -> (string * string) list
+(** Each undirected edge appears once, with endpoints sorted. *)
+
+val neighbors : string -> t -> Sset.t
+(** Empty set for unknown nodes. *)
+
+val degree : string -> t -> int
+val fold_nodes : (string -> 'a -> 'a) -> t -> 'a -> 'a
+val union : t -> t -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

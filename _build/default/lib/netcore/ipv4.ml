@@ -1,0 +1,40 @@
+type t = int
+
+let mask32 = 0xFFFFFFFF
+let zero = 0
+let of_int n = n land mask32
+let to_int t = t
+
+let of_octets a b c d =
+  ((a land 0xFF) lsl 24)
+  lor ((b land 0xFF) lsl 16)
+  lor ((c land 0xFF) lsl 8)
+  lor (d land 0xFF)
+
+let to_octets t =
+  ((t lsr 24) land 0xFF, (t lsr 16) land 0xFF, (t lsr 8) land 0xFF, t land 0xFF)
+
+let of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> (
+      let octet x =
+        match int_of_string_opt (String.trim x) with
+        | Some n when n >= 0 && n <= 255 -> Some n
+        | Some _ | None -> None
+      in
+      match (octet a, octet b, octet c, octet d) with
+      | Some a, Some b, Some c, Some d -> Ok (of_octets a b c d)
+      | _ -> Error (Printf.sprintf "invalid IPv4 octet in %S" s))
+  | _ -> Error (Printf.sprintf "invalid IPv4 address %S" s)
+
+let of_string_exn s =
+  match of_string s with Ok t -> t | Error msg -> invalid_arg msg
+
+let to_string t =
+  let a, b, c, d = to_octets t in
+  Printf.sprintf "%d.%d.%d.%d" a b c d
+
+let add t n = (t + n) land mask32
+let compare = Int.compare
+let equal = Int.equal
+let pp ppf t = Format.pp_print_string ppf (to_string t)

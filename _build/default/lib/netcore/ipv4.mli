@@ -1,0 +1,35 @@
+(** IPv4 addresses.
+
+    Addresses are represented as integers in the range [0, 2^32 - 1]. All
+    conversion functions canonicalize their input, so two values denote the
+    same address exactly when they are structurally equal. *)
+
+type t = private int
+
+val zero : t
+
+val of_int : int -> t
+(** [of_int n] is the address with numeric value [n land 0xFFFFFFFF]. *)
+
+val to_int : t -> int
+
+val of_octets : int -> int -> int -> int -> t
+(** [of_octets a b c d] is the address [a.b.c.d]. Octets are masked to
+    [0, 255]. *)
+
+val to_octets : t -> int * int * int * int
+
+val of_string : string -> (t, string) result
+(** [of_string s] parses dotted-quad notation, e.g. ["10.0.1.2"]. *)
+
+val of_string_exn : string -> t
+(** Like {!of_string} but raises [Invalid_argument] on malformed input. *)
+
+val to_string : t -> string
+
+val add : t -> int -> t
+(** [add a n] is the address [n] above [a] (wrapping modulo 2^32). *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,21 @@
+type 'a t = Empty | Node of int * 'a * 'a t list
+
+let empty = Empty
+let is_empty t = t = Empty
+
+let merge a b =
+  match (a, b) with
+  | Empty, t | t, Empty -> t
+  | Node (ka, va, ca), Node (kb, vb, cb) ->
+      if ka <= kb then Node (ka, va, b :: ca) else Node (kb, vb, a :: cb)
+
+let insert k v t = merge (Node (k, v, [])) t
+
+let rec merge_pairs = function
+  | [] -> Empty
+  | [ t ] -> t
+  | a :: b :: rest -> merge (merge a b) (merge_pairs rest)
+
+let pop = function
+  | Empty -> None
+  | Node (k, v, children) -> Some (k, v, merge_pairs children)

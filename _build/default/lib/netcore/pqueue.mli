@@ -1,0 +1,11 @@
+(** Minimal purely-functional min-priority queue (pairing heap) with
+    integer priorities, shared by the shortest-path engines. *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+val insert : int -> 'a -> 'a t -> 'a t
+
+val pop : 'a t -> (int * 'a * 'a t) option
+(** Removes a minimum-priority element. *)

@@ -1,0 +1,92 @@
+type t = { network : Ipv4.t; len : int }
+
+let mask_of_len len = if len = 0 then 0 else 0xFFFFFFFF lsl (32 - len) land 0xFFFFFFFF
+
+let v addr len =
+  if len < 0 || len > 32 then
+    invalid_arg (Printf.sprintf "Prefix.v: bad length %d" len);
+  { network = Ipv4.of_int (Ipv4.to_int addr land mask_of_len len); len }
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> Result.map (fun a -> v a 32) (Ipv4.of_string s)
+  | Some i -> (
+      let addr = String.sub s 0 i in
+      let len = String.sub s (i + 1) (String.length s - i - 1) in
+      match (Ipv4.of_string addr, int_of_string_opt len) with
+      | Ok a, Some l when l >= 0 && l <= 32 -> Ok (v a l)
+      | Ok _, _ -> Error (Printf.sprintf "invalid prefix length in %S" s)
+      | (Error _ as e), _ -> e)
+
+let of_string_exn s =
+  match of_string s with Ok t -> t | Error msg -> invalid_arg msg
+
+let to_string t = Printf.sprintf "%s/%d" (Ipv4.to_string t.network) t.len
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let network t = t.network
+let length t = t.len
+let netmask t = Ipv4.of_int (mask_of_len t.len)
+let wildcard t = Ipv4.of_int (lnot (mask_of_len t.len) land 0xFFFFFFFF)
+let size t = 1 lsl (32 - t.len)
+
+let mem addr t =
+  Ipv4.to_int addr land mask_of_len t.len = Ipv4.to_int t.network
+
+let subset ~sub ~super = sub.len >= super.len && mem sub.network super
+
+let overlaps a b =
+  subset ~sub:a ~super:b || subset ~sub:b ~super:a
+
+let host t i = Ipv4.add t.network i
+
+let compare a b =
+  match Ipv4.compare a.network b.network with
+  | 0 -> Int.compare a.len b.len
+  | c -> c
+
+let equal a b = compare a b = 0
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+type alloc = {
+  base : t;
+  avoid : t list;
+  mutable cursor : int; (* offset in addresses from the base network *)
+  mutable used : t list;
+}
+
+let default_base = v (Ipv4.of_octets 100 64 0 0) 10
+
+let alloc_create ?(base = default_base) ~avoid () =
+  { base; avoid; cursor = 0; used = [] }
+
+let alloc_fresh a ~len =
+  if len < a.base.len then
+    failwith "Prefix.alloc_fresh: requested prefix larger than the pool";
+  let step = 1 lsl (32 - len) in
+  (* Align the cursor to the requested size. *)
+  let rec search offset =
+    if offset + step > size a.base then
+      failwith "Prefix.alloc_fresh: pool exhausted"
+    else
+      let candidate = v (Ipv4.add a.base.network offset) len in
+      let clash p = overlaps candidate p in
+      if List.exists clash a.avoid || List.exists clash a.used then
+        search (offset + step)
+      else begin
+        a.cursor <- offset + step;
+        a.used <- candidate :: a.used;
+        candidate
+      end
+  in
+  let aligned = (a.cursor + step - 1) / step * step in
+  search aligned
+
+let alloc_used a = a.used

@@ -1,0 +1,46 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* SplitMix64 (Steele, Lea, Flood 2014): a tiny, fast, statistically solid
+   generator whose whole state is one 64-bit word, making [copy]/[split]
+   trivial. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+let copy t = { state = t.state }
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = int64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Drop to 62 bits so the value fits OCaml's native int non-negatively. *)
+  let r = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  r mod bound
+
+let float t =
+  let bits53 = Int64.to_int (Int64.shift_right_logical (int64 t) 11) in
+  float_of_int bits53 /. 9007199254740992.0
+
+let bool t ~p = float t < p
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let shuffle t xs =
+  let arr = Array.of_list xs in
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr

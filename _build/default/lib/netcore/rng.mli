@@ -1,0 +1,31 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    All randomized stages of the anonymizer thread an explicit generator so
+    that every experiment in the paper reproduction is bit-reproducible.
+    The global [Stdlib.Random] state is never touched. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. Equal seeds yield equal streams. *)
+
+val copy : t -> t
+
+val split : t -> t
+(** An independent generator derived from (and advancing) [t]. *)
+
+val int64 : t -> int64
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Raises on [bound <= 0]. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> p:float -> bool
+(** [bool t ~p] is [true] with probability [p]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice. Raises [Invalid_argument] on the empty list. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Fisher-Yates shuffle. *)

@@ -1,0 +1,1 @@
+lib/netgen/emit.ml: Configlang Hashtbl Ipv4 List Netcore Netspec Option Prefix Printf String

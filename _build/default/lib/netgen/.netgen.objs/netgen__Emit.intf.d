@@ -1,0 +1,1 @@
+lib/netgen/emit.mli: Configlang Netspec

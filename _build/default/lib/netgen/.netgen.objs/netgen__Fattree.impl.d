@@ -1,0 +1,1 @@
+lib/netgen/fattree.ml: Fun List Netspec Printf

@@ -1,0 +1,1 @@
+lib/netgen/fattree.mli: Netspec

@@ -1,0 +1,1 @@
+lib/netgen/nets.ml: Emit Fattree List Netspec Smallnets String Wan

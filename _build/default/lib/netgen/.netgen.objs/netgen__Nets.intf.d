@@ -1,0 +1,1 @@
+lib/netgen/nets.mli: Configlang Netspec

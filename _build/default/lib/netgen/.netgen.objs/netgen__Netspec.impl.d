@@ -1,0 +1,1 @@
+lib/netgen/netspec.ml: List Netcore Printf Set String

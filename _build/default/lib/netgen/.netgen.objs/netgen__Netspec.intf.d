@@ -1,0 +1,1 @@
+lib/netgen/netspec.mli: Netcore

@@ -1,0 +1,1 @@
+lib/netgen/smallnets.ml: Array List Netspec Printf

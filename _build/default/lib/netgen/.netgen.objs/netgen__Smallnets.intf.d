@@ -1,0 +1,1 @@
+lib/netgen/smallnets.mli: Netspec

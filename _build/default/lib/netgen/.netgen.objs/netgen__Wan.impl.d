@@ -1,0 +1,1 @@
+lib/netgen/wan.ml: Array Float Hashtbl List Netcore Netspec Printf Rng

@@ -1,0 +1,1 @@
+lib/netgen/wan.mli: Netspec

@@ -1,0 +1,227 @@
+open Netcore
+module Ast = Configlang.Ast
+
+type iface_plan = {
+  p_name : string;
+  p_addr : Ipv4.t;
+  p_plen : int;
+  p_cost : int option;
+  p_desc : string;
+}
+
+let emit (spec : Netspec.t) =
+  let is_bgp = Netspec.is_bgp spec in
+  let inter_as u v =
+    is_bgp && Netspec.as_of spec u <> Netspec.as_of spec v
+  in
+  (* Address pools. Links are numbered in declaration order, hosts too,
+     so emission is deterministic. *)
+  let link_subnet i = Prefix.v (Ipv4.add (Ipv4.of_octets 10 0 0 0) (i * 4)) 30 in
+  let inter_subnet i = Prefix.v (Ipv4.add (Ipv4.of_octets 172 16 0 0) (i * 4)) 30 in
+  let host_subnet i = Prefix.v (Ipv4.add (Ipv4.of_octets 10 128 0 0) (i * 256)) 24 in
+  (* Plan interfaces per router. *)
+  let plans : (string, iface_plan list) Hashtbl.t = Hashtbl.create 64 in
+  let next_index = Hashtbl.create 64 in
+  let add_iface router addr plen cost desc =
+    let idx = Option.value ~default:0 (Hashtbl.find_opt next_index router) in
+    Hashtbl.replace next_index router (idx + 1);
+    let plan =
+      {
+        p_name = Printf.sprintf "Eth%d" idx;
+        p_addr = addr;
+        p_plen = plen;
+        p_cost = cost;
+        p_desc = desc;
+      }
+    in
+    Hashtbl.replace plans router
+      (Option.value ~default:[] (Hashtbl.find_opt plans router) @ [ plan ])
+  in
+  let intra_count = ref 0 and inter_count = ref 0 in
+  (* (u, v) -> u's address on the link, for eBGP neighbor statements. *)
+  let link_addr = Hashtbl.create 64 in
+  List.iter
+    (fun (u, v, cost) ->
+      let subnet =
+        if inter_as u v then begin
+          let s = inter_subnet !inter_count in
+          incr inter_count;
+          s
+        end
+        else begin
+          let s = link_subnet !intra_count in
+          incr intra_count;
+          s
+        end
+      in
+      let ua = Prefix.host subnet 1 and va = Prefix.host subnet 2 in
+      Hashtbl.replace link_addr (u, v) ua;
+      Hashtbl.replace link_addr (v, u) va;
+      let cost_opt = if cost = 10 then None else Some cost in
+      add_iface u ua 30 cost_opt ("to-" ^ v);
+      add_iface v va 30 cost_opt ("to-" ^ u))
+    spec.links;
+  (* Host subnets: router side .1, host side .10. *)
+  let host_plan = Hashtbl.create 64 in
+  List.iteri
+    (fun i (h, r) ->
+      let subnet = host_subnet i in
+      let gw = Prefix.host subnet 1 in
+      Hashtbl.replace host_plan h (subnet, gw);
+      add_iface r gw 24 None ("to-" ^ h))
+    spec.hosts;
+  let lowest_addr router =
+    match Hashtbl.find_opt plans router with
+    | Some (p :: ps) ->
+        List.fold_left
+          (fun acc q -> if Ipv4.compare q.p_addr acc < 0 then q.p_addr else acc)
+          p.p_addr ps
+    | Some [] | None ->
+        invalid_arg (Printf.sprintf "Emit.emit: router %s has no interfaces" router)
+  in
+  let igp_network = Prefix.of_string_exn "10.0.0.0/8" in
+  (* Management boilerplate comparable to real-world configurations (the
+     paper's networks average ~60 lines per device). CiscoLite carries
+     these verbatim; the PII add-on redacts the secrets. *)
+  let boilerplate r =
+    [
+      "service timestamps debug datetime msec";
+      "service timestamps log datetime msec";
+      "service password-encryption";
+      "enable secret 5 $1$mERr$hx5rVt7rPNoS4wqbXKX7m0";
+      "no ip domain lookup";
+      "ip cef";
+      "logging buffered 64000";
+      "logging host 10.255.0.9";
+      "ntp server 10.255.0.10";
+      "snmp-server community netops-" ^ r ^ " ro";
+      "snmp-server location row-12";
+      "snmp-server contact noc@example.net";
+      "aaa new-model";
+      "aaa authentication login default local";
+      "username admin privilege 15 password 7 0822455D0A16";
+      "clock timezone UTC 0 0";
+      "spanning-tree mode rapid-pvst";
+      "line con 0";
+      " exec-timeout 5 0";
+      " logging synchronous";
+      "line vty 0 4";
+      " exec-timeout 10 0";
+      " transport input ssh";
+      "banner motd ^C Authorized access only ^C";
+    ]
+  in
+  let router_config r =
+    let ifaces =
+      List.map
+        (fun p ->
+          let cost, delay =
+            match spec.igp with
+            | Netspec.Eigrp -> (None, p.p_cost)
+            | Netspec.Ospf | Netspec.Rip -> (p.p_cost, None)
+          in
+          {
+            (Ast.empty_interface p.p_name) with
+            Ast.if_address = Some (p.p_addr, p.p_plen);
+            if_cost = cost;
+            if_delay = delay;
+            if_description = Some p.p_desc;
+          })
+        (Option.value ~default:[] (Hashtbl.find_opt plans r))
+    in
+    let ospf, rip, eigrp =
+      match spec.igp with
+      | Netspec.Ospf ->
+          ( Some { (Ast.empty_ospf 1) with ospf_networks = [ (igp_network, 0) ] },
+            None, None )
+      | Netspec.Rip ->
+          (None, Some { Ast.empty_rip with rip_networks = [ igp_network ] }, None)
+      | Netspec.Eigrp ->
+          ( None, None,
+            Some { (Ast.empty_eigrp 64900) with Ast.eigrp_networks = [ igp_network ] } )
+    in
+    let bgp =
+      if not is_bgp then None
+      else
+        let my_as = Option.get (Netspec.as_of spec r) in
+        let networks =
+          List.filter_map
+            (fun (h, attach) ->
+              if String.equal attach r then
+                Option.map (fun (subnet, _) -> subnet) (Hashtbl.find_opt host_plan h)
+              else None)
+            spec.hosts
+        in
+        let ebgp_neighbors =
+          List.filter_map
+            (fun (u, v, _) ->
+              if String.equal u r && inter_as u v then
+                Some
+                  {
+                    Ast.nb_addr = Hashtbl.find link_addr (v, u);
+                    nb_remote_as = Option.get (Netspec.as_of spec v);
+                    nb_distribute_in = None;
+                    nb_route_map_in = None;
+                  }
+              else if String.equal v r && inter_as u v then
+                Some
+                  {
+                    Ast.nb_addr = Hashtbl.find link_addr (u, v);
+                    nb_remote_as = Option.get (Netspec.as_of spec u);
+                    nb_distribute_in = None;
+                    nb_route_map_in = None;
+                  }
+              else None)
+            spec.links
+        in
+        let ibgp_neighbors =
+          List.filter_map
+            (fun peer ->
+              if
+                (not (String.equal peer r))
+                && Netspec.as_of spec peer = Some my_as
+              then
+                Some
+                  {
+                    Ast.nb_addr = lowest_addr peer;
+                    nb_remote_as = my_as;
+                    nb_distribute_in = None;
+                    nb_route_map_in = None;
+                  }
+              else None)
+            spec.routers
+        in
+        Some
+          {
+            (Ast.empty_bgp my_as) with
+            Ast.bgp_networks = networks;
+            bgp_neighbors = ibgp_neighbors @ ebgp_neighbors;
+          }
+    in
+    {
+      (Ast.empty_config r) with
+      Ast.kind = Ast.Router;
+      interfaces = ifaces;
+      ospf;
+      rip;
+      eigrp;
+      bgp;
+      extra = boilerplate r;
+    }
+  in
+  let host_config h =
+    let subnet, gw = Hashtbl.find host_plan h in
+    {
+      (Ast.empty_config h) with
+      Ast.kind = Ast.Host;
+      interfaces =
+        [
+          {
+            (Ast.empty_interface "eth0") with
+            Ast.if_address = Some (Prefix.host subnet 10, 24);
+          };
+        ];
+      default_gateway = Some gw;
+    }
+  in
+  List.map router_config spec.routers @ List.map (fun (h, _) -> host_config h) spec.hosts

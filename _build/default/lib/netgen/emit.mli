@@ -1,0 +1,17 @@
+(** Configuration emitter: {!Netspec.t} -> CiscoLite configurations.
+
+    Addressing plan:
+    - intra-AS (and IGP-only) router links get /30 subnets from
+      10.0.0.0/12, covered by the IGP's [network 10.0.0.0 0.255.255.255];
+    - inter-AS links get /30 subnets from 172.16.0.0/16, deliberately
+      outside the IGP so only the eBGP sessions run over them;
+    - each host gets a /24 from 10.128.0.0/9 (also inside the IGP
+      statement), router-side address .1, host .10.
+
+    In BGP networks every router runs BGP: eBGP sessions on inter-AS
+    links, an iBGP full mesh per AS (sessions addressed to the peer's
+    lowest interface address), and each router originates the host
+    subnets attached to it with [network ... mask ...] statements. *)
+
+val emit : Netspec.t -> Configlang.Ast.config list
+(** Deterministic: equal specs yield equal configurations. *)

@@ -1,0 +1,46 @@
+let make ~pods ~core ~agg_per_pod ~edge_per_pod ~hosts_per_edge ~core_per_agg =
+  let cores = List.init core (Printf.sprintf "core%d") in
+  let aggs p = List.init agg_per_pod (fun j -> Printf.sprintf "agg%d-%d" p j) in
+  let edges p = List.init edge_per_pod (fun j -> Printf.sprintf "edge%d-%d" p j) in
+  let pod_ids = List.init pods Fun.id in
+  let routers =
+    cores @ List.concat_map (fun p -> aggs p @ edges p) pod_ids
+  in
+  let default_cost = 10 in
+  let links =
+    List.concat_map
+      (fun p ->
+        (* aggregation <-> edge: full bipartite within the pod *)
+        List.concat_map
+          (fun a -> List.map (fun e -> (a, e, default_cost)) (edges p))
+          (aggs p)
+        (* aggregation <-> core uplinks *)
+        @ List.concat
+            (List.mapi
+               (fun j a ->
+                 List.init core_per_agg (fun x ->
+                     let c = ((j * core_per_agg) + x) mod core in
+                     (List.nth cores c, a, default_cost)))
+               (aggs p)))
+      pod_ids
+  in
+  let hosts =
+    List.concat_map
+      (fun p ->
+        List.concat_map
+          (fun e ->
+            List.init hosts_per_edge (fun n -> (Printf.sprintf "h-%s-%d" e n, e)))
+          (edges p))
+      pod_ids
+  in
+  Netspec.v
+    ~name:(Printf.sprintf "fattree%02d" pods)
+    ~routers ~links ~hosts ()
+
+let fattree04 () =
+  make ~pods:4 ~core:4 ~agg_per_pod:2 ~edge_per_pod:2 ~hosts_per_edge:2
+    ~core_per_agg:2
+
+let fattree08 () =
+  make ~pods:8 ~core:8 ~agg_per_pod:4 ~edge_per_pod:4 ~hosts_per_edge:2
+    ~core_per_agg:4

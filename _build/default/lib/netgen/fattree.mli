@@ -1,0 +1,21 @@
+(** Generalized fat-tree generator (Table 2 networks G and H).
+
+    The parameters are factored so the generator reproduces the paper's
+    FatTree-04 (R = 20, H = 16, E = 48) and FatTree-08 (R = 72, H = 64,
+    E = 320) exactly; see DESIGN.md. All links have the default OSPF cost,
+    which yields the usual ECMP fan between pods. *)
+
+val make :
+  pods:int ->
+  core:int ->
+  agg_per_pod:int ->
+  edge_per_pod:int ->
+  hosts_per_edge:int ->
+  core_per_agg:int ->
+  Netspec.t
+(** Aggregation router [j] of every pod uplinks to cores
+    [(j * core_per_agg + x) mod core] for [x < core_per_agg]; every
+    aggregation router connects to every edge router of its pod. *)
+
+val fattree04 : unit -> Netspec.t
+val fattree08 : unit -> Netspec.t

@@ -1,0 +1,53 @@
+type entry = {
+  id : string;
+  label : string;
+  spec : Netspec.t;
+  network_type : string;
+}
+
+let all () =
+  [
+    { id = "A"; label = "Enterprise"; spec = Smallnets.enterprise (); network_type = "BGP+OSPF" };
+    { id = "B"; label = "University"; spec = Smallnets.university (); network_type = "BGP+OSPF" };
+    { id = "C"; label = "Backbone"; spec = Smallnets.backbone (); network_type = "BGP+OSPF" };
+    {
+      id = "D";
+      label = "Bics";
+      spec = Wan.waxman ~seed:20240804 ~name:"bics" ~routers:49 ~router_links:64 ~hosts:98;
+      network_type = "OSPF";
+    };
+    {
+      id = "E";
+      label = "Columbus";
+      spec =
+        Wan.waxman ~seed:20240805 ~name:"columbus" ~routers:86 ~router_links:101 ~hosts:68;
+      network_type = "OSPF";
+    };
+    {
+      id = "F";
+      label = "USCarrier";
+      spec =
+        Wan.waxman ~seed:20240806 ~name:"uscarrier" ~routers:161 ~router_links:320
+          ~hosts:58;
+      network_type = "OSPF";
+    };
+    { id = "G"; label = "FatTree04"; spec = Fattree.fattree04 (); network_type = "OSPF" };
+    { id = "H"; label = "FatTree08"; spec = Fattree.fattree08 (); network_type = "OSPF" };
+  ]
+
+let ccnp_entry () =
+  { id = "CCNP"; label = "CCNP"; spec = Smallnets.ccnp (); network_type = "BGP+OSPF" }
+
+let find key =
+  let k = String.lowercase_ascii key in
+  let matches e =
+    String.lowercase_ascii e.id = k || String.lowercase_ascii e.label = k
+  in
+  match List.find_opt matches (all () @ [ ccnp_entry () ]) with
+  | Some e -> e
+  | None -> raise Not_found
+
+let configs e = Emit.emit e.spec
+
+let small () =
+  [ find "A"; find "B"; find "C"; ccnp_entry (); find "G" ]

@@ -1,0 +1,19 @@
+(** The Table 2 evaluation catalog: networks A-H plus the CCNP lab. *)
+
+type entry = {
+  id : string;  (** "A" .. "H", or "CCNP" *)
+  label : string;  (** e.g. "Enterprise" *)
+  spec : Netspec.t;
+  network_type : string;  (** "BGP+OSPF" or "OSPF" *)
+}
+
+val all : unit -> entry list
+(** A-H in Table 2 order. Deterministic (fixed generator seeds). *)
+
+val find : string -> entry
+(** Lookup by [id] or by [label] (case-insensitive). Raises [Not_found]. *)
+
+val configs : entry -> Configlang.Ast.config list
+
+val small : unit -> entry list
+(** The subset cheap enough for quick tests: A, B, C, CCNP, G. *)

@@ -1,0 +1,48 @@
+type igp = Ospf | Rip | Eigrp
+
+type t = {
+  name : string;
+  routers : string list;
+  links : (string * string * int) list;
+  hosts : (string * string) list;
+  asn : (string * int) list;
+  igp : igp;
+}
+
+let v ?(asn = []) ?(igp = Ospf) ~name ~routers ~links ~hosts () =
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  let module Ss = Set.Make (String) in
+  let router_set = Ss.of_list routers in
+  if Ss.cardinal router_set <> List.length routers then
+    fail "%s: duplicate router names" name;
+  List.iter
+    (fun (u, v, _) ->
+      if not (Ss.mem u router_set && Ss.mem v router_set) then
+        fail "%s: link %s-%s references undeclared router" name u v;
+      if String.equal u v then fail "%s: self-link on %s" name u)
+    links;
+  let host_names = List.map fst hosts in
+  let host_set = Ss.of_list host_names in
+  if Ss.cardinal host_set <> List.length hosts then
+    fail "%s: duplicate host names" name;
+  List.iter
+    (fun (h, r) ->
+      if Ss.mem h router_set then fail "%s: host %s clashes with a router" name h;
+      if not (Ss.mem r router_set) then
+        fail "%s: host %s attached to undeclared router %s" name h r)
+    hosts;
+  if asn <> [] then
+    List.iter
+      (fun r ->
+        if not (List.mem_assoc r asn) then fail "%s: router %s has no AS" name r)
+      routers;
+  { name; routers; links; hosts; asn; igp }
+
+let router_graph t =
+  let g =
+    List.fold_left (fun g r -> Netcore.Graph.add_node r g) Netcore.Graph.empty t.routers
+  in
+  List.fold_left (fun g (u, v, _) -> Netcore.Graph.add_edge u v g) g t.links
+
+let as_of t r = List.assoc_opt r t.asn
+let is_bgp t = t.asn <> []

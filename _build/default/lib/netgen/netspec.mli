@@ -1,0 +1,35 @@
+(** Abstract network specifications, the input to the config emitter. *)
+
+type igp = Ospf | Rip | Eigrp
+
+type t = {
+  name : string;
+  routers : string list;
+  links : (string * string * int) list;
+      (** (router, router, IGP metric applied on both ends: OSPF cost or
+          EIGRP delay; ignored by RIP) *)
+  hosts : (string * string) list;  (** (host name, attached router) *)
+  asn : (string * int) list;
+      (** router -> AS number; empty for single-domain IGP networks *)
+  igp : igp;
+}
+
+val v :
+  ?asn:(string * int) list ->
+  ?igp:igp ->
+  name:string ->
+  routers:string list ->
+  links:(string * string * int) list ->
+  hosts:(string * string) list ->
+  unit ->
+  t
+(** Smart constructor; validates that link endpoints and host attachments
+    reference declared routers, that there are no duplicate names, and
+    that every router has an AS when [asn] is non-empty. Raises
+    [Invalid_argument] otherwise. *)
+
+val router_graph : t -> Netcore.Graph.t
+
+val as_of : t -> string -> int option
+
+val is_bgp : t -> bool

@@ -1,0 +1,120 @@
+let c = 10 (* default link cost *)
+
+let enterprise () =
+  let routers = [ "a1"; "a2"; "a3"; "a4"; "b1"; "b2"; "b3"; "c1"; "c2"; "c3" ] in
+  let asn =
+    [ ("a1", 100); ("a2", 100); ("a3", 100); ("a4", 100);
+      ("b1", 200); ("b2", 200); ("b3", 200);
+      ("c1", 300); ("c2", 300); ("c3", 300) ]
+  in
+  let links =
+    [
+      (* AS 100: square with a diagonal *)
+      ("a1", "a2", c); ("a2", "a3", 5); ("a3", "a4", c); ("a4", "a1", c); ("a1", "a3", c);
+      (* AS 200: triangle *)
+      ("b1", "b2", c); ("b2", "b3", c); ("b1", "b3", 5);
+      (* AS 300: triangle *)
+      ("c1", "c2", c); ("c2", "c3", c); ("c1", "c3", c);
+      (* inter-AS *)
+      ("a2", "b1", c); ("a3", "b2", c); ("a4", "c1", c); ("a1", "c3", c);
+      ("b3", "c2", c); ("b2", "c3", c); ("a1", "b3", c);
+    ]
+  in
+  let hosts =
+    [
+      ("ha1", "a2"); ("ha2", "a3"); ("ha3", "a4");
+      ("hb1", "b2"); ("hb2", "b3");
+      ("hc1", "c2"); ("hc2", "c3"); ("hc3", "c1");
+    ]
+  in
+  Netspec.v ~name:"enterprise" ~asn ~routers ~links ~hosts ()
+
+let university () =
+  let us = List.init 7 (fun i -> Printf.sprintf "u%d" (i + 1)) in
+  let vs = List.init 6 (fun i -> Printf.sprintf "v%d" (i + 1)) in
+  let routers = us @ vs in
+  let asn =
+    List.map (fun r -> (r, 65001)) us @ List.map (fun r -> (r, 65002)) vs
+  in
+  let ring names =
+    let arr = Array.of_list names in
+    let n = Array.length arr in
+    List.init n (fun i -> (arr.(i), arr.((i + 1) mod n), c))
+  in
+  let links =
+    ring us @ ring vs
+    @ [ ("u1", "v1", c); ("u4", "v4", c); ("u6", "v3", c); ("u3", "v5", c) ]
+  in
+  let hosts =
+    [
+      ("hu1", "u2"); ("hu2", "u3"); ("hu3", "u5"); ("hu4", "u7");
+      ("hv1", "v2"); ("hv2", "v4"); ("hv3", "v5"); ("hv4", "v6");
+    ]
+  in
+  Netspec.v ~name:"university" ~asn ~routers ~links ~hosts ()
+
+let backbone () =
+  let routers =
+    [ "w1"; "w2"; "w3"; "w4"; "w5"; "x1"; "x2"; "x3"; "y1"; "y2"; "y3" ]
+  in
+  let asn =
+    [ ("w1", 10); ("w2", 10); ("w3", 10); ("w4", 10); ("w5", 10);
+      ("x1", 20); ("x2", 20); ("x3", 20);
+      ("y1", 30); ("y2", 30); ("y3", 30) ]
+  in
+  let links =
+    [
+      ("w1", "w2", 5); ("w2", "w3", c); ("w3", "w4", c); ("w4", "w5", c); ("w5", "w1", c);
+      ("x1", "x2", c); ("x2", "x3", c);
+      ("y1", "y2", c); ("y2", "y3", c); ("y1", "y3", c);
+      ("w2", "x1", c); ("w4", "y1", c); ("x3", "y2", c);
+    ]
+  in
+  let hosts =
+    [
+      ("hw1", "w1"); ("hw2", "w2"); ("hw3", "w3");
+      ("hx1", "x1"); ("hx2", "x2"); ("hx3", "x3");
+      ("hy1", "y1"); ("hy2", "y2"); ("hy3", "y3");
+    ]
+  in
+  Netspec.v ~name:"backbone" ~asn ~routers ~links ~hosts ()
+
+let ccnp () =
+  let routers = [ "p1"; "p2"; "p3"; "p4"; "q1"; "q2"; "q3" ] in
+  let asn =
+    [ ("p1", 64512); ("p2", 64512); ("p3", 64512); ("p4", 64512);
+      ("q1", 64513); ("q2", 64513); ("q3", 64513) ]
+  in
+  let links =
+    [
+      ("p1", "p2", c); ("p2", "p3", c); ("p3", "p4", c); ("p4", "p1", c); ("p1", "p3", 5);
+      ("q1", "q2", c); ("q2", "q3", c); ("q1", "q3", c);
+      ("p2", "q1", c); ("p4", "q3", c);
+    ]
+  in
+  let hosts = [ ("hp1", "p1"); ("hp2", "p3"); ("hq1", "q2"); ("hq2", "q3") ] in
+  Netspec.v ~name:"ccnp" ~asn ~routers ~links ~hosts ()
+
+let rip_lab () =
+  let routers = List.init 6 (fun i -> Printf.sprintf "d%d" (i + 1)) in
+  let links =
+    [
+      ("d1", "d2", c); ("d2", "d3", c); ("d3", "d4", c); ("d4", "d5", c);
+      ("d5", "d6", c); ("d6", "d1", c); ("d2", "d5", c);
+    ]
+  in
+  let hosts = [ ("hd1", "d1"); ("hd2", "d3"); ("hd3", "d4"); ("hd4", "d6") ] in
+  Netspec.v ~name:"riplab" ~igp:Netspec.Rip ~routers ~links ~hosts ()
+
+let eigrp_lab () =
+  let routers = List.init 5 (fun i -> Printf.sprintf "e%d" (i + 1)) in
+  (* e1-e5 direct link has a huge delay, so e1 -> e5 prefers the
+     three-hop detour: a pure hop-count protocol would get this wrong. *)
+  let links =
+    [
+      ("e1", "e2", 10); ("e2", "e3", 10); ("e3", "e5", 10);
+      ("e1", "e5", 100); ("e2", "e4", 10); ("e4", "e5", 40);
+    ]
+  in
+  let hosts = [ ("he1", "e1"); ("he4", "e4"); ("he5", "e5") ] in
+  Netspec.v ~name:"eigrplab" ~igp:Netspec.Eigrp ~routers ~links ~hosts ()

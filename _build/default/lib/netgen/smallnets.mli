@@ -1,0 +1,27 @@
+(** Hand-built BGP+OSPF networks standing in for the paper's real-world
+    configurations (Table 2 networks A, B, C — enterprise, university,
+    backbone) plus the CCNP lab network of Appendix Table 3. The originals
+    are proprietary; these match their router/host/edge counts and their
+    multi-AS BGP+OSPF structure (see DESIGN.md substitutions). *)
+
+val enterprise : unit -> Netspec.t
+(** Net A: 10 routers in 3 ASes, 8 hosts, 18 router links. *)
+
+val university : unit -> Netspec.t
+(** Net B: 13 routers in 2 ASes, 8 hosts, 17 router links. *)
+
+val backbone : unit -> Netspec.t
+(** Net C: 11 routers in 3 ASes, 9 hosts, 13 router links. *)
+
+val ccnp : unit -> Netspec.t
+(** The CCNP-style lab network used in the Table 3 breakdown: 7 routers in
+    2 ASes, 4 hosts. *)
+
+val rip_lab : unit -> Netspec.t
+(** A RIP-only network (not in Table 2) exercising the distance-vector
+    code paths end to end: 6 routers, 4 hosts. *)
+
+val eigrp_lab : unit -> Netspec.t
+(** An EIGRP network (not in Table 2) with heterogeneous delays, so the
+    composite-metric path selection differs from plain hop count:
+    5 routers, 3 hosts. *)

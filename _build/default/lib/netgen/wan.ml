@@ -1,0 +1,55 @@
+open Netcore
+
+let waxman ~seed ~name ~routers:n ~router_links ~hosts:h =
+  let rng = Rng.create seed in
+  let router_name i = Printf.sprintf "%s-r%02d" name i in
+  let names = List.init n router_name in
+  let pos = Array.init n (fun _ -> (Rng.float rng, Rng.float rng)) in
+  let dist i j =
+    let xi, yi = pos.(i) and xj, yj = pos.(j) in
+    sqrt (((xi -. xj) ** 2.0) +. ((yi -. yj) ** 2.0))
+  in
+  (* Random spanning tree: attach each node to a random earlier node. *)
+  let tree =
+    List.init (n - 1) (fun i ->
+        let j = i + 1 in
+        (Rng.int rng j, j))
+  in
+  let have = Hashtbl.create (4 * n) in
+  List.iter
+    (fun (i, j) -> Hashtbl.replace have (min i j, max i j) ())
+    tree;
+  (* Waxman score for the remaining candidate pairs; jitter breaks ties. *)
+  let alpha = 0.9 and beta = 0.3 in
+  let l = sqrt 2.0 in
+  let candidates = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if not (Hashtbl.mem have (i, j)) then begin
+        let score =
+          alpha *. exp (-.dist i j /. (beta *. l)) *. (0.75 +. (0.5 *. Rng.float rng))
+        in
+        candidates := (score, (i, j)) :: !candidates
+      end
+    done
+  done;
+  let extra_needed = max 0 (router_links - (n - 1)) in
+  let extras =
+    List.sort (fun (a, _) (b, _) -> Float.compare b a) !candidates
+    |> List.filteri (fun idx _ -> idx < extra_needed)
+    |> List.map snd
+  in
+  let cost () =
+    (* Mostly default; occasionally cheaper or dearer links. *)
+    if Rng.bool rng ~p:0.1 then if Rng.bool rng ~p:0.5 then 5 else 20 else 10
+  in
+  let links =
+    List.map
+      (fun (i, j) -> (router_name i, router_name j, cost ()))
+      (tree @ extras)
+  in
+  let host_list =
+    List.init h (fun k ->
+        (Printf.sprintf "%s-h%02d" name k, router_name (k mod n)))
+  in
+  Netspec.v ~name ~routers:names ~links ~hosts:host_list ()

@@ -1,0 +1,21 @@
+(** Waxman-style synthetic WAN generator.
+
+    Stands in for the TopologyZoo networks (Bics, Columbus, USCarrier)
+    that the paper's evaluation scripts consume: the GraphML files are not
+    available in this offline environment, so we generate seeded random
+    geometric graphs with the same router/host/edge counts and a
+    comparable degree spread (see DESIGN.md substitutions). *)
+
+val waxman :
+  seed:int ->
+  name:string ->
+  routers:int ->
+  router_links:int ->
+  hosts:int ->
+  Netspec.t
+(** Routers are placed uniformly in the unit square; link probability
+    decays with distance (Waxman 1988). A random spanning tree guarantees
+    connectivity, then the highest-scoring candidate links top up the edge
+    count to [router_links]. Hosts are attached round-robin. A tenth of
+    the links get a non-default OSPF cost so that cost-aware code paths
+    are exercised. Deterministic in [seed]. *)

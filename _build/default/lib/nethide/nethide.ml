@@ -1,0 +1,116 @@
+open Netcore
+
+type params = { similarity_budget : float; candidates : int }
+
+let default_params = { similarity_budget = 0.5; candidates = 64 }
+
+(* BFS shortest path with lexicographic next-hop tie-breaking, so the
+   virtual topology answers queries deterministically. *)
+let forwarding_path g src dst =
+  if not (Graph.mem_node src g && Graph.mem_node dst g) then None
+  else if String.equal src dst then Some [ src ]
+  else begin
+    let dist = Gmetrics.bfs_distances g dst in
+    match Graph.Smap.find_opt src dist with
+    | None -> None
+    | Some _ ->
+        let rec walk v acc =
+          if String.equal v dst then List.rev (dst :: acc)
+          else
+            let dv = Graph.Smap.find v dist in
+            let next =
+              Graph.Sset.fold
+                (fun u best ->
+                  match Graph.Smap.find_opt u dist with
+                  | Some du when du = dv - 1 -> (
+                      match best with
+                      | Some b when String.compare b u <= 0 -> best
+                      | _ -> Some u)
+                  | Some _ | None -> best)
+                (Graph.neighbors v g) None
+            in
+            match next with
+            | Some u -> walk u (v :: acc)
+            | None -> List.rev (v :: acc) (* unreachable: cannot happen *)
+        in
+        Some (walk src [])
+  end
+
+let path_edges p =
+  let rec edges = function
+    | u :: (v :: _ as rest) ->
+        (if String.compare u v < 0 then (u, v) else (v, u)) :: edges rest
+    | [ _ ] | [] -> []
+  in
+  List.sort_uniq compare (edges p)
+
+let path_similarity a b =
+  let ea = path_edges a and eb = path_edges b in
+  let inter = List.length (List.filter (fun e -> List.mem e eb) ea) in
+  let union = List.length (List.sort_uniq compare (ea @ eb)) in
+  if union = 0 then 1.0 else float_of_int inter /. float_of_int union
+
+(* Security objective: the maximum number of flows crossing a single link
+   (the link a flooding attacker would target). Lower is better. *)
+let max_link_load g flows =
+  let load = Hashtbl.create 64 in
+  List.iter
+    (fun (s, d) ->
+      match forwarding_path g s d with
+      | Some p ->
+          List.iter
+            (fun e ->
+              Hashtbl.replace load e (1 + Option.value ~default:0 (Hashtbl.find_opt load e)))
+            (path_edges p)
+      | None -> ())
+    flows;
+  Hashtbl.fold (fun _ n acc -> max n acc) load 0
+
+let avg_similarity ~reference g flows =
+  let total, count =
+    List.fold_left
+      (fun (total, count) (s, d) ->
+        match (List.assoc_opt (s, d) reference, forwarding_path g s d) with
+        | Some p0, Some p -> (total +. path_similarity p0 p, count + 1)
+        | Some _, None -> (total, count + 1) (* disconnected: similarity 0 *)
+        | None, _ -> (total, count))
+      (0.0, 0) flows
+  in
+  if count = 0 then 1.0 else total /. float_of_int count
+
+let obfuscate ?(params = default_params) ~rng g ~flows =
+  let reference =
+    List.filter_map
+      (fun (s, d) ->
+        Option.map (fun p -> ((s, d), p)) (forwarding_path g s d))
+      flows
+  in
+  let nodes = Graph.nodes g in
+  let random_node () = Rng.pick rng nodes in
+  let propose current =
+    (* A perturbation: add a random absent link, or rewire — remove a
+       random present link (keeping connectivity) and add another. *)
+    let u = random_node () and v = random_node () in
+    if String.equal u v then current
+    else if not (Graph.mem_edge u v current) then Graph.add_edge u v current
+    else
+      let removed = Graph.remove_edge u v current in
+      if not (Gmetrics.connected removed) then current
+      else
+        let a = random_node () and b = random_node () in
+        if String.equal a b || Graph.mem_edge a b removed then current
+        else Graph.add_edge a b removed
+  in
+  let rec search current best_load remaining =
+    if remaining = 0 then current
+    else
+      let candidate = propose current in
+      if candidate == current then search current best_load (remaining - 1)
+      else
+        let load = max_link_load candidate flows in
+        let sim = avg_similarity ~reference candidate flows in
+        if load <= best_load && sim >= params.similarity_budget then
+          search candidate load (remaining - 1)
+        else search current best_load (remaining - 1)
+  in
+  search g (max_link_load g flows) params.candidates

@@ -1,0 +1,46 @@
+(** Simplified NetHide baseline (Meier et al., USENIX Security 2018).
+
+    NetHide obfuscates a network topology against link-flooding attacks:
+    it publishes a *virtual* topology [T'] whose per-flow forwarding trees
+    bound how much an attacker learns, while keeping the virtual paths
+    similar enough to the physical ones to stay usable. The original
+    solves an ILP; this reproduction uses the greedy link-perturbation
+    heuristic described in DESIGN.md — it keeps the node set, adds and
+    rewires links to flatten link utilization (the security objective)
+    subject to a path-similarity budget (the utility constraint), and
+    answers forwarding queries with deterministic shortest paths in [T'].
+
+    What the ConfMask comparison needs from the baseline (Figures 8-9) is
+    that NetHide does not preserve host-to-host paths exactly — which this
+    heuristic exhibits by construction whenever it accepts a
+    perturbation. *)
+
+open Netcore
+
+type params = {
+  similarity_budget : float;
+      (** minimum acceptable average path similarity in [0, 1] *)
+  candidates : int;  (** how many perturbations to try *)
+}
+
+val default_params : params
+
+val obfuscate :
+  ?params:params ->
+  rng:Rng.t ->
+  Graph.t ->
+  flows:(string * string) list ->
+  Graph.t
+(** [obfuscate ~rng g ~flows] returns the virtual topology. [flows] are
+    the (ingress, egress) router pairs whose forwarding paths matter for
+    the utility constraint. *)
+
+val forwarding_path : Graph.t -> string -> string -> string list option
+(** Deterministic shortest path in the (virtual) topology: BFS with
+    lexicographic tie-breaking, as published topologies answer traceroute
+    in NetHide. [None] when unreachable; the path includes both
+    endpoints. *)
+
+val path_similarity : string list -> string list -> float
+(** Jaccard similarity of the edge sets of two paths (1 when identical,
+    0 when disjoint). *)

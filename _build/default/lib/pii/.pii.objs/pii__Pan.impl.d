@@ -1,0 +1,1 @@
+lib/pii/pan.ml: Int64 Ipv4 Netcore Prefix Rng

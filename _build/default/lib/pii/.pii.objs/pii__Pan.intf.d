@@ -1,0 +1,1 @@
+lib/pii/pan.mli: Ipv4 Netcore Prefix

@@ -1,0 +1,1 @@
+lib/pii/scrub.ml: Ast Configlang Hashtbl List Option Pan Printf String

@@ -1,0 +1,1 @@
+lib/pii/scrub.mli: Ast Configlang Pan

@@ -1,0 +1,31 @@
+open Netcore
+
+type key = int64
+
+let key_of_int n =
+  (* Pre-mix so small consecutive integers give unrelated keys. *)
+  let r = Rng.create n in
+  Rng.int64 r
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xFF51AFD7ED558CCDL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L in
+  Int64.logxor z (Int64.shift_right_logical z 33)
+
+(* The canonical prefix-preserving construction: output bit i is input bit
+   i XOR f(key, input bits 0..i-1). Depending only on the preceding bits
+   makes the map a bijection and prefix-preserving. *)
+let addr key a =
+  let v = Ipv4.to_int a in
+  let out = ref 0 in
+  for i = 0 to 31 do
+    let bit = (v lsr (31 - i)) land 1 in
+    let prefix_bits = if i = 0 then 0 else v lsr (32 - i) in
+    let pad = Int64.add (Int64.of_int prefix_bits) (Int64.of_int (i lsl 40)) in
+    let flip = Int64.to_int (mix (Int64.logxor key pad)) land 1 in
+    out := (!out lsl 1) lor (bit lxor flip)
+  done;
+  Ipv4.of_int !out
+
+let prefix key p =
+  Prefix.v (addr key (Prefix.network p)) (Prefix.length p)

@@ -1,0 +1,23 @@
+(** Prefix-preserving IP address anonymization (Crypto-PAn style; Xu et
+    al., ICNP 2002).
+
+    Two addresses sharing a p-bit prefix map to addresses sharing exactly
+    a p-bit prefix, so subnet structure survives anonymization while the
+    actual address values do not. The bit-flip function is a keyed
+    SplitMix-based PRF rather than AES — the functional property ConfMask's
+    PII add-on needs is prefix preservation, not cryptographic strength
+    (see DESIGN.md substitutions). *)
+
+open Netcore
+
+type key
+
+val key_of_int : int -> key
+
+val addr : key -> Ipv4.t -> Ipv4.t
+(** Anonymize one address. Deterministic per key; a bijection on the
+    address space. *)
+
+val prefix : key -> Prefix.t -> Prefix.t
+(** Anonymize a prefix: the network bits are mapped with {!addr} and the
+    length kept, so [mem a p] implies [mem (addr k a) (prefix k p)]. *)

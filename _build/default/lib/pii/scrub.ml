@@ -1,0 +1,117 @@
+open Configlang
+open Ast
+
+let default_rename configs =
+  let routers, hosts =
+    List.partition (fun c -> c.kind = Router) configs
+  in
+  let sorted cs = List.sort compare (List.map (fun c -> c.hostname) cs) in
+  let table = Hashtbl.create 16 in
+  List.iteri
+    (fun i n -> Hashtbl.replace table n (Printf.sprintf "node%d" (i + 1)))
+    (sorted routers);
+  List.iteri
+    (fun i n -> Hashtbl.replace table n (Printf.sprintf "host%d" (i + 1)))
+    (sorted hosts);
+  fun name -> Option.value ~default:name (Hashtbl.find_opt table name)
+
+let sensitive_keywords = [ "password"; "secret"; "community"; "key" ]
+
+let redact_line line =
+  let words = String.split_on_char ' ' line in
+  let rec redact = function
+    | [] -> []
+    | w :: rest
+      when List.mem (String.lowercase_ascii w) sensitive_keywords && rest <> [] ->
+        w :: "<redacted>" :: redact (List.tl rest)
+    | w :: rest -> w :: redact rest
+  in
+  String.concat " " (redact words)
+
+let scrub ?rename ~key configs =
+  let rename =
+    match rename with Some f -> f | None -> default_rename configs
+  in
+  let addr = Pan.addr key in
+  let prefix = Pan.prefix key in
+  let scrub_iface i =
+    {
+      i with
+      if_address = Option.map (fun (a, len) -> (addr a, len)) i.if_address;
+      if_description = Option.map (fun _ -> "link") i.if_description;
+      if_extra = List.map redact_line i.if_extra;
+    }
+  in
+  let scrub_config c =
+    {
+      c with
+      hostname = rename c.hostname;
+      interfaces = List.map scrub_iface c.interfaces;
+      ospf =
+        Option.map
+          (fun o ->
+            {
+              o with
+              ospf_networks = List.map (fun (p, a) -> (prefix p, a)) o.ospf_networks;
+              ospf_extra = List.map redact_line o.ospf_extra;
+            })
+          c.ospf;
+      rip =
+        Option.map
+          (fun r ->
+            {
+              r with
+              rip_networks = List.map prefix r.rip_networks;
+              rip_extra = List.map redact_line r.rip_extra;
+            })
+          c.rip;
+      bgp =
+        Option.map
+          (fun b ->
+            {
+              b with
+              bgp_router_id = Option.map addr b.bgp_router_id;
+              bgp_networks = List.map prefix b.bgp_networks;
+              bgp_neighbors =
+                List.map (fun n -> { n with nb_addr = addr n.nb_addr }) b.bgp_neighbors;
+              bgp_extra = List.map redact_line b.bgp_extra;
+            })
+          c.bgp;
+      prefix_lists =
+        List.map
+          (fun pl ->
+            {
+              pl with
+              pl_rules =
+                List.map (fun r -> { r with rule_prefix = prefix r.rule_prefix }) pl.pl_rules;
+            })
+          c.prefix_lists;
+      acls =
+        List.map
+          (fun a ->
+            {
+              a with
+              acl_rules =
+                List.map
+                  (fun r ->
+                    {
+                      r with
+                      acl_src = Option.map prefix r.acl_src;
+                      acl_dst = Option.map prefix r.acl_dst;
+                    })
+                  a.acl_rules;
+            })
+          c.acls;
+      statics =
+        List.map
+          (fun st ->
+            {
+              Ast.st_prefix = prefix st.Ast.st_prefix;
+              st_next_hop = addr st.Ast.st_next_hop;
+            })
+          c.statics;
+      default_gateway = Option.map addr c.default_gateway;
+      extra = List.map redact_line c.extra;
+    }
+  in
+  List.map scrub_config configs

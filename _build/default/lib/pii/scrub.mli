@@ -1,0 +1,25 @@
+(** PII scrubbing add-on (the NetConan-style final stage of the ConfMask
+    workflow, Figure 3).
+
+    Rewrites every IP address and prefix in a set of configurations with
+    the prefix-preserving {!Pan} map, renames devices, blanks interface
+    descriptions, and redacts password-like tokens in verbatim lines.
+    Because {!Pan} is a global bijection, cross-references (BGP neighbor
+    addresses, default gateways, prefix-list entries) stay consistent, so
+    the scrubbed network still compiles and simulates to an isomorphic
+    data plane. *)
+
+open Configlang
+
+val default_rename : Ast.config list -> string -> string
+(** Routers become [node1..nodeN], hosts [host1..hostM], in sorted
+    hostname order; unknown names map to themselves. *)
+
+val redact_line : string -> string
+(** Replaces the token following [password], [secret], [community] or
+    [key] keywords with [<redacted>]. *)
+
+val scrub :
+  ?rename:(string -> string) -> key:Pan.key -> Ast.config list -> Ast.config list
+(** Full scrub. [rename] defaults to {!default_rename} applied to the
+    input. *)

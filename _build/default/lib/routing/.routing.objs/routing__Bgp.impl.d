@@ -1,0 +1,1 @@
+lib/routing/bgp.ml: Configlang Device Fib Hashtbl Ipv4 List Netcore Option Prefix String

@@ -1,0 +1,1 @@
+lib/routing/bgp.mli: Configlang Device Fib Netcore

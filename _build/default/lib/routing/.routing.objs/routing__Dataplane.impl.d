@@ -1,0 +1,1 @@
+lib/routing/dataplane.ml: Configlang Device Fib Hashtbl List Netcore Option String

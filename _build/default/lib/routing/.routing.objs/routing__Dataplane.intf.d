@@ -1,0 +1,1 @@
+lib/routing/dataplane.mli: Device Fib Hashtbl

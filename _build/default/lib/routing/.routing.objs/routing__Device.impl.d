@@ -1,0 +1,1 @@
+lib/routing/device.ml: Configlang Graph Hashtbl Int Ipv4 List Map Netcore Option Prefix Printf String

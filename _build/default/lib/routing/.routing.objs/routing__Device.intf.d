@@ -1,0 +1,1 @@
+lib/routing/device.mli: Configlang Graph Ipv4 Map Netcore Prefix

@@ -1,0 +1,1 @@
+lib/routing/dv.ml: Configlang Device Fib List Netcore Option Prefix String

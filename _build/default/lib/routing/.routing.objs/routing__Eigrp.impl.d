@@ -1,0 +1,1 @@
+lib/routing/eigrp.ml: Device Dv Fib

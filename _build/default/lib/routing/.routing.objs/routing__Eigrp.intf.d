@@ -1,0 +1,1 @@
+lib/routing/eigrp.mli: Device Fib

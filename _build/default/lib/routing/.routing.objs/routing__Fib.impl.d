@@ -1,0 +1,1 @@
+lib/routing/fib.ml: Format Int List Netcore Prefix String

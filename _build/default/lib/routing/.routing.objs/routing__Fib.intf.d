@@ -1,0 +1,1 @@
+lib/routing/fib.mli: Format Ipv4 Netcore Prefix

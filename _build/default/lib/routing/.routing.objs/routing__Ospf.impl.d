@@ -1,0 +1,1 @@
+lib/routing/ospf.ml: Device Fib List Netcore Option Pqueue Prefix

@@ -1,0 +1,1 @@
+lib/routing/rip.ml: Device Dv Fib

@@ -1,0 +1,1 @@
+lib/routing/simulate.ml: Bgp Configlang Dataplane Device Eigrp Fib List Netcore Option Ospf Rip

@@ -1,0 +1,1 @@
+lib/routing/simulate.mli: Configlang Dataplane Device Fib Netcore

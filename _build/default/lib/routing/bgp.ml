@@ -1,0 +1,291 @@
+open Netcore
+module Ast = Configlang.Ast
+module Smap = Device.Smap
+
+type session = {
+  s_from : string;
+  s_to : string;
+  s_via : Ipv4.t;
+  s_ebgp : bool;
+  s_filter : Ast.prefix_list option;
+  s_route_map : Ast.route_map option;
+}
+
+let default_local_pref = 100
+
+(* A candidate route as seen by one router. *)
+type broute = {
+  br_as_path : int list;
+  br_from : string;  (* advertising peer; self for locally originated *)
+  br_via : Ipv4.t option;  (* None for locally originated *)
+  br_ebgp : bool;  (* learned over an eBGP session *)
+  br_local_pref : int;  (* highest wins; carried unchanged over iBGP *)
+}
+
+let local_route =
+  {
+    br_as_path = [];
+    br_from = "";
+    br_via = None;
+    br_ebgp = false;
+    br_local_pref = default_local_pref;
+  }
+let is_local r = r.br_via = None
+
+let sessions (net : Device.network) =
+  let neighbor_entry (r : Device.router) ~peer_owned_by =
+    match r.r_bgp with
+    | None -> None
+    | Some bp ->
+        List.find_opt
+          (fun (n : Device.bgp_neighbor) ->
+            match Device.owner_of_addr net n.bn_addr with
+            | Some owner -> String.equal owner peer_owned_by
+            | None -> false)
+          bp.bp_neighbors
+  in
+  Smap.fold
+    (fun to_name (to_router : Device.router) acc ->
+      match to_router.r_bgp with
+      | None -> acc
+      | Some to_bp ->
+          List.fold_left
+            (fun acc (n : Device.bgp_neighbor) ->
+              match Device.owner_of_addr net n.bn_addr with
+              | None -> acc
+              | Some from_name -> (
+                  match Smap.find_opt from_name net.routers with
+                  | None -> acc
+                  | Some from_router -> (
+                      match from_router.r_bgp with
+                      | Some from_bp
+                        when from_bp.bp_as = n.bn_remote_as
+                             && neighbor_entry from_router ~peer_owned_by:to_name
+                                <> None ->
+                          {
+                            s_from = from_name;
+                            s_to = to_name;
+                            s_via = n.bn_addr;
+                            s_ebgp = from_bp.bp_as <> to_bp.bp_as;
+                            s_filter = n.bn_filter;
+                            s_route_map = n.bn_route_map;
+                          }
+                          :: acc
+                      | Some _ | None -> acc)))
+            acc to_bp.bp_neighbors)
+    net.routers []
+
+let filter_denies filter p =
+  match filter with
+  | None -> false
+  | Some pl -> (
+      match Ast.prefix_list_matches pl p with
+      | Some Ast.Permit -> false
+      | Some Ast.Deny | None -> true)
+
+(* Best-path order: highest local preference, then shortest AS path, then
+   locally-originated, then eBGP-learned, then lowest peer name for
+   determinism. *)
+let preference r =
+  ( -r.br_local_pref,
+    List.length r.br_as_path,
+    (if is_local r then 0 else 1),
+    (if r.br_ebgp then 0 else 1),
+    r.br_from )
+
+let better a b = compare (preference a) (preference b) < 0
+
+let compute (net : Device.network) ~igp_fibs =
+  let sess = sessions net in
+  let sessions_to =
+    List.fold_left
+      (fun acc s ->
+        Smap.update s.s_to
+          (function None -> Some [ s ] | Some l -> Some (s :: l))
+          acc)
+      Smap.empty sess
+  in
+  let asn_of name =
+    match Smap.find_opt name net.routers with
+    | Some r -> Device.as_of_router r
+    | None -> None
+  in
+  (* State: per router, per prefix, the current best route. *)
+  let best_of_candidates cands =
+    List.fold_left
+      (fun best c ->
+        match best with
+        | None -> Some c
+        | Some b -> if better c b then Some c else best)
+      None cands
+  in
+  let originated =
+    Smap.filter_map
+      (fun _ (r : Device.router) ->
+        match r.r_bgp with
+        | Some bp when bp.bp_networks <> [] ->
+            Some
+              (List.fold_left
+                 (fun m p -> Prefix.Map.add p local_route m)
+                 Prefix.Map.empty bp.bp_networks)
+        | Some _ | None -> None)
+      net.routers
+  in
+  let get state name =
+    Option.value ~default:Prefix.Map.empty (Smap.find_opt name state)
+  in
+  let step state =
+    (* Compute what each router would now select, given advertisements of
+       the current state along every session. *)
+    let next =
+      Smap.fold
+        (fun name (r : Device.router) acc ->
+          if r.r_bgp = None then acc
+          else
+            let own_as = Option.get (Device.as_of_router r) in
+            let local = get originated name in
+            let incoming = Option.value ~default:[] (Smap.find_opt name sessions_to) in
+            (* Gather candidates per prefix. *)
+            let candidates = Hashtbl.create 16 in
+            let add p c =
+              Hashtbl.replace candidates p
+                (c :: Option.value ~default:[] (Hashtbl.find_opt candidates p))
+            in
+            Prefix.Map.iter (fun p c -> add p c) local;
+            List.iter
+              (fun s ->
+                let sender_best = get state s.s_from in
+                Prefix.Map.iter
+                  (fun p (b : broute) ->
+                    let advertise =
+                      if s.s_ebgp then true
+                      else
+                        (* iBGP rule: only eBGP-learned or locally
+                           originated routes are re-advertised. *)
+                        is_local b || b.br_ebgp
+                    in
+                    if advertise then begin
+                      let as_path =
+                        if s.s_ebgp then
+                          match asn_of s.s_from with
+                          | Some sender_as -> sender_as :: b.br_as_path
+                          | None -> b.br_as_path
+                        else b.br_as_path
+                      in
+                      let looped = s.s_ebgp && List.mem own_as as_path in
+                      (* Inbound route-map: the first clause decides — deny
+                         rejects the route, permit may set local-pref.
+                         Attributes set at the AS edge are carried over
+                         iBGP unchanged. *)
+                      let policy =
+                        match s.s_route_map with
+                        | None -> Some b.br_local_pref
+                        | Some rm -> (
+                            match rm.Ast.rm_clauses with
+                            | { Ast.rm_action = Ast.Deny; _ } :: _ -> None
+                            | { Ast.rm_action = Ast.Permit; rm_set_local_pref; _ } :: _
+                              ->
+                                Some
+                                  (Option.value rm_set_local_pref
+                                     ~default:b.br_local_pref)
+                            | [] -> Some b.br_local_pref)
+                      in
+                      let local_pref =
+                        match policy with
+                        | Some lp when not s.s_ebgp ->
+                            (* iBGP carries the sender's attribute. *)
+                            ignore lp;
+                            Some b.br_local_pref
+                        | other -> other
+                      in
+                      match local_pref with
+                      | Some br_local_pref
+                        when (not looped) && not (filter_denies s.s_filter p) ->
+                          add p
+                            {
+                              br_as_path = as_path;
+                              br_from = s.s_from;
+                              br_via = Some s.s_via;
+                              br_ebgp = s.s_ebgp;
+                              br_local_pref;
+                            }
+                      | Some _ | None -> ()
+                    end)
+                  sender_best)
+              incoming;
+            let table =
+              Hashtbl.fold
+                (fun p cands table ->
+                  match best_of_candidates cands with
+                  | Some b -> Prefix.Map.add p b table
+                  | None -> table)
+                candidates Prefix.Map.empty
+            in
+            Smap.add name table acc)
+        net.routers Smap.empty
+    in
+    let equal =
+      Smap.equal
+        (Prefix.Map.equal (fun (a : broute) b -> a = b))
+        (Smap.filter (fun _ t -> not (Prefix.Map.is_empty t)) next)
+        (Smap.filter (fun _ t -> not (Prefix.Map.is_empty t)) state)
+    in
+    (next, equal)
+  in
+  let rec converge state round =
+    if round > 4 * Smap.cardinal net.routers + 16 then state
+    else
+      let next, equal = step state in
+      if equal then state else converge next (round + 1)
+  in
+  let final = converge originated 0 in
+  (* Turn the selected routes into FIB candidates, resolving iBGP next
+     hops through the IGP. *)
+  Smap.mapi
+    (fun name table ->
+      let router = Smap.find name net.routers in
+      (* Inbound IGP distribute-lists for [p] also prune the recursive
+         resolution of BGP next hops: a next hop installed through an
+         interface whose filter denies [p] is rejected. This is what makes
+         the route-equivalence filters able to steer iBGP traffic off fake
+         equal-cost IGP branches (ConfMask Algorithm 1). *)
+      let igp_filters = Device.igp_filters router in
+      let prune p nexthops =
+        List.filter
+          (fun (nh : Fib.nexthop) ->
+            not (Device.iface_filter_denies igp_filters nh.nh_iface p))
+          nexthops
+      in
+      Prefix.Map.fold
+        (fun p (b : broute) acc ->
+          match b.br_via with
+          | None -> acc (* locally originated: connected/IGP covers it *)
+          | Some via ->
+              let direct =
+                List.find_opt
+                  (fun i -> Prefix.mem via (Device.ifc_prefix i))
+                  router.r_ifaces
+              in
+              let nexthops =
+                match direct with
+                | Some i ->
+                    [ { Fib.nh_router = b.br_from; nh_iface = i.Device.ifc_name } ]
+                | None -> (
+                    match Smap.find_opt name igp_fibs with
+                    | None -> []
+                    | Some fib -> (
+                        match Fib.lookup fib via with
+                        | Some igp_route -> prune p igp_route.rt_nexthops
+                        | None -> []))
+              in
+              if nexthops = [] then acc
+              else
+                {
+                  Fib.rt_prefix = p;
+                  rt_proto = (if b.br_ebgp then Fib.Ebgp else Fib.Ibgp);
+                  rt_metric = List.length b.br_as_path;
+                  rt_nexthops = nexthops;
+                }
+                :: acc)
+        table [])
+    final

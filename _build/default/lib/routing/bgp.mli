@@ -1,0 +1,36 @@
+(** BGP (path-vector) route computation.
+
+    Model: eBGP sessions between directly-connected border routers of
+    different ASes, iBGP sessions (full mesh, configured explicitly)
+    inside each AS with next-hop-self. Best-path selection is shortest
+    AS path, then eBGP-over-iBGP, then lowest advertising-peer name —
+    deterministic, loop-free policies, so synchronous rounds reach a
+    fixpoint. Inbound per-neighbor distribute-lists filter received
+    prefixes, which is how ConfMask disables fake eBGP adjacencies while
+    keeping them plausible (§4.3, Listing 3).
+
+    The resulting routes carry next hops already resolved through the
+    per-AS IGP: an iBGP route toward a remote border router forwards along
+    the IGP shortest path, so hop-by-hop FIB walks reproduce the intra-AS
+    transit the paper's data plane contains. *)
+
+module Smap = Device.Smap
+
+type session = {
+  s_from : string;  (** advertising router *)
+  s_to : string;  (** receiving router *)
+  s_via : Netcore.Ipv4.t;  (** [s_from]'s address as configured on [s_to] *)
+  s_ebgp : bool;
+  s_filter : Configlang.Ast.prefix_list option;  (** receiver's inbound filter *)
+  s_route_map : Configlang.Ast.route_map option;
+      (** receiver's inbound policy (local-preference) *)
+}
+
+val sessions : Device.network -> session list
+(** Established directed sessions: both sides must have matching neighbor
+    statements with correct remote-as values. *)
+
+val compute :
+  Device.network -> igp_fibs:Fib.t Smap.t -> Fib.route list Smap.t
+(** BGP candidate routes per router. [igp_fibs] (connected + IGP routes,
+    already merged) resolve iBGP next hops. *)

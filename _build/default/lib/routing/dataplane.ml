@@ -1,0 +1,169 @@
+module Smap = Device.Smap
+module Sset = Netcore.Graph.Sset
+
+type path = string list
+
+type trace = {
+  delivered : path list;
+  dropped : path list;
+  filtered : path list;
+  looped : path list;
+  truncated : bool;
+}
+
+let max_paths_default = 4096
+
+let acl_permits acl ~src ~dst =
+  match acl with
+  | None -> true
+  | Some a -> Configlang.Ast.acl_permits a ~src ~dst
+
+let traceroute ?(max_paths = max_paths_default) (net : Device.network) fibs ~src
+    ~dst =
+  let src_host =
+    match Smap.find_opt src net.hosts with
+    | Some h -> h
+    | None -> invalid_arg ("Dataplane.traceroute: unknown host " ^ src)
+  in
+  let dst_host =
+    match Smap.find_opt dst net.hosts with
+    | Some h -> h
+    | None -> invalid_arg ("Dataplane.traceroute: unknown host " ^ dst)
+  in
+  let src_addr = src_host.h_addr and dst_addr = dst_host.h_addr in
+  let permits acl = acl_permits acl ~src:src_addr ~dst:dst_addr in
+  let dst_attachments =
+    Option.value ~default:[] (Smap.find_opt dst net.attachments)
+  in
+  let dst_routers = List.map fst dst_attachments in
+  let delivered = ref [] and dropped = ref [] and filtered = ref [] in
+  let looped = ref [] in
+  let count = ref 0 in
+  let truncated = ref false in
+  let find_iface router name =
+    match Smap.find_opt router net.routers with
+    | None -> None
+    | Some r ->
+        List.find_opt (fun i -> String.equal i.Device.ifc_name name) r.r_ifaces
+  in
+  (* The interface the packet enters [a.a_to] on, when [a.a_from] forwards
+     out of interface [out_name]. *)
+  let arrival_iface router out_name nh_router =
+    match Smap.find_opt router net.adjs with
+    | None -> None
+    | Some adjs ->
+        List.find_opt
+          (fun (a : Device.adj) ->
+            String.equal a.a_to nh_router
+            && String.equal a.a_out_iface.ifc_name out_name)
+          adjs
+        |> Option.map (fun (a : Device.adj) -> a.a_in_iface)
+  in
+  (* DFS over the ECMP branching; [rev] accumulates routers in reverse.
+     [arrival] is the interface the packet arrived on at [router]. *)
+  let rec walk router arrival visited rev =
+    if !count >= max_paths then truncated := true
+    else if
+      not
+        (permits (Option.bind arrival (fun i -> i.Device.ifc_acl_in)))
+    then filtered := (src :: List.rev (router :: rev)) :: !filtered
+    else if List.mem router dst_routers then begin
+      (* Delivery: the outbound filter of the host-facing interface. *)
+      let out_acl =
+        List.assoc_opt router dst_attachments
+        |> fun o -> Option.bind o (fun i -> i.Device.ifc_acl_out)
+      in
+      if permits out_acl then begin
+        incr count;
+        delivered := ((src :: List.rev (router :: rev)) @ [ dst ]) :: !delivered
+      end
+      else filtered := (src :: List.rev (router :: rev)) :: !filtered
+    end
+    else if Sset.mem router visited then
+      looped := (src :: List.rev (router :: rev)) :: !looped
+    else
+      let visited = Sset.add router visited in
+      let rev = router :: rev in
+      match Smap.find_opt router fibs with
+      | None -> dropped := (src :: List.rev rev) :: !dropped
+      | Some fib -> (
+          match Fib.lookup fib dst_addr with
+          | None -> dropped := (src :: List.rev rev) :: !dropped
+          | Some route when route.rt_nexthops = [] ->
+              (* Connected route but the destination host is not attached
+                 here: the address does not answer. *)
+              dropped := (src :: List.rev rev) :: !dropped
+          | Some route ->
+              List.iter
+                (fun (nh : Fib.nexthop) ->
+                  match find_iface router nh.nh_iface with
+                  | Some out_iface when not (permits out_iface.ifc_acl_out) ->
+                      filtered := (src :: List.rev rev) :: !filtered
+                  | out ->
+                      ignore out;
+                      walk nh.nh_router
+                        (arrival_iface router nh.nh_iface nh.nh_router)
+                        visited rev)
+                route.rt_nexthops)
+  in
+  if Netcore.Prefix.equal (Device.host_prefix src_host) (Device.host_prefix dst_host)
+  then
+    {
+      delivered = [ [ src; dst ] ];
+      dropped = [];
+      filtered = [];
+      looped = [];
+      truncated = false;
+    }
+  else begin
+    let start_attachments =
+      Option.value ~default:[] (Smap.find_opt src net.attachments)
+    in
+    List.iter
+      (fun (r, iface) -> walk r (Some iface) Sset.empty [])
+      (List.sort_uniq compare start_attachments);
+    {
+      delivered = List.sort_uniq compare !delivered;
+      dropped = List.sort_uniq compare !dropped;
+      filtered = List.sort_uniq compare !filtered;
+      looped = List.sort_uniq compare !looped;
+      truncated = !truncated;
+    }
+  end
+
+type t = (string * string, trace) Hashtbl.t
+
+let extract ?max_paths (net : Device.network) fibs =
+  let hosts = List.map fst (Smap.bindings net.hosts) in
+  let dp = Hashtbl.create (List.length hosts * List.length hosts) in
+  List.iter
+    (fun src ->
+      List.iter
+        (fun dst ->
+          if not (String.equal src dst) then
+            Hashtbl.replace dp (src, dst) (traceroute ?max_paths net fibs ~src ~dst))
+        hosts)
+    hosts;
+  dp
+
+let paths dp ~src ~dst =
+  match Hashtbl.find_opt dp (src, dst) with
+  | Some t -> t.delivered
+  | None -> []
+
+let all_delivered dp =
+  Hashtbl.fold
+    (fun key t acc -> if t.delivered = [] then acc else (key, t.delivered) :: acc)
+    dp []
+  |> List.sort compare
+
+let equal_on ~hosts a b =
+  List.for_all
+    (fun src ->
+      List.for_all
+        (fun dst ->
+          String.equal src dst
+          || List.equal (List.equal String.equal)
+               (paths a ~src ~dst) (paths b ~src ~dst))
+        hosts)
+    hosts

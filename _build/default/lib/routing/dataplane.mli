@@ -1,0 +1,51 @@
+(** Data-plane extraction: host-to-host paths by hop-by-hop FIB walks.
+
+    The data plane [DP] of ConfMask §3.1 is the collection of all
+    host-to-host routing paths. We enumerate them by walking the FIBs
+    (ECMP produces a branching DAG), enforcing interface packet filters
+    (access groups) at every hop, and reporting delivered paths plus any
+    dropped (no route), filtered (ACL deny — a black hole in the Appendix
+    B sense), or looping walks. *)
+
+module Smap = Device.Smap
+
+type path = string list
+(** [ [h_s; r_1; ...; r_n; h_d] ] *)
+
+type trace = {
+  delivered : path list;  (** sorted, deduplicated *)
+  dropped : path list;  (** partial walks ending where no route exists *)
+  filtered : path list;  (** partial walks stopped by an access list *)
+  looped : path list;  (** partial walks that revisited a router *)
+  truncated : bool;  (** enumeration hit the path cap *)
+}
+
+val max_paths_default : int
+
+val traceroute :
+  ?max_paths:int ->
+  Device.network ->
+  Fib.t Smap.t ->
+  src:string ->
+  dst:string ->
+  trace
+(** All forwarding paths from host [src] to host [dst], for packets with
+    the hosts' addresses. Raises [Invalid_argument] if either host is
+    unknown. *)
+
+type t = (string * string, trace) Hashtbl.t
+(** The full data plane, keyed by (source host, destination host). *)
+
+val extract : ?max_paths:int -> Device.network -> Fib.t Smap.t -> t
+(** Traces for every ordered pair of distinct hosts. *)
+
+val paths : t -> src:string -> dst:string -> path list
+
+val all_delivered : t -> ((string * string) * path list) list
+(** Pairs sorted lexicographically; only pairs with at least one path. *)
+
+val equal_on :
+  hosts:string list -> t -> t -> bool
+(** Whether two data planes have identical delivered path sets for every
+    ordered pair of the given hosts — the route-equivalence check of
+    Definition 3.3 restricted to real hosts. *)

@@ -1,0 +1,130 @@
+open Netcore
+module Smap = Device.Smap
+
+type protocol = {
+  proto : Fib.proto;
+  infinity : int;
+  enabled : Device.router -> Device.iface -> bool;
+  filters : Device.router -> (string * Configlang.Ast.prefix_list) list;
+  link_metric : Device.adj -> int;
+}
+
+type entry = { metric : int; nexthops : Fib.nexthop list }
+
+let all _ = true
+
+(* Adjacencies over which the protocol speaks: both interface ends enabled
+   and both routers in scope. *)
+let dv_adjs ~scope p (net : Device.network) =
+  Smap.filter_map
+    (fun name adjs ->
+      if not (scope name) then None
+      else
+        match Smap.find_opt name net.routers with
+        | None -> None
+        | Some r ->
+            Some
+              (List.filter
+                 (fun (a : Device.adj) ->
+                   scope a.a_to
+                   && p.enabled r a.a_out_iface
+                   &&
+                   match Smap.find_opt a.a_to net.routers with
+                   | Some peer -> p.enabled peer a.a_in_iface
+                   | None -> false)
+                 adjs))
+    net.adjs
+
+let compute ?(scope = all) p (net : Device.network) =
+  let adjs = dv_adjs ~scope p net in
+  (* tables : router -> prefix -> entry. Connected prefixes start at 0. *)
+  let init =
+    Smap.fold
+      (fun name (r : Device.router) acc ->
+        if not (scope name) then acc
+        else
+          let table =
+            List.fold_left
+              (fun t i ->
+                if p.enabled r i then
+                  Prefix.Map.add (Device.ifc_prefix i) { metric = 0; nexthops = [] } t
+                else t)
+              Prefix.Map.empty r.r_ifaces
+          in
+          if Prefix.Map.is_empty table then acc else Smap.add name table acc)
+      net.routers Smap.empty
+  in
+  let step tables =
+    let changed = ref false in
+    let tables' =
+      Smap.mapi
+        (fun name table ->
+          let router = Smap.find name net.routers in
+          let filters = p.filters router in
+          List.fold_left
+            (fun table (a : Device.adj) ->
+              let neighbor_table =
+                Option.value ~default:Prefix.Map.empty (Smap.find_opt a.a_to tables)
+              in
+              Prefix.Map.fold
+                (fun pfx (e : entry) table ->
+                  let metric = min (e.metric + p.link_metric a) p.infinity in
+                  if metric >= p.infinity then table
+                  else if
+                    Device.iface_filter_denies filters a.a_out_iface.ifc_name pfx
+                  then table
+                  else
+                    let nh =
+                      { Fib.nh_router = a.a_to; nh_iface = a.a_out_iface.ifc_name }
+                    in
+                    Prefix.Map.update pfx
+                      (function
+                        | None ->
+                            changed := true;
+                            Some { metric; nexthops = [ nh ] }
+                        | Some cur when metric < cur.metric ->
+                            changed := true;
+                            Some { metric; nexthops = [ nh ] }
+                        | Some cur
+                          when metric = cur.metric && cur.metric > 0
+                               && not (List.mem nh cur.nexthops) ->
+                            changed := true;
+                            Some { cur with nexthops = nh :: cur.nexthops }
+                        | Some cur -> Some cur)
+                      table)
+                neighbor_table table)
+            table
+            (Option.value ~default:[] (Smap.find_opt name adjs)))
+        tables
+    in
+    (tables', !changed)
+  in
+  (* The metric space is finite (bounded by infinity) and metrics only
+     decrease / next-hop sets only grow per (router, prefix), so the
+     fixpoint exists; the round guard is belt and braces. *)
+  let max_rounds = 4 * (Smap.cardinal net.routers + 16) in
+  let rec converge tables round =
+    if round > max_rounds then tables
+    else
+      let tables', changed = step tables in
+      if changed then converge tables' (round + 1) else tables'
+  in
+  let final = converge init 0 in
+  Smap.map
+    (fun table ->
+      Prefix.Map.fold
+        (fun pfx e acc ->
+          if e.metric = 0 then acc (* connected; covered by connected routes *)
+          else
+            {
+              Fib.rt_prefix = pfx;
+              rt_proto = p.proto;
+              rt_metric = e.metric;
+              rt_nexthops =
+                List.sort_uniq
+                  (fun (x : Fib.nexthop) y -> String.compare x.nh_router y.nh_router)
+                  e.nexthops;
+            }
+            :: acc)
+        table [])
+    final

@@ -1,0 +1,23 @@
+(** Generic distance-vector fixpoint, shared by RIP and EIGRP.
+
+    Synchronous Bellman-Ford to a fixpoint: each round every router offers
+    its table to its protocol neighbors; receivers add the link metric,
+    apply inbound distribute-lists, and keep equal-metric next hops
+    (ECMP). The fixpoint — not the convergence dynamics — is what the
+    anonymizer's functional-equivalence conditions are stated over, so
+    split horizon and triggered updates are deliberately not modeled. *)
+
+module Smap = Device.Smap
+
+type protocol = {
+  proto : Fib.proto;  (** tag for the produced routes *)
+  infinity : int;  (** metric treated as unreachable *)
+  enabled : Device.router -> Device.iface -> bool;
+  filters : Device.router -> (string * Configlang.Ast.prefix_list) list;
+  link_metric : Device.adj -> int;
+      (** added when importing over this adjacency (from the receiver's
+          point of view; [a_out_iface] is the receiver's interface) *)
+}
+
+val compute :
+  ?scope:(string -> bool) -> protocol -> Device.network -> Fib.route list Smap.t

@@ -1,0 +1,15 @@
+let infinity_metric = 1 lsl 40
+
+module Smap = Device.Smap
+
+let protocol =
+  {
+    Dv.proto = Fib.Eigrp;
+    infinity = infinity_metric;
+    enabled = Device.eigrp_enabled;
+    filters =
+      (fun r -> match r.Device.r_eigrp with Some ep -> ep.ep_filters | None -> []);
+    link_metric = (fun (a : Device.adj) -> a.a_out_iface.ifc_delay);
+  }
+
+let compute ?scope net = Dv.compute ?scope protocol net

@@ -1,0 +1,14 @@
+(** EIGRP route computation (the paper's second distance-vector family).
+
+    Simplified composite metric: the sum of the receiving interfaces'
+    [delay] values along the path (the bandwidth term of the real
+    composite is constant in CiscoLite and therefore omitted; see
+    DESIGN.md). Semantics otherwise identical to {!Rip} via the shared
+    {!Dv} engine; administrative distance 90 as on Cisco. *)
+
+module Smap = Device.Smap
+
+val infinity_metric : int
+
+val compute :
+  ?scope:(string -> bool) -> Device.network -> Fib.route list Smap.t

@@ -1,0 +1,89 @@
+open Netcore
+
+type proto = Connected | Static | Ospf | Rip | Eigrp | Ebgp | Ibgp
+
+let admin_distance = function
+  | Connected -> 0
+  | Static -> 1
+  | Ebgp -> 20
+  | Eigrp -> 90
+  | Ospf -> 110
+  | Rip -> 120
+  | Ibgp -> 200
+
+let proto_to_string = function
+  | Connected -> "connected"
+  | Static -> "static"
+  | Ospf -> "ospf"
+  | Rip -> "rip"
+  | Eigrp -> "eigrp"
+  | Ebgp -> "ebgp"
+  | Ibgp -> "ibgp"
+
+type nexthop = { nh_router : string; nh_iface : string }
+
+type route = {
+  rt_prefix : Prefix.t;
+  rt_proto : proto;
+  rt_metric : int;
+  rt_nexthops : nexthop list;
+}
+
+type t = route Prefix.Map.t
+
+let empty = Prefix.Map.empty
+
+let merge_nexthops a b =
+  List.sort_uniq
+    (fun x y ->
+      match String.compare x.nh_router y.nh_router with
+      | 0 -> String.compare x.nh_iface y.nh_iface
+      | c -> c)
+    (a @ b)
+
+let better a b =
+  (* Lower administrative distance wins; within a protocol, lower metric. *)
+  match Int.compare (admin_distance a.rt_proto) (admin_distance b.rt_proto) with
+  | 0 -> Int.compare a.rt_metric b.rt_metric
+  | c -> c
+
+let add_candidate r t =
+  Prefix.Map.update r.rt_prefix
+    (function
+      | None -> Some r
+      | Some existing -> (
+          match better r existing with
+          | c when c < 0 -> Some r
+          | 0 ->
+              Some
+                { existing with rt_nexthops = merge_nexthops existing.rt_nexthops r.rt_nexthops }
+          | _ -> Some existing))
+    t
+
+let find t p = Prefix.Map.find_opt p t
+
+let lookup t addr =
+  Prefix.Map.fold
+    (fun p r best ->
+      if Prefix.mem addr p then
+        match best with
+        | Some b when Prefix.length b.rt_prefix >= Prefix.length p -> best
+        | _ -> Some r
+      else best)
+    t None
+
+let routes t = List.map snd (Prefix.Map.bindings t)
+
+let nexthop_names r =
+  List.sort_uniq String.compare (List.map (fun nh -> nh.nh_router) r.rt_nexthops)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%s [%s/%d] via %s@,"
+        (Prefix.to_string r.rt_prefix)
+        (proto_to_string r.rt_proto) r.rt_metric
+        (String.concat ", " (nexthop_names r)))
+    (routes t);
+  Format.fprintf ppf "@]"

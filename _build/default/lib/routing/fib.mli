@@ -1,0 +1,50 @@
+(** Forwarding information base.
+
+    One FIB per router, mapping destination prefixes to next-hop sets.
+    Routes from different protocols compete by administrative distance,
+    then by metric; equal-cost routes of the winning protocol merge their
+    next hops (ECMP). *)
+
+open Netcore
+
+type proto = Connected | Static | Ospf | Rip | Eigrp | Ebgp | Ibgp
+
+val admin_distance : proto -> int
+(** Cisco defaults: connected 0, static 1, eBGP 20, EIGRP 90, OSPF 110, RIP 120, iBGP 200. *)
+
+val proto_to_string : proto -> string
+
+type nexthop = {
+  nh_router : string;  (** adjacent router the packet is forwarded to *)
+  nh_iface : string;  (** outgoing interface name on this router *)
+}
+
+type route = {
+  rt_prefix : Prefix.t;
+  rt_proto : proto;
+  rt_metric : int;
+  rt_nexthops : nexthop list;
+      (** empty for connected routes: deliver locally *)
+}
+
+type t
+
+val empty : t
+
+val add_candidate : route -> t -> t
+(** Inserts a candidate route, resolving conflicts for the same prefix by
+    administrative distance and metric; exact ties merge next hops. *)
+
+val find : t -> Prefix.t -> route option
+(** Exact-prefix lookup. *)
+
+val lookup : t -> Ipv4.t -> route option
+(** Longest-prefix-match lookup. *)
+
+val routes : t -> route list
+(** All routes, sorted by prefix. *)
+
+val nexthop_names : route -> string list
+(** Sorted, deduplicated next-hop router names. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,154 @@
+open Netcore
+module Smap = Device.Smap
+
+let all _ = true
+
+(* Directed adjacencies usable by OSPF: both interface ends enabled and
+   both routers in scope. *)
+let ospf_adjs ?(scope = all) (net : Device.network) =
+  Smap.filter_map
+    (fun name adjs ->
+      if not (scope name) then None
+      else
+        match Smap.find_opt name net.routers with
+        | None -> None
+        | Some r when r.Device.r_ospf = None -> None
+        | Some r ->
+            Some
+              (List.filter
+                 (fun (a : Device.adj) ->
+                   scope a.a_to
+                   && Device.ospf_enabled r a.a_out_iface
+                   &&
+                   match Smap.find_opt a.a_to net.routers with
+                   | Some peer -> Device.ospf_enabled peer a.a_in_iface
+                   | None -> false)
+                 adjs))
+    net.adjs
+
+(* Incoming adjacencies indexed by head node, for the reverse Dijkstra. *)
+let reverse_index adjs =
+  Smap.fold
+    (fun _ outs acc ->
+      List.fold_left
+        (fun acc (a : Device.adj) ->
+          Smap.update a.a_to
+            (function None -> Some [ a ] | Some l -> Some (a :: l))
+            acc)
+        acc outs)
+    adjs Smap.empty
+
+(* Multi-source Dijkstra toward a destination: [seeds] are (router, cost)
+   pairs; the result maps each router to its distance to the destination. *)
+let distances_to ~rev seeds =
+  let rec loop dist pq =
+    match Pqueue.pop pq with
+    | None -> dist
+    | Some (d, v, pq) ->
+        if Smap.mem v dist then loop dist pq
+        else
+          let dist = Smap.add v d dist in
+          let pq =
+            List.fold_left
+              (fun pq (a : Device.adj) ->
+                if Smap.mem a.a_from dist then pq
+                else Pqueue.insert (d + a.a_out_iface.ifc_cost) a.a_from pq)
+              pq
+              (Option.value ~default:[] (Smap.find_opt v rev))
+          in
+          loop dist pq
+  in
+  let pq =
+    List.fold_left (fun pq (r, c) -> Pqueue.insert c r pq) Pqueue.empty seeds
+  in
+  loop Smap.empty pq
+
+let advertised_prefixes ?(scope = all) (net : Device.network) =
+  Smap.fold
+    (fun name (r : Device.router) acc ->
+      if not (scope name) then acc
+      else
+        List.fold_left
+          (fun acc i ->
+            if Device.ospf_enabled r i then
+              let p = Device.ifc_prefix i in
+              Prefix.Map.update p
+                (function
+                  | None -> Some [ (name, i.Device.ifc_cost) ]
+                  | Some l -> Some ((name, i.Device.ifc_cost) :: l))
+                acc
+            else acc)
+          acc r.r_ifaces)
+    net.routers Prefix.Map.empty
+
+let compute ?(scope = all) (net : Device.network) =
+  let adjs = ospf_adjs ~scope net in
+  let rev = reverse_index adjs in
+  let prefixes = advertised_prefixes ~scope net in
+  Prefix.Map.fold
+    (fun p seeds acc ->
+      let dist = distances_to ~rev seeds in
+      let connected = List.map fst seeds in
+      Smap.fold
+        (fun r dr acc ->
+          if List.mem r connected then acc
+          else
+            let router = Smap.find r net.routers in
+            let filters =
+              match router.Device.r_ospf with
+              | Some o -> o.op_filters
+              | None -> []
+            in
+            let nexthops =
+              List.filter_map
+                (fun (a : Device.adj) ->
+                  match Smap.find_opt a.a_to dist with
+                  | Some dn when a.a_out_iface.ifc_cost + dn = dr ->
+                      if Device.iface_filter_denies filters a.a_out_iface.ifc_name p
+                      then None
+                      else
+                        Some
+                          {
+                            Fib.nh_router = a.a_to;
+                            nh_iface = a.a_out_iface.ifc_name;
+                          }
+                  | Some _ | None -> None)
+                (Option.value ~default:[] (Smap.find_opt r adjs))
+            in
+            if nexthops = [] then acc
+            else
+              let route =
+                {
+                  Fib.rt_prefix = p;
+                  rt_proto = Fib.Ospf;
+                  rt_metric = dr;
+                  rt_nexthops = nexthops;
+                }
+              in
+              Smap.update r
+                (function None -> Some [ route ] | Some l -> Some (route :: l))
+                acc)
+        dist acc)
+    prefixes Smap.empty
+
+let min_cost ?(scope = all) (net : Device.network) u =
+  (* Distance from [u] to each router v: Dijkstra on forward adjacencies. *)
+  let adjs = ospf_adjs ~scope net in
+  let rec loop dist pq =
+    match Pqueue.pop pq with
+    | None -> dist
+    | Some (d, v, pq) ->
+        if Smap.mem v dist then loop dist pq
+        else
+          let dist = Smap.add v d dist in
+          let pq =
+            List.fold_left
+              (fun pq (a : Device.adj) ->
+                if Smap.mem a.a_to dist then pq
+                else Pqueue.insert (d + a.a_out_iface.ifc_cost) a.a_to pq)
+              pq
+              (Option.value ~default:[] (Smap.find_opt v adjs))
+          in
+          loop dist pq
+  in
+  loop Smap.empty (Pqueue.insert 0 u Pqueue.empty)

@@ -1,0 +1,24 @@
+(** OSPF (link-state) route computation.
+
+    Single-area model: every router in scope that runs an OSPF process and
+    has OSPF-enabled interfaces participates in one shortest-path domain.
+    For each advertised prefix we run a multi-source Dijkstra seeded at the
+    advertising routers (at their stub costs) over the reversed adjacency,
+    then derive ECMP next hops from the distance field. Inbound
+    distribute-lists suppress the *installation* of a next hop without
+    affecting the SPF computation — exactly the Cisco semantics ConfMask's
+    route-equivalence filters rely on (§5.2). *)
+
+module Smap = Device.Smap
+
+val compute :
+  ?scope:(string -> bool) -> Device.network -> Fib.route list Smap.t
+(** OSPF candidate routes per router. [scope] restricts the domain (used
+    to run one OSPF instance per AS in BGP networks); it defaults to all
+    routers. *)
+
+val min_cost :
+  ?scope:(string -> bool) -> Device.network -> string -> int Smap.t
+(** [min_cost net u] is the OSPF shortest-path distance from router [u] to
+    every other reachable router in the domain — the [min_cost(u, v)] of
+    the link-state SFE conditions (§5.1). *)

@@ -1,0 +1,15 @@
+let infinity_metric = 16
+
+module Smap = Device.Smap
+
+let protocol =
+  {
+    Dv.proto = Fib.Rip;
+    infinity = infinity_metric;
+    enabled = Device.rip_enabled;
+    filters =
+      (fun r -> match r.Device.r_rip with Some rp -> rp.rp_filters | None -> []);
+    link_metric = (fun _ -> 1);
+  }
+
+let compute ?scope net = Dv.compute ?scope protocol net

@@ -1,0 +1,16 @@
+(** RIP (distance-vector) route computation.
+
+    Synchronous Bellman-Ford to a fixpoint: each round every router offers
+    its table to its RIP neighbors; receivers add one hop, apply inbound
+    distribute-lists, and keep equal-metric next hops (ECMP). Metric 16 is
+    infinity. The fixpoint — not the convergence dynamics — is what the
+    anonymizer's functional-equivalence conditions are stated over, so
+    split horizon and triggered updates are deliberately not modeled. *)
+
+module Smap = Device.Smap
+
+val infinity_metric : int
+
+val compute :
+  ?scope:(string -> bool) -> Device.network -> Fib.route list Smap.t
+(** RIP candidate routes per router; [scope] as in {!Ospf.compute}. *)

@@ -1,0 +1,136 @@
+(* merged candidate routes per protocol *)
+module Smap = Device.Smap
+
+type snapshot = {
+  net : Device.network;
+  fibs : Fib.t Smap.t;
+}
+
+(* A static route is usable when its next hop lies on one of the router's
+   connected subnets; the adjacency identifies the neighbor device. *)
+let static_routes (net : Device.network) (r : Device.router) =
+  List.filter_map
+    (fun (st : Configlang.Ast.static_route) ->
+      let via =
+        List.find_opt
+          (fun i -> Netcore.Prefix.mem st.st_next_hop (Device.ifc_prefix i))
+          r.r_ifaces
+      in
+      match via with
+      | None -> None
+      | Some i ->
+          Option.map
+            (fun owner ->
+              {
+                Fib.rt_prefix = st.st_prefix;
+                rt_proto = Fib.Static;
+                rt_metric = 0;
+                rt_nexthops = [ { Fib.nh_router = owner; nh_iface = i.ifc_name } ];
+              })
+            (Device.owner_of_addr net st.st_next_hop))
+    r.r_statics
+
+let connected_routes (r : Device.router) =
+  List.map
+    (fun i ->
+      {
+        Fib.rt_prefix = Device.ifc_prefix i;
+        rt_proto = Fib.Connected;
+        rt_metric = 0;
+        rt_nexthops = [];
+      })
+    r.r_ifaces
+
+let as_groups (net : Device.network) =
+  Smap.fold
+    (fun name r acc ->
+      match Device.as_of_router r with
+      | Some asn ->
+          let members = Option.value ~default:[] (List.assoc_opt asn acc) in
+          (asn, name :: members) :: List.remove_assoc asn acc
+      | None -> acc)
+    net.routers []
+
+let run_net (net : Device.network) =
+  let has_bgp =
+    Smap.exists (fun _ (r : Device.router) -> r.r_bgp <> None) net.routers
+  in
+  let igp_candidates =
+    if has_bgp then
+      (* One IGP domain per AS; BGP-less routers form a residual domain. *)
+      let groups = as_groups net in
+      let member_as name =
+        List.find_opt (fun (_, members) -> List.mem name members) groups
+        |> Option.map fst
+      in
+      let domains =
+        List.map (fun (asn, _) -> fun name -> member_as name = Some asn) groups
+        @ [ (fun name -> member_as name = None) ]
+      in
+      List.fold_left
+        (fun acc scope ->
+          let merge computed =
+            Smap.union (fun _ a b -> Some (a @ b)) acc computed
+          in
+          merge (Ospf.compute ~scope net)
+          |> fun acc' ->
+          Smap.union (fun _ a b -> Some (a @ b)) acc' (Rip.compute ~scope net)
+          |> fun acc'' ->
+          Smap.union (fun _ a b -> Some (a @ b)) acc'' (Eigrp.compute ~scope net))
+        Smap.empty domains
+    else
+      Smap.union
+        (fun _ a b -> Some (a @ b))
+        (Smap.union (fun _ a b -> Some (a @ b)) (Ospf.compute net) (Rip.compute net))
+        (Eigrp.compute net)
+  in
+  let base_fibs =
+    Smap.mapi
+      (fun name (r : Device.router) ->
+        let candidates =
+          connected_routes r @ static_routes net r
+          @ Option.value ~default:[] (Smap.find_opt name igp_candidates)
+        in
+        List.fold_left (fun fib c -> Fib.add_candidate c fib) Fib.empty candidates)
+      net.routers
+  in
+  if not has_bgp then base_fibs
+  else
+    let bgp_candidates = Bgp.compute net ~igp_fibs:base_fibs in
+    Smap.mapi
+      (fun name fib ->
+        List.fold_left
+          (fun fib c -> Fib.add_candidate c fib)
+          fib
+          (Option.value ~default:[] (Smap.find_opt name bgp_candidates)))
+      base_fibs
+
+let run configs =
+  match Device.compile configs with
+  | Error _ as e -> e
+  | Ok net -> Ok { net; fibs = run_net net }
+
+let run_exn configs =
+  match run configs with Ok s -> s | Error m -> failwith m
+
+let dataplane ?max_paths s = Dataplane.extract ?max_paths s.net s.fibs
+
+let host_prefixes (net : Device.network) =
+  Smap.fold
+    (fun name h acc -> (Device.host_prefix h, name) :: acc)
+    net.hosts []
+  |> List.sort compare
+
+let host_routes s =
+  let hps = host_prefixes s.net in
+  Smap.fold
+    (fun rname fib acc ->
+      List.fold_left
+        (fun acc (hp, _) ->
+          match Fib.find fib hp with
+          | Some route when route.rt_nexthops <> [] ->
+              (rname, hp, Fib.nexthop_names route) :: acc
+          | Some _ | None -> acc)
+        acc hps)
+    s.fibs []
+  |> List.sort compare

@@ -1,0 +1,29 @@
+(** End-to-end control-plane simulation (the Batfish substitute).
+
+    Compiles configurations, runs the protocol engines — one IGP domain
+    per AS when BGP is present, a single domain otherwise — merges
+    candidate routes into per-router FIBs by administrative distance, and
+    exposes the data plane. *)
+
+module Smap = Device.Smap
+
+type snapshot = {
+  net : Device.network;
+  fibs : Fib.t Smap.t;
+}
+
+val run : Configlang.Ast.config list -> (snapshot, string) result
+val run_exn : Configlang.Ast.config list -> snapshot
+
+val run_net : Device.network -> Fib.t Smap.t
+(** Protocol computation only, for callers that already compiled. *)
+
+val dataplane : ?max_paths:int -> snapshot -> Dataplane.t
+
+val host_routes : snapshot -> (string * Netcore.Prefix.t * string list) list
+(** Flattened FIB view [(router, host prefix, sorted next-hop routers)],
+    restricted to destinations that are host subnets — the
+    [⟨r, h_d, nxt⟩ ∈ DP] triples iterated by Algorithm 1. *)
+
+val host_prefixes : Device.network -> (Netcore.Prefix.t * string) list
+(** [(subnet, host name)] for every host. *)

@@ -1,0 +1,1 @@
+test/test_anonlibs.ml: Alcotest Configlang Gmetrics Graph Graphanon Hashtbl Ipv4 List Netcore Netgen Nethide Pii Printf QCheck2 QCheck_alcotest Rng Routing Spec String

@@ -1,0 +1,1 @@
+test/test_anonlibs.mli:

@@ -1,0 +1,1 @@
+test/test_configlang.ml: Alcotest Ast Configlang Count Ipv4 List Masks Netcore Option Parser Prefix Printer Printf QCheck2 QCheck_alcotest String Vendor

@@ -1,0 +1,1 @@
+test/test_junos.ml: Alcotest Ast Configlang Confmask Junos List Netcore Netgen Option Parser Printer Printf QCheck2 QCheck_alcotest String

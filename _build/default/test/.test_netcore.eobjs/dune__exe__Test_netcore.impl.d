@@ -1,0 +1,1 @@
+test/test_netcore.ml: Alcotest Float Fun Gmetrics Graph Int Ipv4 List Netcore Prefix QCheck2 QCheck_alcotest Rng

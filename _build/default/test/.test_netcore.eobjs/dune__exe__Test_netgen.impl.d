@@ -1,0 +1,1 @@
+test/test_netgen.ml: Alcotest Configlang Emit Hashtbl List Netcore Netgen Nets Netspec Printf Routing Smallnets

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Configlang Confmask Dataplane Device List Netgen Option Printf QCheck2 QCheck_alcotest Routing Simulate String

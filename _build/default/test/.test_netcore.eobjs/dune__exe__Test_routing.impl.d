@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Bgp Configlang Confmask Dataplane Device Fib Hashtbl Ipv4 List Netcore Netgen Option Ospf Prefix Printf QCheck2 QCheck_alcotest Routing Simulate String

@@ -1,0 +1,418 @@
+(* Tests for the anonymization substrates: k-degree graph anonymization,
+   the NetHide baseline, the Config2Spec miner, and the PII add-on. *)
+
+open Netcore
+
+let check = Alcotest.check
+
+(* -------------------- Degree_anon -------------------- *)
+
+let test_degree_anon_basic () =
+  let degrees = [ 5; 5; 3; 3; 2; 1 ] in
+  let targets = Graphanon.Degree_anon.anonymize_sequence ~k:2 degrees in
+  check Alcotest.bool "k-anonymous" true (Graphanon.Degree_anon.is_k_anonymous ~k:2 targets);
+  List.iter2
+    (fun o t -> if t < o then Alcotest.failf "target %d below original %d" t o)
+    degrees targets
+
+let test_degree_anon_small_input () =
+  let targets = Graphanon.Degree_anon.anonymize_sequence ~k:5 [ 4; 2; 1 ] in
+  check Alcotest.(list int) "single group at max" [ 4; 4; 4 ] targets
+
+let test_degree_anon_already_anonymous () =
+  let degrees = [ 3; 3; 3; 2; 2; 2 ] in
+  let targets = Graphanon.Degree_anon.anonymize_sequence ~k:3 degrees in
+  check Alcotest.(list int) "unchanged" degrees targets;
+  check Alcotest.int "zero cost" 0 (Graphanon.Degree_anon.total_increase ~orig:degrees ~target:targets)
+
+let test_degree_anon_order_preserved () =
+  (* Results map back to input positions, not sorted order. *)
+  let degrees = [ 1; 9; 2; 8 ] in
+  let targets = Graphanon.Degree_anon.anonymize_sequence ~k:2 degrees in
+  check Alcotest.int "length" 4 (List.length targets);
+  List.iter2
+    (fun o t -> if t < o then Alcotest.failf "increase-only violated (%d -> %d)" o t)
+    degrees targets;
+  check Alcotest.bool "anonymous" true (Graphanon.Degree_anon.is_k_anonymous ~k:2 targets)
+
+let prop_degree_anon =
+  QCheck2.Test.make ~name:"degree anonymization: k-anonymous and increase-only"
+    ~count:300
+    QCheck2.Gen.(pair (int_range 1 6) (list_size (int_range 1 40) (int_bound 20)))
+    (fun (k, degrees) ->
+      let targets = Graphanon.Degree_anon.anonymize_sequence ~k degrees in
+      List.length targets = List.length degrees
+      && List.for_all2 (fun o t -> t >= o) degrees targets
+      && (List.length degrees < k || Graphanon.Degree_anon.is_k_anonymous ~k targets))
+
+(* -------------------- Realize -------------------- *)
+
+let star n =
+  (* One hub, n spokes: worst case degree spread. *)
+  Graph.of_edges (List.init n (fun i -> ("hub", Printf.sprintf "s%d" i)))
+
+let test_realize_star () =
+  let g = star 8 in
+  let rng = Rng.create 11 in
+  let g', added = Graphanon.Realize.add_edges ~rng ~k:4 g in
+  check Alcotest.bool "k-anonymous" true (Gmetrics.is_k_degree_anonymous 4 g');
+  check Alcotest.bool "edges added" true (added <> []);
+  (* Supergraph: all original edges intact. *)
+  List.iter
+    (fun (u, v) ->
+      if not (Graph.mem_edge u v g') then Alcotest.failf "edge %s-%s removed" u v)
+    (Graph.edges g)
+
+let test_realize_respects_allowed_when_possible () =
+  (* Two cliques of 4; allowed = same clique. Degrees are already uniform,
+     so nothing should be added. *)
+  let clique tag =
+    let names = List.init 4 (fun i -> Printf.sprintf "%s%d" tag i) in
+    List.concat_map
+      (fun u -> List.filter_map (fun v -> if u < v then Some (u, v) else None) names)
+      names
+  in
+  let g = Graph.of_edges (clique "a" @ clique "b") in
+  let rng = Rng.create 3 in
+  let _, added = Graphanon.Realize.add_edges ~rng ~k:4 g in
+  check Alcotest.(list (pair string string)) "nothing to add" [] added
+
+let test_realize_k_exceeds_nodes () =
+  Alcotest.check_raises "invalid k"
+    (Invalid_argument "Realize.add_edges: k = 9 exceeds 3 nodes") (fun () ->
+      ignore
+        (Graphanon.Realize.add_edges ~rng:(Rng.create 1) ~k:9
+           (Graph.of_edges [ ("a", "b"); ("b", "c") ])))
+
+let prop_realize =
+  QCheck2.Test.make ~name:"realize: k-anonymous supergraph" ~count:60
+    QCheck2.Gen.(
+      pair (int_range 2 4)
+        (list_size (int_range 4 30) (pair (int_bound 12) (int_bound 12))))
+    (fun (k, pairs) ->
+      let edges =
+        List.filter_map
+          (fun (a, b) ->
+            if a = b then None else Some (string_of_int a, string_of_int b))
+          pairs
+      in
+      QCheck2.assume (edges <> []);
+      let g = Graph.of_edges edges in
+      QCheck2.assume (Graph.num_nodes g >= k);
+      let g', _ = Graphanon.Realize.add_edges ~rng:(Rng.create 5) ~k g in
+      Gmetrics.is_k_degree_anonymous k g'
+      && List.for_all (fun (u, v) -> Graph.mem_edge u v g') (Graph.edges g))
+
+(* -------------------- NetHide -------------------- *)
+
+let grid =
+  (* 3x3 grid *)
+  let name i j = Printf.sprintf "n%d%d" i j in
+  let edges = ref [] in
+  for i = 0 to 2 do
+    for j = 0 to 2 do
+      if i < 2 then edges := (name i j, name (i + 1) j) :: !edges;
+      if j < 2 then edges := (name i j, name i (j + 1)) :: !edges
+    done
+  done;
+  Graph.of_edges !edges
+
+let all_pairs g =
+  let nodes = Graph.nodes g in
+  List.concat_map
+    (fun u -> List.filter_map (fun v -> if u < v then Some (u, v) else None) nodes)
+    nodes
+
+let test_forwarding_path () =
+  match Nethide.forwarding_path grid "n00" "n22" with
+  | Some p ->
+      check Alcotest.int "shortest length" 5 (List.length p);
+      check Alcotest.string "starts" "n00" (List.hd p);
+      check Alcotest.string "ends" "n22" (List.nth p 4)
+  | None -> Alcotest.fail "expected a path"
+
+let test_forwarding_deterministic () =
+  let a = Nethide.forwarding_path grid "n00" "n22" in
+  let b = Nethide.forwarding_path grid "n00" "n22" in
+  check Alcotest.bool "deterministic" true (a = b)
+
+let test_forwarding_unreachable () =
+  let g = Graph.add_node "lonely" grid in
+  check Alcotest.bool "unreachable" true
+    (Nethide.forwarding_path g "n00" "lonely" = None)
+
+let test_path_similarity () =
+  check (Alcotest.float 1e-9) "identical" 1.0
+    (Nethide.path_similarity [ "a"; "b"; "c" ] [ "a"; "b"; "c" ]);
+  check (Alcotest.float 1e-9) "disjoint" 0.0
+    (Nethide.path_similarity [ "a"; "b" ] [ "c"; "d" ]);
+  let s = Nethide.path_similarity [ "a"; "b"; "c" ] [ "a"; "b"; "d" ] in
+  check Alcotest.bool "partial in (0,1)" true (s > 0.0 && s < 1.0)
+
+let test_obfuscate_changes_topology () =
+  let rng = Rng.create 9 in
+  let flows = all_pairs grid in
+  let g' = Nethide.obfuscate ~rng grid ~flows in
+  check Alcotest.bool "node set preserved" true
+    (List.sort compare (Graph.nodes g') = List.sort compare (Graph.nodes grid));
+  check Alcotest.bool "connected" true (Gmetrics.connected g');
+  check Alcotest.bool "topology perturbed" true
+    (not (Graph.equal g' grid))
+
+let test_obfuscate_respects_budget () =
+  let rng = Rng.create 9 in
+  let flows = all_pairs grid in
+  let params = { Nethide.default_params with similarity_budget = 0.6 } in
+  let g' = Nethide.obfuscate ~params ~rng grid ~flows in
+  let sims =
+    List.filter_map
+      (fun (s, d) ->
+        match (Nethide.forwarding_path grid s d, Nethide.forwarding_path g' s d) with
+        | Some p0, Some p1 -> Some (Nethide.path_similarity p0 p1)
+        | _ -> Some 0.0)
+      flows
+  in
+  let avg = List.fold_left ( +. ) 0.0 sims /. float_of_int (List.length sims) in
+  check Alcotest.bool (Printf.sprintf "similarity %.2f >= 0.6" avg) true (avg >= 0.6)
+
+(* -------------------- Spec -------------------- *)
+
+let paths_fixture =
+  [
+    (("h1", "h2"), [ [ "h1"; "r1"; "r2"; "h2" ] ]);
+    (("h1", "h3"), [ [ "h1"; "r1"; "r2"; "h3" ]; [ "h1"; "r1"; "r3"; "h3" ] ]);
+    (("h2", "h1"), [ [ "h2"; "r2"; "r1"; "h1" ] ]);
+  ]
+
+let test_spec_mining () =
+  let specs = Spec.mine_paths paths_fixture in
+  let has p = List.mem p specs in
+  check Alcotest.bool "reach" true (has (Spec.Reachability ("h1", "h2")));
+  check Alcotest.bool "waypoint r1" true (has (Spec.Waypoint ("h1", "h2", "r1")));
+  check Alcotest.bool "waypoint common only" true (has (Spec.Waypoint ("h1", "h3", "r1")));
+  check Alcotest.bool "no divergent waypoint" false (has (Spec.Waypoint ("h1", "h3", "r2")));
+  check Alcotest.bool "loadbalance" true (has (Spec.Loadbalance ("h1", "h3", 2)));
+  check Alcotest.bool "no single-path loadbalance" false
+    (List.exists (function Spec.Loadbalance ("h1", "h2", _) -> true | _ -> false) specs)
+
+let test_spec_diff () =
+  let orig = Spec.mine_paths paths_fixture in
+  let anon_paths =
+    (* h1->h2 rerouted via r3; a fake-host pair appears. *)
+    [
+      (("h1", "h2"), [ [ "h1"; "r1"; "r3"; "h2" ] ]);
+      (("h1", "h3"), [ [ "h1"; "r1"; "r2"; "h3" ]; [ "h1"; "r1"; "r3"; "h3" ] ]);
+      (("h2", "h1"), [ [ "h2"; "r2"; "r1"; "h1" ] ]);
+      (("h1", "fh1"), [ [ "h1"; "r1"; "fh1" ] ]);
+    ]
+  in
+  let anon = Spec.mine_paths anon_paths in
+  let d = Spec.compare_specs ~orig ~anon in
+  check Alcotest.bool "reach kept" true (List.mem (Spec.Reachability ("h1", "h2")) d.kept);
+  check Alcotest.bool "waypoint r2 lost" true (List.mem (Spec.Waypoint ("h1", "h2", "r2")) d.lost);
+  check Alcotest.bool "fake reach introduced" true
+    (List.mem (Spec.Reachability ("h1", "fh1")) d.introduced);
+  let frac = Spec.kept_fraction d in
+  check Alcotest.bool "fraction in (0,1)" true (frac > 0.0 && frac < 1.0);
+  let fake_only = Spec.introduced_involving d ~hosts:[ "h1"; "h2"; "h3" ] in
+  check Alcotest.bool "introduced classified as fake-host specs" true
+    (List.for_all
+       (fun p -> let _, dst = Spec.endpoints p in dst = "fh1")
+       fake_only
+    && fake_only <> [])
+
+let test_spec_mine_simulation () =
+  let snap = Routing.Simulate.run_exn (Netgen.Nets.configs (Netgen.Nets.find "G")) in
+  let specs = Spec.mine (Routing.Simulate.dataplane snap) in
+  (* FatTree04: every pair reachable, cross-pod pairs load-balanced. *)
+  check Alcotest.bool "many specs" true (List.length specs > 240);
+  check Alcotest.bool "has loadbalance" true
+    (List.exists (function Spec.Loadbalance _ -> true | _ -> false) specs)
+
+(* -------------------- Pii -------------------- *)
+
+let test_pan_prefix_preserving () =
+  let key = Pii.Pan.key_of_int 99 in
+  let a = Ipv4.of_string_exn "10.1.2.3" and b = Ipv4.of_string_exn "10.1.2.200" in
+  let a' = Pii.Pan.addr key a and b' = Pii.Pan.addr key b in
+  let common x y =
+    let x = Ipv4.to_int x and y = Ipv4.to_int y in
+    let rec count i = if i >= 32 then 32
+      else if (x lsr (31 - i)) land 1 = (y lsr (31 - i)) land 1 then count (i + 1)
+      else i
+    in
+    count 0
+  in
+  check Alcotest.int "common prefix preserved" (common a b) (common a' b');
+  check Alcotest.bool "addresses changed" true
+    (not (Ipv4.equal a a') || not (Ipv4.equal b b'))
+
+let prop_pan_prefix =
+  QCheck2.Test.make ~name:"pan: exact common-prefix preservation" ~count:500
+    QCheck2.Gen.(triple (int_bound 1000) (int_bound 0xFFFFFFF) (int_bound 0xFFFFFFF))
+    (fun (k, x, y) ->
+      let key = Pii.Pan.key_of_int k in
+      let common a b =
+        let rec count i =
+          if i >= 32 then 32
+          else if (a lsr (31 - i)) land 1 = (b lsr (31 - i)) land 1 then count (i + 1)
+          else i
+        in
+        count 0
+      in
+      let x' = Ipv4.to_int (Pii.Pan.addr key (Ipv4.of_int x)) in
+      let y' = Ipv4.to_int (Pii.Pan.addr key (Ipv4.of_int y)) in
+      common x y = common x' y')
+
+let prop_pan_bijective =
+  QCheck2.Test.make ~name:"pan: injective on samples" ~count:300
+    QCheck2.Gen.(pair (int_bound 1000) (pair (int_bound 0xFFFFFF) (int_bound 0xFFFFFF)))
+    (fun (k, (x, y)) ->
+      QCheck2.assume (x <> y);
+      let key = Pii.Pan.key_of_int k in
+      Pii.Pan.addr key (Ipv4.of_int x) <> Pii.Pan.addr key (Ipv4.of_int y))
+
+let test_scrub_consistency () =
+  (* Scrubbed configs must still compile and keep full reachability. *)
+  let configs = Netgen.Nets.configs (Netgen.Nets.find "A") in
+  let scrubbed = Pii.Scrub.scrub ~key:(Pii.Pan.key_of_int 5) configs in
+  let snap = Routing.Simulate.run_exn scrubbed in
+  let dp = Routing.Simulate.dataplane snap in
+  let hosts = List.map fst (Routing.Device.Smap.bindings snap.net.hosts) in
+  check Alcotest.int "host count" 8 (List.length hosts);
+  List.iter
+    (fun s ->
+      List.iter
+        (fun d ->
+          if s <> d && (Hashtbl.find dp (s, d)).Routing.Dataplane.delivered = []
+          then Alcotest.failf "scrub broke %s -> %s" s d)
+        hosts)
+    hosts;
+  (* Topology is isomorphic: same degree histogram. *)
+  let orig_snap = Routing.Simulate.run_exn configs in
+  check
+    Alcotest.(list (pair int int))
+    "same degree histogram"
+    (Gmetrics.degree_histogram (Routing.Device.router_graph orig_snap.net))
+    (Gmetrics.degree_histogram (Routing.Device.router_graph snap.net))
+
+let test_scrub_preserves_acl_semantics () =
+  (* Prefix-preserving rewriting keeps ACL endpoints aligned with host
+     subnets, so the scrubbed network drops exactly the same (renamed)
+     flows. *)
+  let config lines = Configlang.Parser.parse_exn (String.concat "\n" lines) in
+  let nets =
+    [
+      config
+        [
+          "hostname r1";
+          "interface Eth0";
+          " ip address 10.0.12.1 255.255.255.0";
+          "!";
+          "interface Eth1";
+          " ip address 10.1.1.1 255.255.255.0";
+          "!";
+          "router ospf 1";
+          " network 10.0.0.0 0.255.255.255 area 0";
+        ];
+      config
+        [
+          "hostname r2";
+          "interface Eth0";
+          " ip address 10.0.12.2 255.255.255.0";
+          " ip access-group BLOCK in";
+          "!";
+          "interface Eth1";
+          " ip address 10.2.2.1 255.255.255.0";
+          "!";
+          "router ospf 1";
+          " network 10.0.0.0 0.255.255.255 area 0";
+          "!";
+          "ip access-list extended BLOCK";
+          " deny ip 10.1.1.0 0.0.0.255 10.2.2.0 0.0.0.255";
+          " permit ip any any";
+        ];
+      config
+        [ "hostname h1"; "interface eth0"; " ip address 10.1.1.10 255.255.255.0";
+          "ip default-gateway 10.1.1.1" ];
+      config
+        [ "hostname h2"; "interface eth0"; " ip address 10.2.2.10 255.255.255.0";
+          "ip default-gateway 10.2.2.1" ];
+    ]
+  in
+  let scrubbed = Pii.Scrub.scrub ~key:(Pii.Pan.key_of_int 77) nets in
+  let snap = Routing.Simulate.run_exn scrubbed in
+  let rename = Pii.Scrub.default_rename nets in
+  let t =
+    Routing.Dataplane.traceroute snap.net snap.fibs ~src:(rename "h1")
+      ~dst:(rename "h2")
+  in
+  check Alcotest.bool "blocked direction still blocked" true (t.delivered = []);
+  check Alcotest.bool "still an ACL drop (not a routing drop)" true (t.filtered <> []);
+  let back =
+    Routing.Dataplane.traceroute snap.net snap.fibs ~src:(rename "h2")
+      ~dst:(rename "h1")
+  in
+  check Alcotest.bool "open direction still open" true (back.delivered <> [])
+
+let test_redact () =
+  check Alcotest.string "password" "enable password <redacted>"
+    (Pii.Scrub.redact_line "enable password hunter2");
+  check Alcotest.string "community" "snmp-server community <redacted> ro"
+    (Pii.Scrub.redact_line "snmp-server community sEcReT ro");
+  check Alcotest.string "untouched" "no shutdown" (Pii.Scrub.redact_line "no shutdown")
+
+let test_default_rename () =
+  let configs = Netgen.Nets.configs (Netgen.Nets.find "CCNP") in
+  let rename = Pii.Scrub.default_rename configs in
+  check Alcotest.string "router renamed" "node1" (rename "p1");
+  check Alcotest.bool "host renamed" true
+    (String.length (rename "hp1") >= 5 && String.sub (rename "hp1") 0 4 = "host");
+  check Alcotest.string "unknown unchanged" "zzz" (rename "zzz")
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_degree_anon; prop_realize; prop_pan_prefix; prop_pan_bijective ]
+
+let () =
+  Alcotest.run "anonlibs"
+    [
+      ( "degree_anon",
+        [
+          Alcotest.test_case "basic" `Quick test_degree_anon_basic;
+          Alcotest.test_case "input smaller than k" `Quick test_degree_anon_small_input;
+          Alcotest.test_case "already anonymous" `Quick test_degree_anon_already_anonymous;
+          Alcotest.test_case "order preserved" `Quick test_degree_anon_order_preserved;
+        ] );
+      ( "realize",
+        [
+          Alcotest.test_case "star graph" `Quick test_realize_star;
+          Alcotest.test_case "constraint respected" `Quick test_realize_respects_allowed_when_possible;
+          Alcotest.test_case "k too large" `Quick test_realize_k_exceeds_nodes;
+        ] );
+      ( "nethide",
+        [
+          Alcotest.test_case "forwarding path" `Quick test_forwarding_path;
+          Alcotest.test_case "deterministic" `Quick test_forwarding_deterministic;
+          Alcotest.test_case "unreachable" `Quick test_forwarding_unreachable;
+          Alcotest.test_case "path similarity" `Quick test_path_similarity;
+          Alcotest.test_case "obfuscation perturbs" `Quick test_obfuscate_changes_topology;
+          Alcotest.test_case "similarity budget" `Quick test_obfuscate_respects_budget;
+        ] );
+      ( "spec",
+        [
+          Alcotest.test_case "mining" `Quick test_spec_mining;
+          Alcotest.test_case "diff" `Quick test_spec_diff;
+          Alcotest.test_case "mining a simulation" `Quick test_spec_mine_simulation;
+        ] );
+      ( "pii",
+        [
+          Alcotest.test_case "prefix preserving" `Quick test_pan_prefix_preserving;
+          Alcotest.test_case "scrub consistency" `Quick test_scrub_consistency;
+          Alcotest.test_case "scrub preserves ACL semantics" `Quick
+            test_scrub_preserves_acl_semantics;
+          Alcotest.test_case "redaction" `Quick test_redact;
+          Alcotest.test_case "default rename" `Quick test_default_rename;
+        ] );
+      ("properties", qsuite);
+    ]

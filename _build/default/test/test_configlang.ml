@@ -1,0 +1,297 @@
+open Netcore
+open Configlang
+
+let check = Alcotest.check
+let pfx = Prefix.of_string_exn
+
+let sample_router =
+  String.concat "\n"
+    [
+      "hostname r1";
+      "!";
+      "interface Ethernet0/0";
+      " description to-r2";
+      " ip address 10.0.1.1 255.255.255.0";
+      " ip ospf cost 5";
+      "!";
+      "interface Ethernet0/1";
+      " ip address 10.0.2.1 255.255.255.252";
+      " traffic-policy mark_high inbound";
+      "!";
+      "router ospf 1";
+      " network 10.0.0.0 0.255.255.255 area 0";
+      " distribute-list prefix DENY_H4 in Ethernet0/0";
+      "!";
+      "router bgp 100";
+      " bgp router-id 1.1.1.1";
+      " network 10.1.0.0 mask 255.255.0.0";
+      " neighbor 10.0.2.2 remote-as 200";
+      " neighbor 10.0.2.2 distribute-list RejPfxs in";
+      "!";
+      "ip prefix-list DENY_H4 seq 5 deny 10.4.4.0/24";
+      "ip prefix-list DENY_H4 seq 100 permit 0.0.0.0/0 le 32";
+      "ip prefix-list RejPfxs seq 5 deny 10.5.5.0/24";
+      "ip prefix-list RejPfxs seq 100 permit 0.0.0.0/0 le 32";
+      "!";
+    ]
+
+let sample_host =
+  String.concat "\n"
+    [
+      "hostname h1";
+      "!";
+      "interface eth0";
+      " ip address 10.1.1.10 255.255.255.0";
+      "!";
+      "ip default-gateway 10.1.1.1";
+    ]
+
+let test_parse_router () =
+  let c = Parser.parse_exn sample_router in
+  check Alcotest.string "hostname" "r1" c.hostname;
+  check Alcotest.bool "router kind" true (c.kind = Ast.Router);
+  check Alcotest.int "interfaces" 2 (List.length c.interfaces);
+  let e0 = Option.get (Ast.find_interface c "Ethernet0/0") in
+  check Alcotest.(option int) "cost" (Some 5) e0.if_cost;
+  check Alcotest.(option string) "description" (Some "to-r2") e0.if_description;
+  check Alcotest.bool "prefix" true
+    (Option.get (Ast.interface_prefix e0) |> Prefix.equal (pfx "10.0.1.0/24"));
+  let e1 = Option.get (Ast.find_interface c "Ethernet0/1") in
+  check Alcotest.(list string) "extra verbatim" [ "traffic-policy mark_high inbound" ]
+    e1.if_extra;
+  let o = Option.get c.ospf in
+  check Alcotest.int "ospf process" 1 o.ospf_process;
+  check Alcotest.int "ospf networks" 1 (List.length o.ospf_networks);
+  check Alcotest.int "ospf filters" 1 (List.length o.ospf_distribute_in);
+  let b = Option.get c.bgp in
+  check Alcotest.int "bgp as" 100 b.bgp_as;
+  (match b.bgp_neighbors with
+  | [ n ] ->
+      check Alcotest.int "remote as" 200 n.nb_remote_as;
+      check Alcotest.(option string) "neighbor filter" (Some "RejPfxs") n.nb_distribute_in
+  | _ -> Alcotest.fail "expected one neighbor");
+  check Alcotest.int "prefix lists" 2 (List.length c.prefix_lists)
+
+let test_parse_host () =
+  let c = Parser.parse_exn sample_host in
+  check Alcotest.bool "host kind" true (c.kind = Ast.Host);
+  check Alcotest.bool "gateway" true
+    (Option.get c.default_gateway |> Ipv4.equal (Ipv4.of_string_exn "10.1.1.1"))
+
+let test_roundtrip_fixed () =
+  let c = Parser.parse_exn sample_router in
+  let c' = Parser.parse_exn (Printer.to_string c) in
+  check Alcotest.bool "roundtrip" true (c = c')
+
+let test_parse_errors () =
+  let expect_error text =
+    match Parser.parse text with
+    | Ok _ -> Alcotest.failf "expected parse error for %S" text
+    | Error msg ->
+        check Alcotest.bool "mentions line" true
+          (String.length msg > 5 && String.sub msg 0 5 = "line ")
+  in
+  expect_error "interface e0\n ip address 10.0.0.1 255.0.255.0";
+  expect_error "router ospf 1\n network 10.0.0.0 0.255.0.255 area 0";
+  expect_error "router bgp 65000\n neighbor 10.0.0.2 distribute-list X in";
+  expect_error "interface e0\n ip address 299.0.0.1 255.0.0.0";
+  expect_error "ip prefix-list X seq A deny 10.0.0.0/8"
+
+let test_unknown_preserved () =
+  let text = "hostname r9\nsnmp-server community public\n!\nbanner motd hello\n" in
+  let c = Parser.parse_exn text in
+  check Alcotest.(list string) "extras"
+    [ "snmp-server community public"; "banner motd hello" ]
+    c.extra;
+  let printed = Printer.to_string c in
+  check Alcotest.bool "extras printed" true
+    (List.for_all
+       (fun l ->
+         List.mem l (String.split_on_char '\n' printed))
+       c.extra)
+
+let test_prefix_list_matching () =
+  let pl =
+    {
+      Ast.pl_name = "X";
+      pl_rules =
+        [
+          { Ast.seq = 5; action = Ast.Deny; rule_prefix = pfx "10.4.0.0/16"; le = Some 32 };
+          { Ast.seq = 10; action = Ast.Permit; rule_prefix = pfx "0.0.0.0/0"; le = Some 32 };
+        ];
+    }
+  in
+  check Alcotest.bool "deny match" true
+    (Ast.prefix_list_matches pl (pfx "10.4.4.0/24") = Some Ast.Deny);
+  check Alcotest.bool "permit fallthrough" true
+    (Ast.prefix_list_matches pl (pfx "10.5.0.0/24") = Some Ast.Permit);
+  (* Exact-length rule without le *)
+  let exact =
+    { Ast.pl_name = "Y";
+      pl_rules = [ { Ast.seq = 5; action = Ast.Deny; rule_prefix = pfx "10.4.4.0/24"; le = None } ] }
+  in
+  check Alcotest.bool "exact len match" true
+    (Ast.prefix_list_matches exact (pfx "10.4.4.0/24") = Some Ast.Deny);
+  check Alcotest.bool "longer no match" true
+    (Ast.prefix_list_matches exact (pfx "10.4.4.0/25") = None)
+
+let test_add_prefix_list_rule () =
+  let c = Ast.empty_config "r1" in
+  let c = Ast.add_prefix_list_rule c "F" Ast.Deny (pfx "10.4.4.0/24") in
+  let c = Ast.add_prefix_list_rule c "F" Ast.Permit (pfx "0.0.0.0/0") in
+  match Ast.find_prefix_list c "F" with
+  | Some pl ->
+      check Alcotest.int "two rules" 2 (List.length pl.pl_rules);
+      check Alcotest.(list int) "sequence numbers" [ 5; 10 ]
+        (List.map (fun r -> r.Ast.seq) pl.pl_rules)
+  | None -> Alcotest.fail "list not created"
+
+let test_masks () =
+  check Alcotest.(option int) "contiguous" (Some 24)
+    (Masks.len_of_netmask (Ipv4.of_string_exn "255.255.255.0"));
+  check Alcotest.(option int) "non-contiguous" None
+    (Masks.len_of_netmask (Ipv4.of_string_exn "255.0.255.0"));
+  check Alcotest.(option int) "wildcard" (Some 24)
+    (Masks.len_of_wildcard (Ipv4.of_string_exn "0.0.0.255"));
+  check Alcotest.(option int) "zero mask" (Some 0)
+    (Masks.len_of_netmask (Ipv4.of_string_exn "0.0.0.0"));
+  check Alcotest.(option int) "full mask" (Some 32)
+    (Masks.len_of_netmask (Ipv4.of_string_exn "255.255.255.255"))
+
+let test_count_breakdown () =
+  let c = Parser.parse_exn sample_router in
+  let b = Count.of_config c in
+  (* interfaces: (iface+desc+addr+cost) + (iface+addr+extra) = 4 + 3 *)
+  check Alcotest.int "interface lines" 7 b.interface_lines;
+  (* ospf header+network, bgp header+router-id+network+neighbor = 2+4 *)
+  check Alcotest.int "protocol lines" 6 b.protocol_lines;
+  (* 1 ospf distribute + 1 bgp neighbor filter + 4 prefix-list rules *)
+  check Alcotest.int "filter lines" 6 b.filter_lines;
+  check Alcotest.int "other lines" 1 b.other_lines
+
+let test_count_added () =
+  let orig = Parser.parse_exn sample_router in
+  let anon =
+    Ast.add_prefix_list_rule orig "NEW" Ast.Deny (pfx "10.9.9.0/24")
+  in
+  let fake_host = Parser.parse_exn sample_host in
+  let b = Count.added ~orig:[ orig ] ~anon:[ anon; fake_host ] in
+  check Alcotest.int "added filters" 1 b.filter_lines;
+  check Alcotest.int "added interfaces (host)" 2 b.interface_lines;
+  check Alcotest.int "added protocol" 0 b.protocol_lines;
+  let uc = Count.config_utility ~orig:[ orig ] ~anon:[ anon; fake_host ] in
+  check Alcotest.bool "utility in (0,1)" true (uc > 0.0 && uc < 1.0)
+
+let test_count_new_categories () =
+  let c =
+    Parser.parse_exn
+      (String.concat "\n"
+         [
+           "hostname r1";
+           "interface Eth0";
+           " ip address 10.0.0.1 255.255.255.0";
+           " ip access-group F1 in";
+           "!";
+           "router bgp 100";
+           " neighbor 10.0.0.2 remote-as 200";
+           " neighbor 10.0.0.2 route-map RM in";
+           "!";
+           "route-map RM permit 10";
+           " set local-preference 200";
+           "!";
+           "ip access-list extended F1";
+           " deny ip any 10.9.9.0 0.0.0.255";
+           " permit ip any any";
+           "!";
+           "ip route 10.8.0.0 255.255.0.0 10.0.0.2";
+         ])
+  in
+  let b = Count.of_config c in
+  (* bgp header + neighbor + static = 3 protocol lines *)
+  check Alcotest.int "protocol incl. static" 3 b.protocol_lines;
+  (* route-map binding 1 + route-map clause 2 + acl 3 = 6 filter lines *)
+  check Alcotest.int "filters incl. acl and route-map" 6 b.filter_lines;
+  (* iface + addr + access-group *)
+  check Alcotest.int "interface lines" 3 b.interface_lines
+
+let test_vendor_dispatch () =
+  let c = Parser.parse_exn sample_router in
+  let junos_text = Vendor.print Vendor.Junos c in
+  check Alcotest.bool "detects junos" true (Vendor.detect junos_text = Vendor.Junos);
+  check Alcotest.bool "detects cisco" true
+    (Vendor.detect sample_router = Vendor.Cisco);
+  (match Vendor.parse junos_text with
+  | Ok c' -> check Alcotest.bool "junos auto-parse" true (c = c')
+  | Error m -> Alcotest.fail m);
+  match Vendor.of_string "frr" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected unknown vendor error"
+
+(* qcheck: parse-print round trip over generated configs *)
+
+let gen_config =
+  let open QCheck2.Gen in
+  let gen_prefix =
+    map2 (fun a len -> Prefix.v (Ipv4.of_int a) len) (int_bound 0xFFFFFF) (int_range 8 30)
+  in
+  let gen_iface i =
+    map2
+      (fun addr cost ->
+        {
+          (Ast.empty_interface (Printf.sprintf "Eth%d" i)) with
+          if_address = Some (Ipv4.of_int addr, 24);
+          if_cost = (if cost = 0 then None else Some cost);
+        })
+      (int_bound 0xFFFFFF) (int_bound 3)
+  in
+  let gen_ifaces = List.init 3 gen_iface |> flatten_l in
+  let gen_ospf =
+    map
+      (fun nets -> { (Ast.empty_ospf 1) with ospf_networks = List.map (fun p -> (p, 0)) nets })
+      (small_list gen_prefix)
+  in
+  map2
+    (fun ifaces ospf ->
+      { (Ast.empty_config "rq") with interfaces = ifaces; ospf = Some ospf })
+    gen_ifaces gen_ospf
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"parse (print c) = c" ~count:300 gen_config (fun c ->
+      Parser.parse_exn (Printer.to_string c) = c)
+
+let prop_line_count_stable =
+  QCheck2.Test.make ~name:"line counting stable under roundtrip" ~count:200
+    gen_config (fun c ->
+      let c' = Parser.parse_exn (Printer.to_string c) in
+      Count.lines_of_config c = Count.lines_of_config c')
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest [ prop_roundtrip; prop_line_count_stable ]
+
+let () =
+  Alcotest.run "configlang"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "router config" `Quick test_parse_router;
+          Alcotest.test_case "host config" `Quick test_parse_host;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip_fixed;
+          Alcotest.test_case "errors carry line numbers" `Quick test_parse_errors;
+          Alcotest.test_case "unknown lines preserved" `Quick test_unknown_preserved;
+        ] );
+      ( "ast",
+        [
+          Alcotest.test_case "prefix-list matching" `Quick test_prefix_list_matching;
+          Alcotest.test_case "append prefix-list rules" `Quick test_add_prefix_list_rule;
+        ] );
+      ("masks", [ Alcotest.test_case "mask conversions" `Quick test_masks ]);
+      ( "count",
+        [
+          Alcotest.test_case "category breakdown" `Quick test_count_breakdown;
+          Alcotest.test_case "added lines" `Quick test_count_added;
+          Alcotest.test_case "acl/route-map/static categories" `Quick
+            test_count_new_categories;
+        ] );
+      ("vendor", [ Alcotest.test_case "dispatch" `Quick test_vendor_dispatch ]);
+      ("properties", qsuite);
+    ]

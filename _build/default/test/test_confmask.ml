@@ -1,0 +1,525 @@
+(* End-to-end tests of the ConfMask pipeline: the headline invariants are
+   (1) functional equivalence — every original host-to-host path preserved
+   exactly — and (2) k-degree topology anonymity, on OSPF, RIP, and
+   BGP+OSPF networks alike. *)
+
+open Confmask
+
+let check = Alcotest.check
+
+let params ?(k_r = 4) ?(k_h = 2) ?(seed = 42) () =
+  { Workflow.default_params with k_r; k_h; seed }
+
+let run_entry ?k_r ?k_h ?seed (e : Netgen.Nets.entry) =
+  Workflow.run_exn
+    ~params:(params ?k_r ?k_h ?seed ())
+    (Netgen.Nets.configs e)
+
+let assert_invariants ?(k_r = 4) name (r : Workflow.report) =
+  check Alcotest.bool (name ^ ": functional equivalence") true
+    (Workflow.functional_equivalence r);
+  let topo = Metrics.topology_of_snapshot r.anon_snapshot in
+  check Alcotest.bool
+    (Printf.sprintf "%s: %d-degree anonymity (got group %d)" name k_r
+       topo.min_degree_group)
+    true
+    (topo.min_degree_group >= k_r);
+  (* Fake hosts were added, k_h - 1 per real host. *)
+  let n_real =
+    Routing.Device.Smap.cardinal r.orig_snapshot.net.hosts
+  in
+  check Alcotest.int (name ^ ": fake host count")
+    ((r.params.k_h - 1) * n_real)
+    (List.length r.fake_hosts);
+  (* Fake hosts are reachable from every real host. *)
+  let dp = Routing.Simulate.dataplane r.anon_snapshot in
+  List.iter
+    (fun (fh, _) ->
+      List.iter
+        (fun src ->
+          let t = Hashtbl.find dp (src, fh) in
+          if t.Routing.Dataplane.delivered = [] then
+            Alcotest.failf "%s: fake host %s unreachable from %s" name fh src)
+        (Workflow.real_hosts r))
+    r.fake_hosts
+
+let test_ospf_enterprise_like () =
+  (* The G net (FatTree04) exercises OSPF + ECMP. *)
+  let r = run_entry (Netgen.Nets.find "G") in
+  assert_invariants "fattree04" r
+
+let test_bgp_nets () =
+  List.iter
+    (fun id ->
+      let r = run_entry (Netgen.Nets.find id) in
+      assert_invariants id r)
+    [ "A"; "B"; "C"; "CCNP" ]
+
+let test_rip_net () =
+  let configs = Netgen.Emit.emit (Netgen.Smallnets.rip_lab ()) in
+  let r = Workflow.run_exn ~params:(params ()) configs in
+  assert_invariants "rip lab" r
+
+let test_eigrp_net () =
+  let configs = Netgen.Emit.emit (Netgen.Smallnets.eigrp_lab ()) in
+  let r = Workflow.run_exn ~params:(params ()) configs in
+  assert_invariants "eigrp lab" r
+
+let test_bgp_with_route_maps () =
+  (* Inject an inbound local-preference policy into net C and check the
+     pipeline still achieves functional equivalence around it. *)
+  let configs =
+    List.map
+      (fun (c : Configlang.Ast.config) ->
+        if c.hostname <> "w2" then c
+        else
+          let open Configlang.Ast in
+          let rm =
+            {
+              rm_name = "PREFX";
+              rm_clauses =
+                [ { rm_seq = 10; rm_action = Permit; rm_set_local_pref = Some 150 } ];
+            }
+          in
+          let bgp =
+            Option.map
+              (fun b ->
+                {
+                  b with
+                  bgp_neighbors =
+                    List.map
+                      (fun n ->
+                        if n.nb_remote_as <> b.bgp_as then
+                          { n with nb_route_map_in = Some "PREFX" }
+                        else n)
+                      b.bgp_neighbors;
+                })
+              c.bgp
+          in
+          { c with bgp; route_maps = [ rm ] })
+      (Netgen.Nets.configs (Netgen.Nets.find "C"))
+  in
+  let r = Workflow.run_exn ~params:(params ()) configs in
+  assert_invariants "backbone + route-maps" r
+
+let test_wan_net () =
+  let r = run_entry (Netgen.Nets.find "D") in
+  assert_invariants "bics" r
+
+let test_kr6 () =
+  let r = run_entry ~k_r:6 (Netgen.Nets.find "A") in
+  assert_invariants ~k_r:6 "enterprise kr=6" r
+
+let test_kh4 () =
+  let r = run_entry ~k_h:4 (Netgen.Nets.find "C") in
+  assert_invariants "backbone kh=4" r
+
+let test_kh1_no_fake_hosts () =
+  let r = run_entry ~k_h:1 (Netgen.Nets.find "C") in
+  check Alcotest.int "no fake hosts" 0 (List.length r.fake_hosts);
+  check Alcotest.int "no anonymity filters" 0 r.anon_filters_added;
+  check Alcotest.bool "functional equivalence" true
+    (Workflow.functional_equivalence r)
+
+let test_fake_routers_with_pii () =
+  let configs = Netgen.Nets.configs (Netgen.Nets.find "G") in
+  let p =
+    { (params ~k_r:4 ()) with Workflow.fake_routers = 2; pii = true }
+  in
+  let r = Workflow.run_exn ~params:p configs in
+  (* Scrubbed + extended network still compiles and routes fully. *)
+  let dp = Routing.Simulate.dataplane r.anon_snapshot in
+  let hosts =
+    List.map fst (Routing.Device.Smap.bindings r.anon_snapshot.net.hosts)
+  in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun d ->
+          if s <> d && (Hashtbl.find dp (s, d)).Routing.Dataplane.delivered = []
+          then Alcotest.failf "%s -> %s unreachable" s d)
+        hosts)
+    hosts
+
+let test_deterministic () =
+  let run () =
+    let r = run_entry ~seed:7 (Netgen.Nets.find "A") in
+    List.map snd (Workflow.anon_texts r)
+  in
+  check Alcotest.bool "same seed, same output" true (run () = run ())
+
+let test_seed_changes_output () =
+  let texts seed =
+    List.map snd (Workflow.anon_texts (run_entry ~seed (Netgen.Nets.find "G")))
+  in
+  check Alcotest.bool "different seed, different anonymization" true
+    (texts 1 <> texts 2)
+
+let test_append_only () =
+  (* Every original interface, network statement and neighbor must still
+     be present, verbatim, in the anonymized config. *)
+  let r = run_entry (Netgen.Nets.find "B") in
+  List.iter
+    (fun (o : Configlang.Ast.config) ->
+      match
+        List.find_opt
+          (fun (a : Configlang.Ast.config) -> a.hostname = o.hostname)
+          r.anon_configs
+      with
+      | None -> Alcotest.failf "device %s disappeared" o.hostname
+      | Some a ->
+          List.iter
+            (fun (i : Configlang.Ast.interface) ->
+              if not (List.mem i a.interfaces) then
+                Alcotest.failf "%s: interface %s modified" o.hostname i.if_name)
+            o.interfaces;
+          (match (o.ospf, a.ospf) with
+          | Some oo, Some ao ->
+              List.iter
+                (fun n ->
+                  if not (List.mem n ao.ospf_networks) then
+                    Alcotest.failf "%s: ospf network removed" o.hostname)
+                oo.ospf_networks
+          | None, _ -> ()
+          | Some _, None -> Alcotest.failf "%s: ospf process removed" o.hostname);
+          match (o.bgp, a.bgp) with
+          | Some ob, Some ab ->
+              List.iter
+                (fun (n : Configlang.Ast.neighbor) ->
+                  if
+                    not
+                      (List.exists
+                         (fun (m : Configlang.Ast.neighbor) ->
+                           Netcore.Ipv4.equal m.nb_addr n.nb_addr
+                           && m.nb_remote_as = n.nb_remote_as)
+                         ab.bgp_neighbors)
+                  then Alcotest.failf "%s: bgp neighbor removed" o.hostname)
+                ob.bgp_neighbors
+          | None, _ -> ()
+          | Some _, None -> Alcotest.failf "%s: bgp process removed" o.hostname)
+    r.orig_configs
+
+let test_fake_prefixes_disjoint () =
+  let r = run_entry (Netgen.Nets.find "A") in
+  let orig_prefixes = Edits.used_prefixes r.orig_configs in
+  let dp_hosts = r.anon_snapshot.net.hosts in
+  List.iter
+    (fun (fh, _) ->
+      let hp =
+        Routing.Device.host_prefix (Routing.Device.Smap.find fh dp_hosts)
+      in
+      if List.exists (Netcore.Prefix.overlaps hp) orig_prefixes then
+        Alcotest.failf "fake host %s prefix %s overlaps the original network" fh
+          (Netcore.Prefix.to_string hp))
+    r.fake_hosts
+
+let test_route_anonymity_improves () =
+  let r = run_entry ~k_r:6 ~k_h:2 (Netgen.Nets.find "C") in
+  let nr_orig =
+    Metrics.route_anonymity (Routing.Simulate.dataplane r.orig_snapshot)
+  in
+  let nr_anon =
+    Metrics.route_anonymity (Routing.Simulate.dataplane r.anon_snapshot)
+  in
+  check Alcotest.bool
+    (Printf.sprintf "anon N_r (%.2f) > orig N_r (%.2f)" nr_anon.nr_avg
+       nr_orig.nr_avg)
+    true
+    (nr_anon.nr_avg > nr_orig.nr_avg)
+
+let test_kept_paths_100_percent () =
+  let r = run_entry (Netgen.Nets.find "G") in
+  let frac =
+    Metrics.kept_paths_fraction
+      ~orig:(Routing.Simulate.dataplane r.orig_snapshot)
+      ~anon:(Routing.Simulate.dataplane r.anon_snapshot)
+      ~hosts:(Workflow.real_hosts r)
+  in
+  check (Alcotest.float 1e-9) "all paths kept exactly" 1.0 frac
+
+let test_config_utility_bounds () =
+  let r = run_entry (Netgen.Nets.find "B") in
+  let uc = Metrics.config_utility ~orig:r.orig_configs ~anon:r.anon_configs in
+  check Alcotest.bool (Printf.sprintf "U_C = %.3f in (0, 1)" uc) true
+    (uc > 0.0 && uc < 1.0)
+
+let test_pii_addon () =
+  let r =
+    Workflow.run_exn
+      ~params:{ (params ()) with pii = true }
+      (Netgen.Nets.configs (Netgen.Nets.find "A"))
+  in
+  (* Scrubbed configs still compile and give full reachability. *)
+  let dp = Routing.Simulate.dataplane r.anon_snapshot in
+  let hosts =
+    List.map fst (Routing.Device.Smap.bindings r.anon_snapshot.net.hosts)
+  in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun d ->
+          if s <> d && (Hashtbl.find dp (s, d)).Routing.Dataplane.delivered = []
+          then Alcotest.failf "pii: %s -> %s unreachable" s d)
+        hosts)
+    hosts;
+  (* No original hostname survives. *)
+  let orig_names =
+    List.map (fun (c : Configlang.Ast.config) -> c.hostname) r.orig_configs
+  in
+  List.iter
+    (fun (c : Configlang.Ast.config) ->
+      if List.mem c.hostname orig_names then
+        Alcotest.failf "pii: hostname %s leaked" c.hostname)
+    r.anon_configs
+
+(* ---- §9 extension: network scale obfuscation ---- *)
+
+let test_fake_routers () =
+  let configs = Netgen.Nets.configs (Netgen.Nets.find "G") in
+  let p = { (params ~k_r:4 ()) with Workflow.fake_routers = 3 } in
+  let r = Workflow.run_exn ~params:p configs in
+  check Alcotest.int "three fake routers" 3 (List.length r.fake_router_names);
+  check Alcotest.bool "functional equivalence" true
+    (Workflow.functional_equivalence r);
+  (* Fake routers participate in the anonymized topology and carry k-degree
+     anonymity like everyone else. *)
+  let g = Routing.Device.router_graph r.anon_snapshot.net in
+  List.iter
+    (fun fr ->
+      check Alcotest.bool (fr ^ " present") true (Netcore.Graph.mem_node fr g);
+      check Alcotest.bool (fr ^ " connected") true (Netcore.Graph.degree fr g >= 2))
+    r.fake_router_names;
+  check Alcotest.bool "k-anonymous including fakes" true
+    ((Metrics.topology_of_snapshot r.anon_snapshot).min_degree_group >= 4);
+  (* Each fake router's own host is reachable from real hosts. *)
+  let dp = Routing.Simulate.dataplane r.anon_snapshot in
+  let src = List.hd (Workflow.real_hosts r) in
+  List.iter
+    (fun fr ->
+      let t = Hashtbl.find dp (src, fr ^ "-h1") in
+      check Alcotest.bool (fr ^ "-h1 reachable") true
+        (t.Routing.Dataplane.delivered <> []))
+    r.fake_router_names
+
+let test_fake_routers_name_scheme () =
+  let configs = Netgen.Nets.configs (Netgen.Nets.find "D") in
+  let orig = Routing.Simulate.run_exn configs in
+  match
+    Node_anon.add ~rng:(Netcore.Rng.create 1) ~count:2 ~orig configs
+  with
+  | Error m -> Alcotest.fail m
+  | Ok n ->
+      List.iter
+        (fun fr ->
+          check Alcotest.bool (fr ^ " blends in") true
+            (String.length fr > 5 && String.sub fr 0 5 = "bics-"))
+        n.fake_routers
+
+let test_fake_routers_rejected_on_bgp () =
+  let configs = Netgen.Nets.configs (Netgen.Nets.find "A") in
+  let orig = Routing.Simulate.run_exn configs in
+  match Node_anon.add ~rng:(Netcore.Rng.create 1) ~count:1 ~orig configs with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected rejection on BGP networks"
+
+(* ---- Strawman baselines ---- *)
+
+let topo_stage entry k_r seed =
+  let configs = Netgen.Nets.configs entry in
+  let orig = Routing.Simulate.run_exn configs in
+  let rng = Netcore.Rng.create seed in
+  let t = Topo_anon.anonymize ~rng ~k:k_r ~orig configs in
+  (orig, t)
+
+let test_strawman1_restores () =
+  let orig, t = topo_stage (Netgen.Nets.find "A") 4 42 in
+  match Strawman.strawman1 ~orig ~fake_edges:t.fake_edges t.configs with
+  | Ok o ->
+      let snap = Routing.Simulate.run_exn o.configs in
+      check Alcotest.bool "fibs restored" true
+        (Route_equiv.fib_equal_on_hosts ~orig snap);
+      check Alcotest.bool "many filters" true (o.filters_added > 0)
+  | Error m -> Alcotest.fail m
+
+let test_strawman2_restores () =
+  let orig, t = topo_stage (Netgen.Nets.find "A") 4 42 in
+  match Strawman.strawman2 ~orig ~fake_edges:t.fake_edges t.configs with
+  | Ok o ->
+      let snap = Routing.Simulate.run_exn o.configs in
+      let dp0 = Routing.Simulate.dataplane orig in
+      let dp1 = Routing.Simulate.dataplane snap in
+      let hosts = List.map fst (Routing.Device.Smap.bindings orig.net.hosts) in
+      check Alcotest.bool "paths restored" true
+        (Routing.Dataplane.equal_on ~hosts dp0 dp1)
+  | Error m -> Alcotest.fail m
+
+let test_strawman_filter_counts () =
+  (* Strawman 1 must inject more filters than Algorithm 1 (Figure 10
+     right). *)
+  let orig, t = topo_stage (Netgen.Nets.find "B") 6 42 in
+  check Alcotest.bool "fake edges exist" true (t.fake_edges <> []);
+  let s1 =
+    match Strawman.strawman1 ~orig ~fake_edges:t.fake_edges t.configs with
+    | Ok o -> o.filters_added
+    | Error m -> Alcotest.fail m
+  in
+  let alg1 =
+    match Route_equiv.fix ~orig ~fake_edges:t.fake_edges t.configs with
+    | Ok o -> o.filters_added
+    | Error m -> Alcotest.fail m
+  in
+  check Alcotest.bool
+    (Printf.sprintf "strawman1 (%d) > algorithm 1 (%d)" s1 alg1)
+    true (s1 > alg1)
+
+(* ---- Edits unit behaviors ---- *)
+
+let test_edits_deny_roundtrip () =
+  let open Configlang in
+  let c =
+    Parser.parse_exn
+      "hostname r1\ninterface Eth0\n ip address 10.0.0.1 255.255.255.0\nrouter ospf 1\n network 10.0.0.0 0.255.255.255 area 0"
+  in
+  let p = Netcore.Prefix.of_string_exn "10.4.4.0/24" in
+  let p2 = Netcore.Prefix.of_string_exn "10.5.5.0/24" in
+  let c1 = Edits.deny_on_iface c ~iface:"Eth0" p in
+  let c1 = Edits.deny_on_iface c1 ~iface:"Eth0" p2 in
+  let c1 = Edits.deny_on_iface c1 ~iface:"Eth0" p in
+  (* idempotent *)
+  (match Ast.find_prefix_list c1 "DL-Eth0" with
+  | Some pl -> check Alcotest.int "two denies + catchall" 3 (List.length pl.pl_rules)
+  | None -> Alcotest.fail "list missing");
+  let c2 = Edits.undeny_on_iface c1 ~iface:"Eth0" p in
+  (match Ast.find_prefix_list c2 "DL-Eth0" with
+  | Some pl -> check Alcotest.int "one deny + catchall" 2 (List.length pl.pl_rules)
+  | None -> Alcotest.fail "list should remain");
+  let c3 = Edits.undeny_on_iface c2 ~iface:"Eth0" p2 in
+  check Alcotest.bool "list dropped" true (Ast.find_prefix_list c3 "DL-Eth0" = None);
+  match c3.ospf with
+  | Some o -> check Alcotest.int "binding dropped" 0 (List.length o.ospf_distribute_in)
+  | None -> Alcotest.fail "ospf vanished"
+
+let test_fresh_iface_name () =
+  let open Configlang in
+  let c =
+    Parser.parse_exn
+      "hostname r1\ninterface Eth0\n ip address 10.0.0.1 255.255.255.0\n!\ninterface Eth3\n ip address 10.0.1.1 255.255.255.0"
+  in
+  let n = Edits.fresh_iface_name c in
+  check Alcotest.bool "fresh name unused" true (Ast.find_interface c n = None)
+
+(* ---- qcheck: pipeline invariant on random OSPF networks ---- *)
+
+let gen_netspec =
+  let open QCheck2.Gen in
+  let* n = int_range 5 10 in
+  let* extra = int_range 0 6 in
+  let* hosts_n = int_range 2 4 in
+  let* seed = int_bound 10000 in
+  return (n, extra, hosts_n, seed)
+
+let spec_of (n, extra, hosts_n, seed) =
+  Netgen.Wan.waxman ~seed ~name:"rnd" ~routers:n
+    ~router_links:(n - 1 + extra)
+    ~hosts:hosts_n
+
+let prop_strawman2_equivalence =
+  QCheck2.Test.make ~name:"strawman 2 restores the data plane on random nets"
+    ~count:8 gen_netspec (fun input ->
+      let spec = spec_of input in
+      let configs = Netgen.Emit.emit spec in
+      let _, _, _, seed = input in
+      let orig = Routing.Simulate.run_exn configs in
+      let rng = Netcore.Rng.create seed in
+      let t = Topo_anon.anonymize ~rng ~k:3 ~orig configs in
+      match Strawman.strawman2 ~orig ~fake_edges:t.fake_edges t.configs with
+      | Error m -> QCheck2.Test.fail_reportf "strawman2 failed: %s" m
+      | Ok o ->
+          let snap = Routing.Simulate.run_exn o.configs in
+          let hosts =
+            List.map fst (Routing.Device.Smap.bindings orig.net.hosts)
+          in
+          Routing.Dataplane.equal_on ~hosts
+            (Routing.Simulate.dataplane orig)
+            (Routing.Simulate.dataplane snap))
+
+let prop_high_noise_safe =
+  (* Even an absurd noise coefficient must not break real-host forwarding:
+     Algorithm 2's filters only name fake prefixes. *)
+  QCheck2.Test.make ~name:"p = 0.9 still preserves the real data plane" ~count:8
+    gen_netspec (fun input ->
+      let spec = spec_of input in
+      let configs = Netgen.Emit.emit spec in
+      let _, _, _, seed = input in
+      match
+        Workflow.run
+          ~params:{ (params ~k_r:3 ~k_h:2 ~seed ()) with Workflow.noise = 0.9 }
+          configs
+      with
+      | Error m -> QCheck2.Test.fail_reportf "pipeline failed: %s" m
+      | Ok r -> Workflow.functional_equivalence r)
+
+let prop_pipeline_equivalence =
+  QCheck2.Test.make ~name:"pipeline preserves data plane on random nets"
+    ~count:12 gen_netspec (fun input ->
+      let spec = spec_of input in
+      let configs = Netgen.Emit.emit spec in
+      let _, _, _, seed = input in
+      match
+        Workflow.run ~params:(params ~k_r:3 ~k_h:2 ~seed ()) configs
+      with
+      | Error m -> QCheck2.Test.fail_reportf "pipeline failed: %s" m
+      | Ok r ->
+          Workflow.functional_equivalence r
+          && (Metrics.topology_of_snapshot r.anon_snapshot).min_degree_group >= 3)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_pipeline_equivalence; prop_strawman2_equivalence; prop_high_noise_safe ]
+
+let () =
+  Alcotest.run "confmask"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "fattree04 (ospf ecmp)" `Quick test_ospf_enterprise_like;
+          Alcotest.test_case "bgp+ospf nets" `Quick test_bgp_nets;
+          Alcotest.test_case "rip net" `Quick test_rip_net;
+          Alcotest.test_case "eigrp net" `Quick test_eigrp_net;
+          Alcotest.test_case "wan (bics)" `Slow test_wan_net;
+          Alcotest.test_case "bgp with route-maps" `Quick test_bgp_with_route_maps;
+          Alcotest.test_case "k_r = 6" `Quick test_kr6;
+          Alcotest.test_case "k_h = 4" `Quick test_kh4;
+          Alcotest.test_case "k_h = 1 disables fake hosts" `Quick test_kh1_no_fake_hosts;
+          Alcotest.test_case "fake routers + pii" `Quick test_fake_routers_with_pii;
+        ] );
+      ( "properties-of-output",
+        [
+          Alcotest.test_case "deterministic per seed" `Quick test_deterministic;
+          Alcotest.test_case "seed-sensitive" `Quick test_seed_changes_output;
+          Alcotest.test_case "append-only edits" `Quick test_append_only;
+          Alcotest.test_case "fake prefixes disjoint" `Quick test_fake_prefixes_disjoint;
+          Alcotest.test_case "route anonymity improves" `Quick test_route_anonymity_improves;
+          Alcotest.test_case "100% kept paths" `Quick test_kept_paths_100_percent;
+          Alcotest.test_case "config utility bounds" `Quick test_config_utility_bounds;
+          Alcotest.test_case "pii add-on" `Quick test_pii_addon;
+        ] );
+      ( "scale-extension",
+        [
+          Alcotest.test_case "fake routers end to end" `Quick test_fake_routers;
+          Alcotest.test_case "name scheme" `Quick test_fake_routers_name_scheme;
+          Alcotest.test_case "rejected on BGP" `Quick test_fake_routers_rejected_on_bgp;
+        ] );
+      ( "strawmen",
+        [
+          Alcotest.test_case "strawman1 restores fibs" `Quick test_strawman1_restores;
+          Alcotest.test_case "strawman2 restores paths" `Quick test_strawman2_restores;
+          Alcotest.test_case "filter count ordering" `Quick test_strawman_filter_counts;
+        ] );
+      ( "edits",
+        [
+          Alcotest.test_case "deny/undeny roundtrip" `Quick test_edits_deny_roundtrip;
+          Alcotest.test_case "fresh iface names" `Quick test_fresh_iface_name;
+        ] );
+      ("qcheck", qsuite);
+    ]

@@ -1,0 +1,195 @@
+(* JunosLite, the second vendor dialect: round trips, cross-vendor
+   equivalence with CiscoLite, and end-to-end anonymization of a network
+   written in Junos syntax. *)
+
+open Configlang
+
+let check = Alcotest.check
+
+let sample =
+  String.concat "\n"
+    [
+      "system {";
+      "    host-name r1;";
+      "}";
+      "interfaces {";
+      "    Eth0 {";
+      "        description \"to-r2\";";
+      "        address 10.0.1.1/24;";
+      "        metric 5;";
+      "    }";
+      "}";
+      "protocols {";
+      "    ospf 1 {";
+      "        network 10.0.0.0/8 area 0;";
+      "        import DL-Eth0 interface Eth0;";
+      "    }";
+      "    bgp {";
+      "        local-as 100;";
+      "        neighbor 172.16.0.2 {";
+      "            peer-as 200;";
+      "            import-list RejPfxs-1;";
+      "        }";
+      "    }";
+      "}";
+      "policy-options {";
+      "    prefix-list DL-Eth0 {";
+      "        seq 5 deny 10.4.4.0/24;";
+      "        seq 10000 permit 0.0.0.0/0 le 32;";
+      "    }";
+      "    prefix-list RejPfxs-1 {";
+      "        seq 5 deny 10.5.5.0/24;";
+      "        seq 10000 permit 0.0.0.0/0 le 32;";
+      "    }";
+      "}";
+      "routing-options {";
+      "    static {";
+      "        route 10.9.9.0/24 next-hop 10.0.1.2;";
+      "    }";
+      "}";
+    ]
+
+let test_parse_sample () =
+  let c = Junos.parse_exn sample in
+  check Alcotest.string "hostname" "r1" c.hostname;
+  check Alcotest.int "interfaces" 1 (List.length c.interfaces);
+  let e0 = Option.get (Ast.find_interface c "Eth0") in
+  check Alcotest.(option int) "metric" (Some 5) e0.if_cost;
+  check Alcotest.(option string) "description" (Some "to-r2") e0.if_description;
+  check Alcotest.bool "ospf import" true
+    ((Option.get c.ospf).ospf_distribute_in
+    = [ { Ast.dl_list = "DL-Eth0"; dl_iface = "Eth0" } ]);
+  check Alcotest.int "bgp neighbors" 1 (List.length (Option.get c.bgp).bgp_neighbors);
+  check Alcotest.int "statics" 1 (List.length c.statics);
+  check Alcotest.int "prefix lists" 2 (List.length c.prefix_lists)
+
+let test_roundtrip_sample () =
+  let c = Junos.parse_exn sample in
+  check Alcotest.bool "roundtrip" true (Junos.parse_exn (Junos.to_string c) = c)
+
+let test_cross_vendor_catalog () =
+  (* Every device of every catalog network survives Cisco -> AST -> Junos
+     -> AST unchanged. *)
+  List.iter
+    (fun (e : Netgen.Nets.entry) ->
+      List.iter
+        (fun c ->
+          let via_cisco = Parser.parse_exn (Printer.to_string c) in
+          let via_junos = Junos.parse_exn (Junos.to_string c) in
+          if via_cisco <> via_junos then
+            Alcotest.failf "net %s: %s differs across vendors" e.id
+              c.Ast.hostname)
+        (Netgen.Nets.configs e))
+    (Netgen.Nets.small ())
+
+let test_sniffing () =
+  check Alcotest.bool "junos detected" true (Junos.looks_like_junos sample);
+  check Alcotest.bool "cisco not junos" false
+    (Junos.looks_like_junos "hostname r1\ninterface Eth0\n");
+  check Alcotest.bool "comment skipped" true
+    (Junos.looks_like_junos "# generated\nsystem {\n}")
+
+let test_parse_errors () =
+  List.iter
+    (fun text ->
+      match Junos.parse text with
+      | Ok _ -> Alcotest.failf "expected error for %S" text
+      | Error m ->
+          check Alcotest.bool "line number" true
+            (String.length m >= 5 && String.sub m 0 5 = "line "))
+    [
+      "system {";                          (* unclosed block *)
+      "system { host-name r1 }";           (* missing ';' *)
+      "}";                                 (* unmatched brace *)
+      "system { bananas 1; }";             (* unsupported statement *)
+      "protocols { bgp { neighbor 10.0.0.1 { } } }"; (* no peer-as / local-as *)
+    ]
+
+let test_anonymize_junos_network () =
+  (* Author net CCNP in Junos syntax, parse it back, anonymize, and emit
+     Junos again: the vendor never mattered to the pipeline. *)
+  let cisco_configs = Netgen.Nets.configs (Netgen.Nets.find "CCNP") in
+  let junos_texts = List.map Junos.to_string cisco_configs in
+  let configs = List.map Junos.parse_exn junos_texts in
+  let params = { Confmask.Workflow.default_params with k_r = 4; k_h = 2 } in
+  let r = Confmask.Workflow.run_exn ~params configs in
+  check Alcotest.bool "functional equivalence" true
+    (Confmask.Workflow.functional_equivalence r);
+  (* The anonymized configs print as Junos and still parse. *)
+  List.iter
+    (fun c ->
+      let text = Junos.to_string c in
+      if Junos.parse_exn text <> c then
+        Alcotest.failf "anonymized %s does not round-trip in Junos"
+          c.Ast.hostname)
+    r.anon_configs
+
+(* qcheck: Junos round trip over generated configs (reusing the CiscoLite
+   generator through the printer). *)
+let gen_config =
+  let open QCheck2.Gen in
+  let gen_prefix =
+    map2
+      (fun a len -> Netcore.Prefix.v (Netcore.Ipv4.of_int a) len)
+      (int_bound 0xFFFFFF) (int_range 8 30)
+  in
+  let gen_iface i =
+    map2
+      (fun addr cost ->
+        {
+          (Ast.empty_interface (Printf.sprintf "Eth%d" i)) with
+          if_address = Some (Netcore.Ipv4.of_int addr, 24);
+          if_cost = (if cost = 0 then None else Some cost);
+        })
+      (int_bound 0xFFFFFF) (int_bound 3)
+  in
+  let gen_ifaces = List.init 3 gen_iface |> flatten_l in
+  let gen_ospf =
+    map
+      (fun nets ->
+        { (Ast.empty_ospf 1) with ospf_networks = List.map (fun p -> (p, 0)) nets })
+      (small_list gen_prefix)
+  in
+  let gen_statics =
+    small_list
+      (map2
+         (fun p nh -> { Ast.st_prefix = p; st_next_hop = Netcore.Ipv4.of_int nh })
+         gen_prefix (int_bound 0xFFFFFF))
+  in
+  QCheck2.Gen.map3
+    (fun ifaces ospf statics ->
+      {
+        (Ast.empty_config "rq") with
+        interfaces = ifaces;
+        ospf = Some ospf;
+        statics;
+      })
+    gen_ifaces gen_ospf gen_statics
+
+let prop_junos_roundtrip =
+  QCheck2.Test.make ~name:"junos: parse (print c) = c" ~count:300 gen_config
+    (fun c -> Junos.parse_exn (Junos.to_string c) = c)
+
+let prop_cross_vendor =
+  QCheck2.Test.make ~name:"cisco and junos agree on every config" ~count:300
+    gen_config (fun c ->
+      Parser.parse_exn (Printer.to_string c) = Junos.parse_exn (Junos.to_string c))
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest [ prop_junos_roundtrip; prop_cross_vendor ]
+
+let () =
+  Alcotest.run "junos"
+    [
+      ( "dialect",
+        [
+          Alcotest.test_case "parse sample" `Quick test_parse_sample;
+          Alcotest.test_case "roundtrip sample" `Quick test_roundtrip_sample;
+          Alcotest.test_case "cross-vendor catalog" `Quick test_cross_vendor_catalog;
+          Alcotest.test_case "vendor sniffing" `Quick test_sniffing;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "anonymize a junos network" `Quick
+            test_anonymize_junos_network;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,280 @@
+open Netcore
+
+let check = Alcotest.check
+let ip = Ipv4.of_string_exn
+let pfx = Prefix.of_string_exn
+
+(* -------------------- Ipv4 -------------------- *)
+
+let test_ipv4_roundtrip () =
+  List.iter
+    (fun s -> check Alcotest.string "roundtrip" s (Ipv4.to_string (ip s)))
+    [ "0.0.0.0"; "10.0.1.2"; "255.255.255.255"; "192.168.1.254" ]
+
+let test_ipv4_octets () =
+  let a = Ipv4.of_octets 10 20 30 40 in
+  check
+    Alcotest.(pair (pair int int) (pair int int))
+    "octets" ((10, 20), (30, 40))
+    (let a, b, c, d = Ipv4.to_octets a in
+     ((a, b), (c, d)));
+  check Alcotest.int "int value" ((10 lsl 24) lor (20 lsl 16) lor (30 lsl 8) lor 40)
+    (Ipv4.to_int a)
+
+let test_ipv4_bad () =
+  List.iter
+    (fun s ->
+      match Ipv4.of_string s with
+      | Ok _ -> Alcotest.failf "expected parse failure for %S" s
+      | Error _ -> ())
+    [ ""; "10.0.0"; "10.0.0.0.0"; "256.0.0.1"; "-1.0.0.0"; "a.b.c.d"; "10..0.1" ]
+
+let test_ipv4_add_wraps () =
+  check Alcotest.string "wrap" "0.0.0.1" (Ipv4.to_string (Ipv4.add (ip "255.255.255.255") 2))
+
+(* -------------------- Prefix -------------------- *)
+
+let test_prefix_canonical () =
+  let p = Prefix.v (ip "10.1.2.3") 24 in
+  check Alcotest.string "canonical" "10.1.2.0/24" (Prefix.to_string p);
+  check Alcotest.bool "equal to canonical" true
+    (Prefix.equal p (pfx "10.1.2.0/24"))
+
+let test_prefix_mem () =
+  let p = pfx "10.1.2.0/24" in
+  check Alcotest.bool "member" true (Prefix.mem (ip "10.1.2.255") p);
+  check Alcotest.bool "not member" false (Prefix.mem (ip "10.1.3.0") p);
+  check Alcotest.bool "everything in /0" true (Prefix.mem (ip "200.1.1.1") (pfx "0.0.0.0/0"))
+
+let test_prefix_subset () =
+  check Alcotest.bool "subset" true
+    (Prefix.subset ~sub:(pfx "10.1.2.0/25") ~super:(pfx "10.1.2.0/24"));
+  check Alcotest.bool "not subset" false
+    (Prefix.subset ~sub:(pfx "10.1.2.0/24") ~super:(pfx "10.1.2.0/25"));
+  check Alcotest.bool "self subset" true
+    (Prefix.subset ~sub:(pfx "10.1.2.0/24") ~super:(pfx "10.1.2.0/24"))
+
+let test_prefix_masks () =
+  check Alcotest.string "netmask" "255.255.255.0" (Ipv4.to_string (Prefix.netmask (pfx "10.0.0.0/24")));
+  check Alcotest.string "wildcard" "0.0.0.255" (Ipv4.to_string (Prefix.wildcard (pfx "10.0.0.0/24")));
+  check Alcotest.string "netmask /31" "255.255.255.254" (Ipv4.to_string (Prefix.netmask (pfx "10.0.0.0/31")));
+  check Alcotest.int "size" 256 (Prefix.size (pfx "10.0.0.0/24"))
+
+let test_prefix_32 () =
+  let p = pfx "10.1.2.3" in
+  check Alcotest.int "len" 32 (Prefix.length p);
+  check Alcotest.bool "mem self" true (Prefix.mem (ip "10.1.2.3") p)
+
+let test_alloc_avoids () =
+  let avoid = [ pfx "100.64.0.0/24"; pfx "100.64.2.0/23" ] in
+  let a = Prefix.alloc_create ~avoid () in
+  let p1 = Prefix.alloc_fresh a ~len:24 in
+  check Alcotest.string "first free /24" "100.64.1.0/24" (Prefix.to_string p1);
+  let p2 = Prefix.alloc_fresh a ~len:24 in
+  check Alcotest.string "skips avoided /23" "100.64.4.0/24" (Prefix.to_string p2);
+  let p3 = Prefix.alloc_fresh a ~len:30 in
+  check Alcotest.bool "no overlap with used" false
+    (List.exists (Prefix.overlaps p3) [ p1; p2 ]);
+  check Alcotest.int "used count" 3 (List.length (Prefix.alloc_used a))
+
+let test_alloc_exhaustion () =
+  let base = pfx "10.0.0.0/30" in
+  let a = Prefix.alloc_create ~base ~avoid:[] () in
+  let _ = Prefix.alloc_fresh a ~len:31 in
+  let _ = Prefix.alloc_fresh a ~len:31 in
+  Alcotest.check_raises "exhausted" (Failure "Prefix.alloc_fresh: pool exhausted")
+    (fun () -> ignore (Prefix.alloc_fresh a ~len:31))
+
+(* -------------------- Rng -------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  let xs r = List.init 20 (fun _ -> Rng.int r 1000) in
+  check Alcotest.(list int) "same seed, same stream" (xs a) (xs b)
+
+let test_rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 13 in
+    if x < 0 || x >= 13 then Alcotest.failf "out of bounds %d" x;
+    let f = Rng.float r in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of bounds %f" f
+  done
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 3 in
+  let xs = List.init 50 Fun.id in
+  let ys = Rng.shuffle r xs in
+  check Alcotest.(list int) "permutation" xs (List.sort Int.compare ys)
+
+(* -------------------- Graph -------------------- *)
+
+let test_graph_basic () =
+  let g = Graph.of_edges [ ("a", "b"); ("b", "c"); ("a", "b") ] in
+  check Alcotest.int "nodes" 3 (Graph.num_nodes g);
+  check Alcotest.int "edges (dedup)" 2 (Graph.num_edges g);
+  check Alcotest.bool "edge both ways" true
+    (Graph.mem_edge "a" "b" g && Graph.mem_edge "b" "a" g);
+  check Alcotest.int "degree" 2 (Graph.degree "b" g)
+
+let test_graph_no_self_loop () =
+  let g = Graph.add_edge "a" "a" Graph.empty in
+  check Alcotest.int "self loop ignored" 0 (Graph.num_edges g);
+  check Alcotest.bool "node added" true (Graph.mem_node "a" g)
+
+let test_graph_remove () =
+  let g = Graph.of_edges [ ("a", "b"); ("b", "c") ] in
+  let g = Graph.remove_edge "a" "b" g in
+  check Alcotest.bool "removed" false (Graph.mem_edge "a" "b" g);
+  check Alcotest.int "one left" 1 (Graph.num_edges g)
+
+let test_graph_edges_sorted () =
+  let g = Graph.of_edges [ ("c", "a"); ("b", "a") ] in
+  check
+    Alcotest.(list (pair string string))
+    "edges canonical" [ ("a", "b"); ("a", "c") ] (Graph.edges g)
+
+(* -------------------- Gmetrics -------------------- *)
+
+let triangle_plus_tail = Graph.of_edges [ ("a", "b"); ("b", "c"); ("a", "c"); ("c", "d") ]
+
+let test_degree_histogram () =
+  check
+    Alcotest.(list (pair int int))
+    "histogram" [ (1, 1); (2, 2); (3, 1) ]
+    (Gmetrics.degree_histogram triangle_plus_tail)
+
+let test_min_degree_group () =
+  check Alcotest.int "min group" 1 (Gmetrics.min_degree_group triangle_plus_tail);
+  let square = Graph.of_edges [ ("a", "b"); ("b", "c"); ("c", "d"); ("d", "a") ] in
+  check Alcotest.int "regular graph" 4 (Gmetrics.min_degree_group square);
+  check Alcotest.bool "k-anonymous" true (Gmetrics.is_k_degree_anonymous 4 square);
+  check Alcotest.bool "not 5-anonymous" false (Gmetrics.is_k_degree_anonymous 5 square)
+
+let test_clustering () =
+  let triangle = Graph.of_edges [ ("a", "b"); ("b", "c"); ("a", "c") ] in
+  check (Alcotest.float 1e-9) "triangle CC" 1.0 (Gmetrics.clustering_coefficient triangle);
+  let path = Graph.of_edges [ ("a", "b"); ("b", "c") ] in
+  check (Alcotest.float 1e-9) "path CC" 0.0 (Gmetrics.clustering_coefficient path);
+  (* a and b participate in a triangle, c has CC 1, d has degree 1 *)
+  let cc = Gmetrics.clustering_coefficient triangle_plus_tail in
+  check (Alcotest.float 1e-9) "mixed CC" ((1.0 +. 1.0 +. (1.0 /. 3.0) +. 0.0) /. 4.0) cc
+
+let test_bfs () =
+  let d = Gmetrics.bfs_distances triangle_plus_tail "a" in
+  check Alcotest.(option int) "dist d" (Some 2) (Graph.Smap.find_opt "d" d);
+  check Alcotest.(option int) "dist a" (Some 0) (Graph.Smap.find_opt "a" d)
+
+let test_components () =
+  let g = Graph.of_edges [ ("a", "b"); ("c", "d") ] in
+  check Alcotest.int "two components" 2 (List.length (Gmetrics.components g));
+  check Alcotest.bool "not connected" false (Gmetrics.connected g);
+  check Alcotest.bool "connected" true (Gmetrics.connected triangle_plus_tail)
+
+let test_dijkstra () =
+  let g = Graph.of_edges [ ("a", "b"); ("b", "c"); ("a", "c") ] in
+  let weight u v =
+    match (u, v) with
+    | "a", "c" | "c", "a" -> 10
+    | _ -> 1
+  in
+  let d = Gmetrics.dijkstra g ~weight "a" in
+  check Alcotest.(option int) "via b" (Some 2) (Graph.Smap.find_opt "c" d)
+
+let test_pearson () =
+  let xs = [ (1.0, 2.0); (2.0, 4.0); (3.0, 6.0) ] in
+  check (Alcotest.float 1e-9) "perfect" 1.0 (Gmetrics.pearson xs);
+  let ys = [ (1.0, 3.0); (2.0, 2.0); (3.0, 1.0) ] in
+  check (Alcotest.float 1e-9) "anti" (-1.0) (Gmetrics.pearson ys);
+  check Alcotest.bool "constant is nan" true
+    (Float.is_nan (Gmetrics.pearson [ (1.0, 1.0); (2.0, 1.0) ]))
+
+(* -------------------- qcheck properties -------------------- *)
+
+let prefix_gen =
+  QCheck2.Gen.(
+    map2
+      (fun addr len -> Prefix.v (Ipv4.of_int addr) len)
+      (int_bound 0xFFFFFFF) (int_bound 32))
+
+let prop_prefix_roundtrip =
+  QCheck2.Test.make ~name:"prefix string roundtrip" ~count:500 prefix_gen (fun p ->
+      Prefix.equal p (Prefix.of_string_exn (Prefix.to_string p)))
+
+let prop_prefix_mem_network =
+  QCheck2.Test.make ~name:"network address is member" ~count:500 prefix_gen
+    (fun p -> Prefix.mem (Prefix.network p) p)
+
+let prop_shuffle_preserves =
+  QCheck2.Test.make ~name:"shuffle preserves multiset" ~count:200
+    QCheck2.Gen.(pair int (small_list int))
+    (fun (seed, xs) ->
+      let r = Rng.create seed in
+      List.sort Int.compare (Rng.shuffle r xs) = List.sort Int.compare xs)
+
+let prop_graph_degree_sum =
+  QCheck2.Test.make ~name:"sum of degrees = 2|E|" ~count:200
+    QCheck2.Gen.(small_list (pair (int_bound 20) (int_bound 20)))
+    (fun pairs ->
+      let edges = List.map (fun (a, b) -> (string_of_int a, string_of_int b)) pairs in
+      let g = Graph.of_edges edges in
+      let sum = Graph.fold_nodes (fun v acc -> acc + Graph.degree v g) g 0 in
+      sum = 2 * Graph.num_edges g)
+
+let prop_clustering_range =
+  QCheck2.Test.make ~name:"clustering coefficient in [0,1]" ~count:200
+    QCheck2.Gen.(small_list (pair (int_bound 12) (int_bound 12)))
+    (fun pairs ->
+      let edges = List.map (fun (a, b) -> (string_of_int a, string_of_int b)) pairs in
+      let cc = Gmetrics.clustering_coefficient (Graph.of_edges edges) in
+      cc >= 0.0 && cc <= 1.0)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+    [ prop_prefix_roundtrip; prop_prefix_mem_network; prop_shuffle_preserves;
+      prop_graph_degree_sum; prop_clustering_range ]
+
+let () =
+  Alcotest.run "netcore"
+    [
+      ( "ipv4",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_ipv4_roundtrip;
+          Alcotest.test_case "octets" `Quick test_ipv4_octets;
+          Alcotest.test_case "malformed" `Quick test_ipv4_bad;
+          Alcotest.test_case "add wraps" `Quick test_ipv4_add_wraps;
+        ] );
+      ( "prefix",
+        [
+          Alcotest.test_case "canonicalization" `Quick test_prefix_canonical;
+          Alcotest.test_case "membership" `Quick test_prefix_mem;
+          Alcotest.test_case "subset" `Quick test_prefix_subset;
+          Alcotest.test_case "masks" `Quick test_prefix_masks;
+          Alcotest.test_case "host /32" `Quick test_prefix_32;
+          Alcotest.test_case "allocator avoids collisions" `Quick test_alloc_avoids;
+          Alcotest.test_case "allocator exhaustion" `Quick test_alloc_exhaustion;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_permutation;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "basics" `Quick test_graph_basic;
+          Alcotest.test_case "no self loops" `Quick test_graph_no_self_loop;
+          Alcotest.test_case "remove edge" `Quick test_graph_remove;
+          Alcotest.test_case "edges canonical" `Quick test_graph_edges_sorted;
+        ] );
+      ( "gmetrics",
+        [
+          Alcotest.test_case "degree histogram" `Quick test_degree_histogram;
+          Alcotest.test_case "min degree group" `Quick test_min_degree_group;
+          Alcotest.test_case "clustering coefficient" `Quick test_clustering;
+          Alcotest.test_case "bfs" `Quick test_bfs;
+          Alcotest.test_case "components" `Quick test_components;
+          Alcotest.test_case "dijkstra" `Quick test_dijkstra;
+          Alcotest.test_case "pearson" `Quick test_pearson;
+        ] );
+      ("properties", qsuite);
+    ]

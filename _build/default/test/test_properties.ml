@@ -1,0 +1,266 @@
+(* ACL (packet filter) semantics in the data plane, and the operational
+   check of Theorem B.7: the pipeline preserves all six routing utility
+   properties of Appendix B — including black holes and multipath
+   inconsistencies caused by access lists. *)
+
+open Routing
+
+let check = Alcotest.check
+let paths_t = Alcotest.(list (list string))
+
+let config lines = Configlang.Parser.parse_exn (String.concat "\n" lines)
+
+let host name addr gw =
+  config
+    [
+      "hostname " ^ name;
+      "interface eth0";
+      Printf.sprintf " ip address %s 255.255.255.0" addr;
+      "ip default-gateway " ^ gw;
+    ]
+
+(* h1 - r1 - r2 - h2, with r2 dropping h1 -> h2 traffic inbound. *)
+let line_net ?(acl = []) () =
+  [
+    config
+      [
+        "hostname r1";
+        "interface Eth0";
+        " ip address 10.0.12.1 255.255.255.0";
+        "!";
+        "interface Eth1";
+        " ip address 10.1.1.1 255.255.255.0";
+        "!";
+        "router ospf 1";
+        " network 10.0.0.0 0.255.255.255 area 0";
+      ];
+    config
+      ([
+         "hostname r2";
+         "interface Eth0";
+         " ip address 10.0.12.2 255.255.255.0";
+       ]
+      @ acl
+      @ [
+          "!";
+          "interface Eth1";
+          " ip address 10.2.2.1 255.255.255.0";
+          "!";
+          "router ospf 1";
+          " network 10.0.0.0 0.255.255.255 area 0";
+          "!";
+          "ip access-list extended NO_H1_TO_H2";
+          " deny ip 10.1.1.0 0.0.0.255 10.2.2.0 0.0.0.255";
+          " permit ip any any";
+        ]);
+    host "h1" "10.1.1.10" "10.1.1.1";
+    host "h2" "10.2.2.10" "10.2.2.1";
+  ]
+
+let acl_binding = [ " ip access-group NO_H1_TO_H2 in" ]
+
+let test_acl_blocks_directionally () =
+  let s = Simulate.run_exn (line_net ~acl:acl_binding ()) in
+  let t = Dataplane.traceroute s.net s.fibs ~src:"h1" ~dst:"h2" in
+  check paths_t "forward blocked" [] t.delivered;
+  check Alcotest.bool "filtered recorded" true (t.filtered <> []);
+  check Alcotest.bool "not a routing drop" true (t.dropped = []);
+  let back = Dataplane.traceroute s.net s.fibs ~src:"h2" ~dst:"h1" in
+  check paths_t "reverse delivered" [ [ "h2"; "r2"; "r1"; "h1" ] ] back.delivered
+
+let test_acl_unbound_is_inert () =
+  (* The ACL exists but is not attached to any interface. *)
+  let s = Simulate.run_exn (line_net ()) in
+  let t = Dataplane.traceroute s.net s.fibs ~src:"h1" ~dst:"h2" in
+  check paths_t "delivered" [ [ "h1"; "r1"; "r2"; "h2" ] ] t.delivered
+
+let test_acl_undefined_rejected () =
+  let bad =
+    config
+      [
+        "hostname rx";
+        "interface Eth0";
+        " ip address 10.0.0.1 255.255.255.0";
+        " ip access-group NOPE in";
+      ]
+  in
+  match Device.compile [ bad ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected undefined access-list error"
+
+let test_acl_roundtrip () =
+  let c = List.nth (line_net ~acl:acl_binding ()) 1 in
+  let c' = Configlang.Parser.parse_exn (Configlang.Printer.to_string c) in
+  check Alcotest.bool "parse-print roundtrip" true (c = c')
+
+(* Square q1-q2-q3, q1-q4-q3 with ECMP; ACL kills only the q2 branch. *)
+let square_net () =
+  let r name addrs ?(acl_iface = None) () =
+    config
+      ([ "hostname " ^ name ]
+      @ List.concat_map
+          (fun (i, a) ->
+            [
+              Printf.sprintf "interface Eth%d" i;
+              Printf.sprintf " ip address %s 255.255.255.0" a;
+            ]
+            @ (if acl_iface = Some i then [ " ip access-group KILL in" ] else [])
+            @ [ "!" ])
+          (List.mapi (fun i a -> (i, a)) addrs)
+      @ [ "router ospf 1"; " network 10.0.0.0 0.255.255.255 area 0"; "!";
+          "ip access-list extended KILL";
+          " deny ip 10.10.1.0 0.0.0.255 10.10.3.0 0.0.0.255";
+          " permit ip any any" ])
+  in
+  [
+    r "q1" [ "10.0.12.1"; "10.0.41.1"; "10.10.1.1" ] ();
+    r "q2" [ "10.0.12.2"; "10.0.23.2" ] ~acl_iface:(Some 0) ();
+    r "q3" [ "10.0.23.3"; "10.0.34.3"; "10.10.3.1" ] ();
+    r "q4" [ "10.0.34.4"; "10.0.41.4" ] ();
+    host "ha" "10.10.1.10" "10.10.1.1";
+    host "hc" "10.10.3.10" "10.10.3.1";
+  ]
+
+let test_multipath_inconsistency () =
+  let s = Simulate.run_exn (square_net ()) in
+  let t = Dataplane.traceroute s.net s.fibs ~src:"ha" ~dst:"hc" in
+  check paths_t "only the q4 branch delivers"
+    [ [ "ha"; "q1"; "q4"; "q3"; "hc" ] ]
+    t.delivered;
+  check Alcotest.bool "other branch filtered" true (t.filtered <> []);
+  let dp = Simulate.dataplane s in
+  let props = Confmask.Properties.mine dp in
+  check Alcotest.bool "multipath inconsistency mined" true
+    (List.mem (Confmask.Properties.Multipath_inconsistent ("ha", "hc")) props);
+  check Alcotest.bool "black hole mined" true
+    (List.mem (Confmask.Properties.Black_hole ("ha", "hc")) props);
+  check Alcotest.bool "reverse consistent" false
+    (List.mem (Confmask.Properties.Multipath_inconsistent ("hc", "ha")) props)
+
+let test_properties_mining () =
+  let s = Simulate.run_exn (line_net ~acl:acl_binding ()) in
+  let dp = Simulate.dataplane s in
+  let props = Confmask.Properties.mine dp in
+  let has p = List.mem p props in
+  check Alcotest.bool "h2 reaches h1" true (has (Confmask.Properties.Reachable ("h2", "h1")));
+  check Alcotest.bool "h1 does not reach h2" false
+    (has (Confmask.Properties.Reachable ("h1", "h2")));
+  check Alcotest.bool "black hole" true (has (Confmask.Properties.Black_hole ("h1", "h2")));
+  check Alcotest.bool "path length mined" true
+    (has (Confmask.Properties.Path_length ("h2", "h1", 2)));
+  check Alcotest.bool "waypoint mined" true
+    (has (Confmask.Properties.Waypointed ("h2", "h1", "r1")))
+
+(* Theorem B.7, operationally: anonymize a network containing an ACL black
+   hole and check that every property — including the black hole and the
+   multipath inconsistency — survives unchanged. *)
+let theorem_b7 name configs =
+  let params = { Confmask.Workflow.default_params with k_r = 4; k_h = 2 } in
+  let r = Confmask.Workflow.run_exn ~params configs in
+  let hosts = Confmask.Workflow.real_hosts r in
+  let diff =
+    Confmask.Properties.compare_properties ~hosts
+      ~orig:(Routing.Simulate.dataplane r.orig_snapshot)
+      ~anon:(Routing.Simulate.dataplane r.anon_snapshot)
+  in
+  if not (Confmask.Properties.preserved diff) then
+    Alcotest.failf "%s: lost %s / gained %s" name
+      (String.concat ", " (List.map Confmask.Properties.to_string diff.lost))
+      (String.concat ", " (List.map Confmask.Properties.to_string diff.gained));
+  check Alcotest.bool (name ^ ": some properties exist") true (diff.kept <> [])
+
+let test_theorem_b7_blackhole () = theorem_b7 "line+acl" (line_net ~acl:acl_binding ())
+let test_theorem_b7_multipath () = theorem_b7 "square+acl" (square_net ())
+
+let test_theorem_b7_fattree () =
+  (* A bigger run without ACLs: reachability, lengths, waypoints, ECMP. *)
+  theorem_b7 "fattree04" (Netgen.Nets.configs (Netgen.Nets.find "G"))
+
+(* qcheck: inject a random deny-ACL into a random WAN, then check that the
+   pipeline preserves every Appendix-B property. *)
+let prop_b7_random =
+  QCheck2.Test.make ~name:"theorem B.7 on random nets with random ACLs" ~count:10
+    QCheck2.Gen.(
+      tup4 (int_range 4 9) (int_range 0 5) (int_bound 50000) (int_bound 1000))
+    (fun (n, extra, seed, pick) ->
+      let spec =
+        Netgen.Wan.waxman ~seed ~name:"rb" ~routers:n ~router_links:(n - 1 + extra)
+          ~hosts:(min n 4)
+      in
+      let configs = Netgen.Emit.emit spec in
+      (* Drop one random host pair's traffic inbound at one random router
+         interface. *)
+      let hosts = List.map fst spec.Netgen.Netspec.hosts in
+      let src_h = List.nth hosts (pick mod List.length hosts) in
+      let dst_h = List.nth hosts ((pick / 7) mod List.length hosts) in
+      let subnet_of h =
+        let c = List.find (fun (c : Configlang.Ast.config) -> c.hostname = h) configs in
+        Option.get (Configlang.Ast.interface_prefix (List.hd c.interfaces))
+      in
+      let routers = spec.Netgen.Netspec.routers in
+      let victim = List.nth routers ((pick / 3) mod List.length routers) in
+      let configs =
+        List.map
+          (fun (c : Configlang.Ast.config) ->
+            if c.hostname <> victim then c
+            else
+              let acl =
+                {
+                  Configlang.Ast.acl_name = "RNDKILL";
+                  acl_rules =
+                    [
+                      {
+                        Configlang.Ast.acl_action = Configlang.Ast.Deny;
+                        acl_src = Some (subnet_of src_h);
+                        acl_dst = Some (subnet_of dst_h);
+                      };
+                      {
+                        Configlang.Ast.acl_action = Configlang.Ast.Permit;
+                        acl_src = None;
+                        acl_dst = None;
+                      };
+                    ];
+                }
+              in
+              let interfaces =
+                match c.interfaces with
+                | i :: rest -> { i with Configlang.Ast.if_acl_in = Some "RNDKILL" } :: rest
+                | [] -> []
+              in
+              { c with interfaces; acls = [ acl ] })
+          configs
+      in
+      let params =
+        { Confmask.Workflow.default_params with k_r = 3; k_h = 2; seed }
+      in
+      match Confmask.Workflow.run ~params configs with
+      | Error m -> QCheck2.Test.fail_reportf "pipeline failed: %s" m
+      | Ok r ->
+          let hosts = Confmask.Workflow.real_hosts r in
+          Confmask.Properties.preserved
+            (Confmask.Properties.compare_properties ~hosts
+               ~orig:(Routing.Simulate.dataplane r.orig_snapshot)
+               ~anon:(Routing.Simulate.dataplane r.anon_snapshot)))
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_b7_random ]
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "acl",
+        [
+          Alcotest.test_case "directional blocking" `Quick test_acl_blocks_directionally;
+          Alcotest.test_case "unbound ACL inert" `Quick test_acl_unbound_is_inert;
+          Alcotest.test_case "undefined ACL rejected" `Quick test_acl_undefined_rejected;
+          Alcotest.test_case "parse-print roundtrip" `Quick test_acl_roundtrip;
+          Alcotest.test_case "multipath inconsistency" `Quick test_multipath_inconsistency;
+        ] );
+      ( "appendix-b",
+        [
+          Alcotest.test_case "mining" `Quick test_properties_mining;
+          Alcotest.test_case "theorem B.7 with black hole" `Quick test_theorem_b7_blackhole;
+          Alcotest.test_case "theorem B.7 with multipath" `Quick test_theorem_b7_multipath;
+          Alcotest.test_case "theorem B.7 on fattree" `Quick test_theorem_b7_fattree;
+        ] );
+      ("qcheck", qsuite);
+    ]

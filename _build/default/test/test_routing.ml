@@ -1,0 +1,951 @@
+(* Tests of the control-plane simulator against the paper's running
+   examples: the §3.2 four-router OSPF network (including the strawman
+   fake-edge behaviors the anonymizer relies on), RIP ECMP, and a small
+   BGP+OSPF multi-AS network. *)
+
+open Routing
+
+let check = Alcotest.check
+let path_t = Alcotest.(list string)
+let paths_t = Alcotest.(list path_t)
+
+let config lines = Configlang.Parser.parse_exn (String.concat "\n" lines)
+
+(* ---- §3.2 example: h1 - r1 - r3 - r2 - r4 - h4, low costs on r1-r3-r2 ---- *)
+
+let r1 ?(fake = []) () =
+  config
+    ([
+       "hostname r1";
+       "interface Eth0";
+       " ip address 10.0.13.1 255.255.255.0";
+       " ip ospf cost 1";
+       "!";
+       "interface Eth1";
+       " ip address 10.1.1.1 255.255.255.0";
+       "!";
+     ]
+    @ fake
+    @ [ "router ospf 1"; " network 10.0.0.0 0.255.255.255 area 0";
+        " network 100.64.0.0 0.63.255.255 area 0" ])
+
+let r3 =
+  config
+    [
+      "hostname r3";
+      "interface Eth0";
+      " ip address 10.0.13.3 255.255.255.0";
+      " ip ospf cost 1";
+      "!";
+      "interface Eth1";
+      " ip address 10.0.23.3 255.255.255.0";
+      " ip ospf cost 1";
+      "!";
+      "router ospf 1";
+      " network 10.0.0.0 0.255.255.255 area 0";
+    ]
+
+let r2 =
+  config
+    [
+      "hostname r2";
+      "interface Eth0";
+      " ip address 10.0.23.2 255.255.255.0";
+      " ip ospf cost 1";
+      "!";
+      "interface Eth1";
+      " ip address 10.0.24.2 255.255.255.0";
+      "!";
+      "interface Eth2";
+      " ip address 10.2.2.1 255.255.255.0";
+      "!";
+      "router ospf 1";
+      " network 10.0.0.0 0.255.255.255 area 0";
+    ]
+
+let r4 ?(fake = []) () =
+  config
+    ([
+       "hostname r4";
+       "interface Eth0";
+       " ip address 10.0.24.4 255.255.255.0";
+       "!";
+       "interface Eth1";
+       " ip address 10.4.4.1 255.255.255.0";
+       "!";
+     ]
+    @ fake
+    @ [ "router ospf 1"; " network 10.0.0.0 0.255.255.255 area 0";
+        " network 100.64.0.0 0.63.255.255 area 0" ])
+
+let host name addr gw =
+  config
+    [
+      "hostname " ^ name;
+      "interface eth0";
+      Printf.sprintf " ip address %s 255.255.255.0" addr;
+      "ip default-gateway " ^ gw;
+    ]
+
+let h1 = host "h1" "10.1.1.10" "10.1.1.1"
+let h2 = host "h2" "10.2.2.10" "10.2.2.1"
+let h4 = host "h4" "10.4.4.10" "10.4.4.1"
+
+let example_net ?(r1_fake = []) ?(r4_fake = []) () =
+  [ r1 ~fake:r1_fake (); r2; r3; r4 ~fake:r4_fake (); h1; h2; h4 ]
+
+let fake_iface addr cost =
+  [
+    "interface Eth9";
+    Printf.sprintf " ip address %s 255.255.255.0" addr;
+    Printf.sprintf " ip ospf cost %d" cost;
+    "!";
+  ]
+
+let test_ospf_original_paths () =
+  let s = Simulate.run_exn (example_net ()) in
+  let dp = Simulate.dataplane s in
+  check paths_t "h1 -> h4 single path"
+    [ [ "h1"; "r1"; "r3"; "r2"; "r4"; "h4" ] ]
+    (Dataplane.paths dp ~src:"h1" ~dst:"h4");
+  check paths_t "h4 -> h1 reverse"
+    [ [ "h4"; "r4"; "r2"; "r3"; "r1"; "h1" ] ]
+    (Dataplane.paths dp ~src:"h4" ~dst:"h1");
+  check paths_t "h1 -> h2"
+    [ [ "h1"; "r1"; "r3"; "r2"; "h2" ] ]
+    (Dataplane.paths dp ~src:"h1" ~dst:"h2")
+
+(* Strawman step 2(i): fake edge with default cost migrates the path. *)
+let test_fake_edge_default_cost_migrates () =
+  let nets =
+    example_net
+      ~r1_fake:(fake_iface "100.64.0.1" 10)
+      ~r4_fake:(fake_iface "100.64.0.2" 10)
+      ()
+  in
+  let s = Simulate.run_exn nets in
+  let dp = Simulate.dataplane s in
+  check paths_t "migrated to fake edge"
+    [ [ "h1"; "r1"; "r4"; "h4" ] ]
+    (Dataplane.paths dp ~src:"h1" ~dst:"h4")
+
+(* Strawman step 2(ii): a huge cost keeps paths but carries no traffic. *)
+let test_fake_edge_large_cost_preserves () =
+  let nets =
+    example_net
+      ~r1_fake:(fake_iface "100.64.0.1" 1000)
+      ~r4_fake:(fake_iface "100.64.0.2" 1000)
+      ()
+  in
+  let s = Simulate.run_exn nets in
+  let dp = Simulate.dataplane s in
+  check paths_t "original path preserved"
+    [ [ "h1"; "r1"; "r3"; "r2"; "r4"; "h4" ] ]
+    (Dataplane.paths dp ~src:"h1" ~dst:"h4")
+
+(* Strawman step 2(iii): matching min_cost creates ECMP over the fake edge. *)
+let test_fake_edge_matched_cost_multipath () =
+  let nets =
+    example_net
+      ~r1_fake:(fake_iface "100.64.0.1" 12)
+      ~r4_fake:(fake_iface "100.64.0.2" 12)
+      ()
+  in
+  let s = Simulate.run_exn nets in
+  let dp = Simulate.dataplane s in
+  check paths_t "traffic split across fake and real"
+    [ [ "h1"; "r1"; "r3"; "r2"; "r4"; "h4" ]; [ "h1"; "r1"; "r4"; "h4" ] ]
+    (List.sort compare (Dataplane.paths dp ~src:"h1" ~dst:"h4"))
+
+(* ConfMask's fix: a distribute-list rejecting the equal-cost fake next hop
+   restores the original forwarding exactly. *)
+let test_filter_restores_equivalence () =
+  let r1_fake =
+    fake_iface "100.64.0.1" 12
+    @ [
+        "ip prefix-list FIX1 seq 5 deny 10.4.4.0/24";
+        "ip prefix-list FIX1 seq 100 permit 0.0.0.0/0 le 32";
+      ]
+  in
+  let r4_fake =
+    fake_iface "100.64.0.2" 12
+    @ [
+        "ip prefix-list FIX4 seq 5 deny 10.1.1.0/24";
+        "ip prefix-list FIX4 seq 100 permit 0.0.0.0/0 le 32";
+      ]
+  in
+  (* Rebuild r1/r4 with the distribute-list bound inside the OSPF block. *)
+  let patch c name =
+    let open Configlang.Ast in
+    match c.ospf with
+    | Some o ->
+        {
+          c with
+          ospf =
+            Some
+              {
+                o with
+                ospf_distribute_in = [ { dl_list = name; dl_iface = "Eth9" } ];
+              };
+        }
+    | None -> c
+  in
+  let nets =
+    List.map
+      (fun c ->
+        let open Configlang.Ast in
+        if c.hostname = "r1" then patch c "FIX1"
+        else if c.hostname = "r4" then patch c "FIX4"
+        else c)
+      (example_net ~r1_fake ~r4_fake ())
+  in
+  let s = Simulate.run_exn nets in
+  let dp = Simulate.dataplane s in
+  check paths_t "h1 -> h4 restored"
+    [ [ "h1"; "r1"; "r3"; "r2"; "r4"; "h4" ] ]
+    (Dataplane.paths dp ~src:"h1" ~dst:"h4");
+  check paths_t "h4 -> h1 restored"
+    [ [ "h4"; "r4"; "r2"; "r3"; "r1"; "h1" ] ]
+    (Dataplane.paths dp ~src:"h4" ~dst:"h1");
+  (* The baseline data plane is fully restored. *)
+  let base = Simulate.run_exn (example_net ()) in
+  let dp0 = Simulate.dataplane base in
+  check Alcotest.bool "route equivalence" true
+    (Dataplane.equal_on ~hosts:[ "h1"; "h2"; "h4" ] dp0 dp)
+
+let test_min_cost () =
+  let s = Simulate.run_exn (example_net ()) in
+  let d = Ospf.min_cost s.net "r1" in
+  check Alcotest.(option int) "min cost r1->r4" (Some 12)
+    (Device.Smap.find_opt "r4" d);
+  check Alcotest.(option int) "min cost r1->r3" (Some 1)
+    (Device.Smap.find_opt "r3" d)
+
+let test_topology_graphs () =
+  let s = Simulate.run_exn (example_net ()) in
+  let g = Device.router_graph s.net in
+  check Alcotest.int "router nodes" 4 (Netcore.Graph.num_nodes g);
+  check Alcotest.int "router edges" 3 (Netcore.Graph.num_edges g);
+  let fg = Device.full_graph s.net in
+  check Alcotest.int "full nodes" 7 (Netcore.Graph.num_nodes fg);
+  check Alcotest.int "full edges" 6 (Netcore.Graph.num_edges fg)
+
+let test_compile_errors () =
+  let dup = [ r3; r3 ] in
+  (match Device.compile dup with
+  | Error m ->
+      check Alcotest.bool "duplicate hostname" true
+        (String.length m > 0)
+  | Ok _ -> Alcotest.fail "expected duplicate hostname error");
+  let orphan = [ host "h9" "172.31.0.10" "172.31.0.1" ] in
+  (match Device.compile orphan with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected unattached host error");
+  let undefined_filter =
+    [
+      config
+        [
+          "hostname rx";
+          "interface Eth0";
+          " ip address 10.0.0.1 255.255.255.0";
+          "router ospf 1";
+          " network 10.0.0.0 0.255.255.255 area 0";
+          " distribute-list prefix NOPE in Eth0";
+        ];
+    ]
+  in
+  match Device.compile undefined_filter with
+  | Error m -> check Alcotest.bool "undefined prefix list" true (String.length m > 0)
+  | Ok _ -> Alcotest.fail "expected undefined prefix-list error"
+
+let test_no_route_dropped () =
+  (* h4's prefix removed from OSPF: destination unreachable from h1. *)
+  let r4_no_adv =
+    config
+      [
+        "hostname r4";
+        "interface Eth0";
+        " ip address 10.0.24.4 255.255.255.0";
+        "!";
+        "interface Eth1";
+        " ip address 172.20.4.1 255.255.255.0";
+        "!";
+        "router ospf 1";
+        " network 10.0.0.0 0.255.255.255 area 0";
+      ]
+  in
+  let h4' = host "h4" "172.20.4.10" "172.20.4.1" in
+  let s = Simulate.run_exn [ r1 (); r2; r3; r4_no_adv; h1; h2; h4' ] in
+  let dp = Simulate.dataplane s in
+  let t = Hashtbl.find dp ("h1", "h4") in
+  check paths_t "no delivery" [] t.delivered;
+  check Alcotest.bool "dropped recorded" true (t.dropped <> [])
+
+(* ---------------- RIP ---------------- *)
+
+let rip_router name addrs =
+  config
+    ([ "hostname " ^ name ]
+    @ List.concat_map
+        (fun (i, addr) ->
+          [
+            Printf.sprintf "interface Eth%d" i;
+            Printf.sprintf " ip address %s 255.255.255.0" addr;
+            "!";
+          ])
+        (List.mapi (fun i a -> (i, a)) addrs)
+    @ [ "router rip"; " network 10.0.0.0 0.255.255.255" ])
+
+(* Square: q1 - q2 - q3 - q4 - q1, host a on q1, host c on q3. *)
+let rip_net () =
+  [
+    rip_router "q1" [ "10.0.12.1"; "10.0.41.1"; "10.10.1.1" ];
+    rip_router "q2" [ "10.0.12.2"; "10.0.23.2" ];
+    rip_router "q3" [ "10.0.23.3"; "10.0.34.3"; "10.10.3.1" ];
+    rip_router "q4" [ "10.0.34.4"; "10.0.41.4" ];
+    host "ha" "10.10.1.10" "10.10.1.1";
+    host "hc" "10.10.3.10" "10.10.3.1";
+  ]
+
+let test_rip_ecmp () =
+  let s = Simulate.run_exn (rip_net ()) in
+  let dp = Simulate.dataplane s in
+  check paths_t "two equal-hop paths"
+    [ [ "ha"; "q1"; "q2"; "q3"; "hc" ]; [ "ha"; "q1"; "q4"; "q3"; "hc" ] ]
+    (List.sort compare (Dataplane.paths dp ~src:"ha" ~dst:"hc"))
+
+let test_rip_filter () =
+  let nets =
+    List.map
+      (fun c ->
+        let open Configlang.Ast in
+        if c.hostname <> "q1" then c
+        else
+          let c =
+            add_prefix_list_rule c "NOQ2" Deny
+              (Netcore.Prefix.of_string_exn "10.10.3.0/24")
+          in
+          let c =
+            add_prefix_list_rule c "NOQ2" Permit
+              (Netcore.Prefix.of_string_exn "0.0.0.0/0")
+          in
+          (* Fix the catch-all to cover all lengths. *)
+          let prefix_lists =
+            List.map
+              (fun pl ->
+                if pl.pl_name = "NOQ2" then
+                  { pl with
+                    pl_rules =
+                      List.map
+                        (fun r ->
+                          if r.action = Permit then { r with le = Some 32 } else r)
+                        pl.pl_rules }
+                else pl)
+              c.prefix_lists
+          in
+          let rip =
+            Option.map
+              (fun r ->
+                { r with rip_distribute_in = [ { dl_list = "NOQ2"; dl_iface = "Eth0" } ] })
+              c.rip
+          in
+          { c with prefix_lists; rip })
+      (rip_net ())
+  in
+  let s = Simulate.run_exn nets in
+  let dp = Simulate.dataplane s in
+  check paths_t "filtered down to one path"
+    [ [ "ha"; "q1"; "q4"; "q3"; "hc" ] ]
+    (Dataplane.paths dp ~src:"ha" ~dst:"hc")
+
+let test_parallel_links () =
+  (* Two subnets between p1 and p2: the lower-cost one wins; equal costs
+     give two adjacencies but a single next-hop router. *)
+  let p1 =
+    config
+      [
+        "hostname p1";
+        "interface Eth0";
+        " ip address 10.0.1.1 255.255.255.0";
+        " ip ospf cost 5";
+        "!";
+        "interface Eth1";
+        " ip address 10.0.2.1 255.255.255.0";
+        "!";
+        "interface Eth2";
+        " ip address 10.10.1.1 255.255.255.0";
+        "!";
+        "router ospf 1";
+        " network 10.0.0.0 0.255.255.255 area 0";
+      ]
+  in
+  let p2 =
+    config
+      [
+        "hostname p2";
+        "interface Eth0";
+        " ip address 10.0.1.2 255.255.255.0";
+        " ip ospf cost 5";
+        "!";
+        "interface Eth1";
+        " ip address 10.0.2.2 255.255.255.0";
+        "!";
+        "interface Eth2";
+        " ip address 10.10.2.1 255.255.255.0";
+        "!";
+        "router ospf 1";
+        " network 10.0.0.0 0.255.255.255 area 0";
+      ]
+  in
+  let nets =
+    [ p1; p2; host "ha" "10.10.1.10" "10.10.1.1"; host "hb" "10.10.2.10" "10.10.2.1" ]
+  in
+  let s = Simulate.run_exn nets in
+  let fib = Device.Smap.find "p1" s.fibs in
+  match Fib.lookup fib (Netcore.Ipv4.of_string_exn "10.10.2.10") with
+  | Some r ->
+      check Alcotest.(list string) "single next-hop router" [ "p2" ]
+        (Fib.nexthop_names r);
+      (* The cheap (cost 5) parallel link is chosen. *)
+      check Alcotest.int "metric uses cheap link" (5 + 10) r.rt_metric
+  | None -> Alcotest.fail "expected route"
+
+let test_asymmetric_costs () =
+  (* r1 -> r3 is cheap in one direction only: forward and reverse paths
+     differ, which the per-direction min_cost must reflect. *)
+  let mk name addr_cost_list host_subnet =
+    config
+      ([ "hostname " ^ name ]
+      @ List.concat_map
+          (fun (i, addr, cost) ->
+            [
+              Printf.sprintf "interface Eth%d" i;
+              Printf.sprintf " ip address %s 255.255.255.0" addr;
+            ]
+            @ (match cost with
+              | Some c -> [ Printf.sprintf " ip ospf cost %d" c ]
+              | None -> [])
+            @ [ "!" ])
+          addr_cost_list
+      @ (match host_subnet with
+        | Some a ->
+            [ "interface Eth9"; Printf.sprintf " ip address %s 255.255.255.0" a; "!" ]
+        | None -> [])
+      @ [ "router ospf 1"; " network 10.0.0.0 0.255.255.255 area 0" ])
+  in
+  let a1 = mk "a1" [ (0, "10.0.12.1", Some 1); (1, "10.0.13.1", Some 30) ] (Some "10.20.1.1") in
+  let a2 = mk "a2" [ (0, "10.0.12.2", Some 1); (1, "10.0.23.2", Some 1) ] None in
+  let a3 = mk "a3" [ (0, "10.0.13.3", Some 1); (1, "10.0.23.3", Some 1) ] (Some "10.20.3.1") in
+  let nets =
+    [ a1; a2; a3; host "hx" "10.20.1.10" "10.20.1.1"; host "hy" "10.20.3.10" "10.20.3.1" ]
+  in
+  let s = Simulate.run_exn nets in
+  let d13 = Ospf.min_cost s.net "a1" in
+  let d31 = Ospf.min_cost s.net "a3" in
+  (* a1 -> a3: direct costs 30, via a2 costs 1 + 1 = 2. *)
+  check Alcotest.(option int) "a1 -> a3" (Some 2) (Device.Smap.find_opt "a3" d13);
+  (* a3 -> a1: direct costs 1 (a3's side), via a2 costs 1 + 1 = 2. *)
+  check Alcotest.(option int) "a3 -> a1" (Some 1) (Device.Smap.find_opt "a1" d31);
+  let dp = Simulate.dataplane s in
+  check paths_t "forward path detours"
+    [ [ "hx"; "a1"; "a2"; "a3"; "hy" ] ]
+    (Dataplane.paths dp ~src:"hx" ~dst:"hy");
+  check paths_t "reverse path direct"
+    [ [ "hy"; "a3"; "a1"; "hx" ] ]
+    (Dataplane.paths dp ~src:"hy" ~dst:"hx")
+
+let test_static_route_overrides_igp () =
+  (* r1 has a static route for h4's subnet via r4's direct... there is no
+     direct link, so use the example net: static at r1 pointing h4 via r3
+     is redundant; instead point h2's prefix via the r1-r3 neighbor and
+     check AD 1 wins over OSPF and that forwarding follows it. *)
+  let nets =
+    List.map
+      (fun c ->
+        let open Configlang.Ast in
+        if c.hostname <> "r1" then c
+        else
+          {
+            c with
+            statics =
+              [
+                {
+                  st_prefix = Netcore.Prefix.of_string_exn "10.2.2.0/24";
+                  st_next_hop = Netcore.Ipv4.of_string_exn "10.0.13.3";
+                };
+              ];
+          })
+      (example_net ())
+  in
+  let s = Simulate.run_exn nets in
+  let fib = Device.Smap.find "r1" s.fibs in
+  (match Fib.lookup fib (Netcore.Ipv4.of_string_exn "10.2.2.10") with
+  | Some r -> check Alcotest.string "static wins" "static" (Fib.proto_to_string r.rt_proto)
+  | None -> Alcotest.fail "expected a route");
+  let dp = Simulate.dataplane s in
+  check paths_t "forwarding unchanged (same next hop)"
+    [ [ "h1"; "r1"; "r3"; "r2"; "h2" ] ]
+    (Dataplane.paths dp ~src:"h1" ~dst:"h2")
+
+let test_static_route_detour () =
+  (* Pointing h4's prefix at the r1-r3 link is the OSPF path anyway; a
+     static via a *fake-looking* neighbor must actually move traffic:
+     give r2 a static for h1 via r4 (the wrong direction) and watch the
+     detour... which loops, demonstrating that statics are honored over
+     the IGP and that the walker reports the loop. *)
+  let nets =
+    List.map
+      (fun c ->
+        let open Configlang.Ast in
+        if c.hostname <> "r2" then c
+        else
+          {
+            c with
+            statics =
+              [
+                {
+                  st_prefix = Netcore.Prefix.of_string_exn "10.1.1.0/24";
+                  st_next_hop = Netcore.Ipv4.of_string_exn "10.0.24.4";
+                };
+              ];
+          })
+      (example_net ())
+  in
+  let s = Simulate.run_exn nets in
+  let t = Dataplane.traceroute s.net s.fibs ~src:"h4" ~dst:"h1" in
+  check paths_t "no delivery" [] t.delivered;
+  check Alcotest.bool "loop detected" true (t.looped <> [])
+
+let test_static_requires_connected_nexthop () =
+  (* A static whose next hop is not on any connected subnet is ignored. *)
+  let nets =
+    List.map
+      (fun c ->
+        let open Configlang.Ast in
+        if c.hostname <> "r1" then c
+        else
+          {
+            c with
+            statics =
+              [
+                {
+                  st_prefix = Netcore.Prefix.of_string_exn "10.2.2.0/24";
+                  st_next_hop = Netcore.Ipv4.of_string_exn "172.31.0.1";
+                };
+              ];
+          })
+      (example_net ())
+  in
+  let s = Simulate.run_exn nets in
+  let fib = Device.Smap.find "r1" s.fibs in
+  match Fib.lookup fib (Netcore.Ipv4.of_string_exn "10.2.2.10") with
+  | Some r -> check Alcotest.string "falls back to ospf" "ospf" (Fib.proto_to_string r.rt_proto)
+  | None -> Alcotest.fail "expected a route"
+
+(* ---------------- EIGRP ---------------- *)
+
+let test_eigrp_delay_metric () =
+  (* The eigrp_lab's direct e1-e5 link has delay 100, so the composite
+     metric prefers the three-hop detour — a hop-count protocol would
+     take the direct link. *)
+  let s = Simulate.run_exn (Netgen.Emit.emit (Netgen.Smallnets.eigrp_lab ())) in
+  let dp = Simulate.dataplane s in
+  check paths_t "delay-based path"
+    [ [ "he1"; "e1"; "e2"; "e3"; "e5"; "he5" ] ]
+    (Dataplane.paths dp ~src:"he1" ~dst:"he5");
+  (* Confirm the routes really are EIGRP ones with AD 90. *)
+  let fib = Device.Smap.find "e1" s.fibs in
+  match Fib.lookup fib (Netcore.Ipv4.of_string_exn "10.128.2.10") with
+  | Some r ->
+      check Alcotest.string "protocol" "eigrp" (Fib.proto_to_string r.rt_proto)
+  | None -> Alcotest.fail "expected a route"
+
+let test_eigrp_filter () =
+  (* Denying he5's prefix on e1's detour interface forces the direct link
+     despite its worse metric. *)
+  let nets =
+    List.map
+      (fun c ->
+        let open Configlang.Ast in
+        if c.hostname <> "e1" then c
+        else
+          let c =
+            Confmask.Edits.deny_on_iface c ~iface:"Eth0"
+              (Netcore.Prefix.of_string_exn "10.128.2.0/24")
+          in
+          c)
+      (Netgen.Emit.emit (Netgen.Smallnets.eigrp_lab ()))
+  in
+  let s = Simulate.run_exn nets in
+  let dp = Simulate.dataplane s in
+  check paths_t "rerouted to direct link"
+    [ [ "he1"; "e1"; "e5"; "he5" ] ]
+    (Dataplane.paths dp ~src:"he1" ~dst:"he5")
+
+(* ---------------- BGP ---------------- *)
+
+(* AS100 {ra1, ra2 + host ha}, AS200 {rb1 + host hb}, AS300 {rc1 + host hc}.
+   eBGP triangle AS100-AS200-AS300 plus direct AS100-AS300 link. *)
+let bgp_nets ?(ra1_extra_bgp = []) () =
+  [
+    config
+      ([
+         "hostname ra1";
+         "interface Eth0";
+         " ip address 10.0.12.1 255.255.255.0";
+         "!";
+         "interface Eth1";
+         " ip address 172.16.12.1 255.255.255.0";
+         "!";
+         "interface Eth2";
+         " ip address 172.16.13.1 255.255.255.0";
+         "!";
+         "router ospf 1";
+         " network 10.0.0.0 0.255.255.255 area 0";
+         "!";
+         "router bgp 100";
+         " neighbor 10.0.12.2 remote-as 100";
+         " neighbor 172.16.12.2 remote-as 200";
+         " neighbor 172.16.13.3 remote-as 300";
+       ]
+      @ ra1_extra_bgp);
+    config
+      [
+        "hostname ra2";
+        "interface Eth0";
+        " ip address 10.0.12.2 255.255.255.0";
+        "!";
+        "interface Eth1";
+        " ip address 10.1.1.1 255.255.255.0";
+        "!";
+        "router ospf 1";
+        " network 10.0.0.0 0.255.255.255 area 0";
+        "!";
+        "router bgp 100";
+        " network 10.1.1.0 mask 255.255.255.0";
+        " neighbor 10.0.12.1 remote-as 100";
+      ];
+    config
+      [
+        "hostname rb1";
+        "interface Eth0";
+        " ip address 172.16.12.2 255.255.255.0";
+        "!";
+        "interface Eth1";
+        " ip address 172.16.23.2 255.255.255.0";
+        "!";
+        "interface Eth2";
+        " ip address 10.9.9.1 255.255.255.0";
+        "!";
+        "router bgp 200";
+        " network 10.9.9.0 mask 255.255.255.0";
+        " neighbor 172.16.12.1 remote-as 100";
+        " neighbor 172.16.23.3 remote-as 300";
+      ];
+    config
+      [
+        "hostname rc1";
+        "interface Eth0";
+        " ip address 172.16.13.3 255.255.255.0";
+        "!";
+        "interface Eth1";
+        " ip address 172.16.23.3 255.255.255.0";
+        "!";
+        "interface Eth2";
+        " ip address 10.7.7.1 255.255.255.0";
+        "!";
+        "router bgp 300";
+        " network 10.7.7.0 mask 255.255.255.0";
+        " neighbor 172.16.13.1 remote-as 100";
+        " neighbor 172.16.23.2 remote-as 200";
+      ];
+    host "ha" "10.1.1.10" "10.1.1.1";
+    host "hb" "10.9.9.10" "10.9.9.1";
+    host "hc" "10.7.7.10" "10.7.7.1";
+  ]
+
+let test_bgp_shortest_as_path () =
+  let s = Simulate.run_exn (bgp_nets ()) in
+  let dp = Simulate.dataplane s in
+  check paths_t "direct AS path preferred"
+    [ [ "ha"; "ra2"; "ra1"; "rc1"; "hc" ] ]
+    (Dataplane.paths dp ~src:"ha" ~dst:"hc");
+  check paths_t "ibgp + ebgp return path"
+    [ [ "hc"; "rc1"; "ra1"; "ra2"; "ha" ] ]
+    (Dataplane.paths dp ~src:"hc" ~dst:"ha")
+
+let test_bgp_filter_reroutes () =
+  (* ra1 rejects hc's prefix from rc1: traffic detours through AS200. *)
+  let extra =
+    [
+      " neighbor 172.16.13.3 distribute-list NOHC in";
+      "!";
+      "ip prefix-list NOHC seq 5 deny 10.7.7.0/24";
+      "ip prefix-list NOHC seq 100 permit 0.0.0.0/0 le 32";
+    ]
+  in
+  let s = Simulate.run_exn (bgp_nets ~ra1_extra_bgp:extra ()) in
+  let dp = Simulate.dataplane s in
+  check paths_t "detour via AS200"
+    [ [ "ha"; "ra2"; "ra1"; "rb1"; "rc1"; "hc" ] ]
+    (Dataplane.paths dp ~src:"ha" ~dst:"hc")
+
+let test_bgp_local_preference () =
+  (* ra1 prefers routes learned from AS200 (local-pref 200), overriding
+     the shorter direct AS path to AS300. *)
+  let extra =
+    [
+      " neighbor 172.16.12.2 route-map PREF200 in";
+      "!";
+      "route-map PREF200 permit 10";
+      " set local-preference 200";
+    ]
+  in
+  let s = Simulate.run_exn (bgp_nets ~ra1_extra_bgp:extra ()) in
+  let dp = Simulate.dataplane s in
+  check paths_t "local-pref overrides AS-path length"
+    [ [ "ha"; "ra2"; "ra1"; "rb1"; "rc1"; "hc" ] ]
+    (Dataplane.paths dp ~src:"ha" ~dst:"hc")
+
+let test_bgp_route_map_deny () =
+  (* A deny route-map on the direct AS300 session behaves like a filter:
+     traffic detours via AS200. *)
+  let extra =
+    [
+      " neighbor 172.16.13.3 route-map BLOCK in";
+      "!";
+      "route-map BLOCK deny 10";
+    ]
+  in
+  let s = Simulate.run_exn (bgp_nets ~ra1_extra_bgp:extra ()) in
+  let dp = Simulate.dataplane s in
+  check paths_t "deny clause rejects the session's routes"
+    [ [ "ha"; "ra2"; "ra1"; "rb1"; "rc1"; "hc" ] ]
+    (Dataplane.paths dp ~src:"ha" ~dst:"hc")
+
+let test_bgp_sessions () =
+  let s = Simulate.run_exn (bgp_nets ()) in
+  let sess = Bgp.sessions s.net in
+  (* 4 bidirectional sessions = 8 directed ones. *)
+  check Alcotest.int "directed sessions" 8 (List.length sess);
+  let ebgp = List.filter (fun x -> x.Bgp.s_ebgp) sess in
+  check Alcotest.int "ebgp directed sessions" 6 (List.length ebgp)
+
+let test_loop_detection () =
+  (* Hand-built FIBs that forward h1's return traffic in a circle: the
+     walker must report the loop rather than diverge. *)
+  let s = Simulate.run_exn (example_net ()) in
+  let open Netcore in
+  let dst = Prefix.of_string_exn "10.4.4.0/24" in
+  let route nh =
+    {
+      Fib.rt_prefix = dst;
+      rt_proto = Fib.Ospf;
+      rt_metric = 1;
+      rt_nexthops = [ { Fib.nh_router = nh; nh_iface = "Eth0" } ];
+    }
+  in
+  let fibs =
+    Device.Smap.empty
+    |> Device.Smap.add "r1" (Fib.add_candidate (route "r3") Fib.empty)
+    |> Device.Smap.add "r3" (Fib.add_candidate (route "r2") Fib.empty)
+    |> Device.Smap.add "r2" (Fib.add_candidate (route "r3") Fib.empty)
+  in
+  let t = Dataplane.traceroute s.net fibs ~src:"h1" ~dst:"h4" in
+  check paths_t "no delivery" [] t.delivered;
+  check Alcotest.bool "loop recorded" true (t.looped <> []);
+  (match t.looped with
+  | walk :: _ ->
+      check Alcotest.string "loop revisits r3" "r3"
+        (List.nth walk (List.length walk - 1))
+  | [] -> ())
+
+let test_truncation () =
+  (* A tiny path cap must mark the trace as truncated on an ECMP fan. *)
+  let s = Simulate.run_exn (Netgen.Nets.configs (Netgen.Nets.find "G")) in
+  let t =
+    Dataplane.traceroute ~max_paths:2 s.net s.fibs ~src:"h-edge0-0-0"
+      ~dst:"h-edge1-0-0"
+  in
+  check Alcotest.bool "truncated" true t.truncated;
+  check Alcotest.bool "capped" true (List.length t.delivered <= 2)
+
+let test_fib_lpm () =
+  let open Netcore in
+  let fib =
+    Fib.empty
+    |> Fib.add_candidate
+         {
+           Fib.rt_prefix = Prefix.of_string_exn "10.0.0.0/8";
+           rt_proto = Fib.Ospf;
+           rt_metric = 5;
+           rt_nexthops = [ { Fib.nh_router = "a"; nh_iface = "e0" } ];
+         }
+    |> Fib.add_candidate
+         {
+           Fib.rt_prefix = Prefix.of_string_exn "10.4.0.0/16";
+           rt_proto = Fib.Ospf;
+           rt_metric = 9;
+           rt_nexthops = [ { Fib.nh_router = "b"; nh_iface = "e1" } ];
+         }
+  in
+  (match Fib.lookup fib (Ipv4.of_string_exn "10.4.4.4") with
+  | Some r -> check Alcotest.(list string) "longest match" [ "b" ] (Fib.nexthop_names r)
+  | None -> Alcotest.fail "expected route");
+  match Fib.lookup fib (Ipv4.of_string_exn "10.5.0.1") with
+  | Some r -> check Alcotest.(list string) "short match" [ "a" ] (Fib.nexthop_names r)
+  | None -> Alcotest.fail "expected route"
+
+let test_fib_admin_distance () =
+  let open Netcore in
+  let p = Prefix.of_string_exn "10.4.0.0/16" in
+  let route proto metric nh =
+    {
+      Fib.rt_prefix = p;
+      rt_proto = proto;
+      rt_metric = metric;
+      rt_nexthops = [ { Fib.nh_router = nh; nh_iface = "e" } ];
+    }
+  in
+  let fib =
+    Fib.empty
+    |> Fib.add_candidate (route Fib.Rip 3 "via-rip")
+    |> Fib.add_candidate (route Fib.Ospf 20 "via-ospf")
+    |> Fib.add_candidate (route Fib.Ibgp 1 "via-ibgp")
+  in
+  (match Fib.find fib p with
+  | Some r ->
+      check Alcotest.(list string) "ospf beats rip and ibgp" [ "via-ospf" ]
+        (Fib.nexthop_names r)
+  | None -> Alcotest.fail "route missing");
+  (* Equal proto+metric merges ECMP next hops. *)
+  let fib = Fib.add_candidate (route Fib.Ospf 20 "via-ospf2") fib in
+  match Fib.find fib p with
+  | Some r ->
+      check Alcotest.(list string) "ecmp merge" [ "via-ospf"; "via-ospf2" ]
+        (Fib.nexthop_names r)
+  | None -> Alcotest.fail "route missing"
+
+(* ---------------- qcheck: simulator soundness on random nets ---------------- *)
+
+let gen_wan =
+  QCheck2.Gen.(
+    map2
+      (fun (n, extra) seed ->
+        Netgen.Wan.waxman ~seed ~name:"rq" ~routers:n
+          ~router_links:(n - 1 + extra)
+          ~hosts:(min n 5))
+      (pair (int_range 4 12) (int_range 0 8))
+      (int_bound 100000))
+
+let prop_metric_decreases =
+  (* Bellman consistency: along every next hop of an IGP route, the
+     neighbor's metric for the same prefix is strictly smaller (or the
+     prefix is connected there). A violation would mean the shortest-path
+     engines install inconsistent FIBs — the root of forwarding loops. *)
+  QCheck2.Test.make ~name:"IGP metrics strictly decrease along next hops"
+    ~count:30 gen_wan (fun spec ->
+      let snap = Simulate.run_exn (Netgen.Emit.emit spec) in
+      Device.Smap.for_all
+        (fun _ fib ->
+          List.for_all
+            (fun (r : Fib.route) ->
+              r.rt_proto = Fib.Connected
+              || List.for_all
+                   (fun (nh : Fib.nexthop) ->
+                     match Device.Smap.find_opt nh.nh_router snap.fibs with
+                     | None -> false
+                     | Some nfib -> (
+                         match Fib.find nfib r.rt_prefix with
+                         | Some nr ->
+                             nr.rt_proto = Fib.Connected
+                             || nr.rt_metric < r.rt_metric
+                         | None -> false))
+                   r.rt_nexthops)
+            (Fib.routes fib))
+        snap.fibs)
+
+let prop_all_pairs_routable =
+  QCheck2.Test.make ~name:"random WANs are fully routable" ~count:30 gen_wan
+    (fun spec ->
+      let snap = Simulate.run_exn (Netgen.Emit.emit spec) in
+      let dp = Simulate.dataplane snap in
+      let hosts = List.map fst (Device.Smap.bindings snap.net.hosts) in
+      List.for_all
+        (fun s ->
+          List.for_all
+            (fun d ->
+              String.equal s d
+              ||
+              let t = Hashtbl.find dp (s, d) in
+              t.Dataplane.delivered <> [] && t.looped = [])
+            hosts)
+        hosts)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_metric_decreases; prop_all_pairs_routable ]
+
+let () =
+  Alcotest.run "routing"
+    [
+      ( "ospf",
+        [
+          Alcotest.test_case "original example paths" `Quick test_ospf_original_paths;
+          Alcotest.test_case "fake edge default cost migrates" `Quick
+            test_fake_edge_default_cost_migrates;
+          Alcotest.test_case "fake edge large cost preserves" `Quick
+            test_fake_edge_large_cost_preserves;
+          Alcotest.test_case "fake edge matched cost splits" `Quick
+            test_fake_edge_matched_cost_multipath;
+          Alcotest.test_case "filter restores equivalence" `Quick
+            test_filter_restores_equivalence;
+          Alcotest.test_case "min_cost" `Quick test_min_cost;
+          Alcotest.test_case "parallel links" `Quick test_parallel_links;
+          Alcotest.test_case "asymmetric costs" `Quick test_asymmetric_costs;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "topology graphs" `Quick test_topology_graphs;
+          Alcotest.test_case "compile errors" `Quick test_compile_errors;
+          Alcotest.test_case "unreachable destination drops" `Quick test_no_route_dropped;
+        ] );
+      ( "rip",
+        [
+          Alcotest.test_case "ecmp" `Quick test_rip_ecmp;
+          Alcotest.test_case "filter" `Quick test_rip_filter;
+        ] );
+      ( "bgp",
+        [
+          Alcotest.test_case "shortest AS path" `Quick test_bgp_shortest_as_path;
+          Alcotest.test_case "inbound filter reroutes" `Quick test_bgp_filter_reroutes;
+          Alcotest.test_case "session establishment" `Quick test_bgp_sessions;
+          Alcotest.test_case "local preference" `Quick test_bgp_local_preference;
+          Alcotest.test_case "route-map deny" `Quick test_bgp_route_map_deny;
+        ] );
+      ( "fib",
+        [
+          Alcotest.test_case "longest prefix match" `Quick test_fib_lpm;
+          Alcotest.test_case "admin distance and ecmp" `Quick test_fib_admin_distance;
+        ] );
+      ( "static",
+        [
+          Alcotest.test_case "overrides IGP by admin distance" `Quick
+            test_static_route_overrides_igp;
+          Alcotest.test_case "wrong static detours and loops" `Quick
+            test_static_route_detour;
+          Alcotest.test_case "unresolvable next hop ignored" `Quick
+            test_static_requires_connected_nexthop;
+        ] );
+      ( "eigrp",
+        [
+          Alcotest.test_case "delay-based metric" `Quick test_eigrp_delay_metric;
+          Alcotest.test_case "filter reroutes" `Quick test_eigrp_filter;
+        ] );
+      ( "dataplane",
+        [
+          Alcotest.test_case "loop detection" `Quick test_loop_detection;
+          Alcotest.test_case "path cap truncation" `Quick test_truncation;
+        ] );
+      ("properties", qsuite);
+    ]
