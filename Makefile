@@ -1,0 +1,18 @@
+.PHONY: all build test bench-smoke check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Fast end-to-end smoke: the small-network slice of every experiment.
+bench-smoke:
+	dune exec bench/main.exe -- --fast --only table2 --only fig5 --only fig6
+
+check: build test bench-smoke
+
+clean:
+	dune clean

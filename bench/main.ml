@@ -5,6 +5,7 @@
      dune exec bench/main.exe                 -- run everything
      dune exec bench/main.exe -- --only fig5  -- run one experiment
      dune exec bench/main.exe -- --fast       -- small networks only
+     dune exec bench/main.exe -- --jobs 4     -- size of the worker pool
      dune exec bench/main.exe -- --list       -- list experiment ids
 
    Absolute numbers differ from the paper (our substrate is a native
@@ -470,6 +471,65 @@ let ext_scale () =
         [ 0; 4; 8 ])
     nets
 
+(* ---------------- Timing: incremental engine vs full re-simulation ------- *)
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (function
+         | '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let timing () =
+  let k_r = 6 and k_h = 2 in
+  header
+    (Printf.sprintf
+       "Timing: ConfMask pipeline wall-clock (k_R = %d, k_H = %d), full \
+        re-simulation per edit vs incremental engine"
+       k_r k_h)
+    "the incremental engine cuts pipeline time; the gap widens with network \
+     size (the fixpoints dominate). Results land in BENCH_PR1.json.";
+  Printf.printf "%-3s %-11s %14s %14s %9s\n" "ID" "Network" "full resim"
+    "incremental" "speedup";
+  let measure id incremental =
+    let configs = Netgen.Nets.configs (Netgen.Nets.find id) in
+    match
+      Runs.pipeline ~incremental ~variant:Runs.Confmask_v ~k_r ~k_h configs
+    with
+    | Ok (_, _, _, _, seconds) -> seconds
+    | Error m -> failwith (Printf.sprintf "timing (net %s): %s" id m)
+  in
+  let rows =
+    List.map
+      (fun id ->
+        let base = measure id false in
+        let inc = measure id true in
+        let label = (Netgen.Nets.find id).label in
+        Printf.printf "%-3s %-11s %13.2fs %13.2fs %8.1fx\n%!" id label base inc
+          (base /. inc);
+        (id, label, base, inc))
+      (ids ())
+  in
+  let out = open_out "BENCH_PR1.json" in
+  Printf.fprintf out
+    "{\n  \"experiment\": \"confmask pipeline seconds, full re-simulation \
+     per edit vs incremental engine\",\n\
+    \  \"k_r\": %d,\n  \"k_h\": %d,\n  \"seed\": %d,\n  \"jobs\": %d,\n\
+    \  \"networks\": [\n"
+    k_r k_h Runs.seed
+    (Netcore.Pool.jobs (Netcore.Pool.default ()));
+  List.iteri
+    (fun i (id, label, base, inc) ->
+      Printf.fprintf out
+        "    {\"id\": \"%s\", \"label\": \"%s\", \"baseline_seconds\": %.3f, \
+         \"incremental_seconds\": %.3f, \"speedup\": %.2f}%s\n"
+        (json_escape id) (json_escape label) base inc (base /. inc)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf out "  ]\n}\n";
+  close_out out;
+  Printf.printf "[wrote BENCH_PR1.json]\n"
+
 (* ---------------- Bechamel microbenchmarks ---------------- *)
 
 let bechamel () =
@@ -547,6 +607,7 @@ let experiments =
     ("ablation-iters", ablation_iters);
     ("ext-scale", ext_scale);
     ("deanon", deanon);
+    ("timing", timing);
     ("bechamel", bechamel);
   ]
 
@@ -563,6 +624,13 @@ let () =
     | "--only" :: id :: rest ->
         only := id :: !only;
         parse rest
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 1 -> Netcore.Pool.set_default_jobs n
+        | _ ->
+            Printf.eprintf "--jobs expects a positive integer\n";
+            exit 1);
+        parse rest
     | _ :: rest -> parse rest
     | [] -> ()
   in
@@ -577,5 +645,15 @@ let () =
     exit 1
   end;
   let t0 = Unix.gettimeofday () in
+  (* Full runs warm the cache in parallel: the standard (k_r, k_h) combos
+     cover every figure's ConfMask pipelines. *)
+  if !only = [] then
+    Runs.prefetch
+      (List.concat_map
+         (fun id ->
+           List.map
+             (fun (k_r, k_h) -> (id, k_r, k_h))
+             [ (6, 2); (6, 4); (2, 2); (10, 2); (6, 6) ])
+         (ids ()));
   List.iter (fun (_, f) -> f ()) selected;
   Printf.printf "\n[bench completed in %.1fs]\n" (Unix.gettimeofday () -. t0)

@@ -1,6 +1,7 @@
 (* Shared runners and a memo cache for the benchmark harness: every figure
    reuses pipeline runs, so each (network, k_r, k_h, variant) combination
-   is executed once. *)
+   is executed once. The caches are mutex-protected so [prefetch] can fill
+   them from the worker pool. *)
 
 module Ast = Configlang.Ast
 module Smap = Routing.Device.Smap
@@ -27,51 +28,54 @@ type run = {
 let seed = 42
 
 (* The pipeline with a pluggable route-fixing stage (step 2.1), so the
-   strawman baselines slot into the exact same workflow. *)
-let pipeline ~variant ~k_r ~k_h configs =
+   strawman baselines slot into the exact same workflow. All simulations
+   run through one incremental engine threaded across the stages;
+   [incremental:false] reverts every edit to a full re-simulation (the
+   pre-engine cost model, kept as the benchmark baseline). *)
+let pipeline ?(incremental = true) ~variant ~k_r ~k_h configs =
   let rng = Netcore.Rng.create seed in
   let t0 = Unix.gettimeofday () in
-  match Routing.Simulate.run configs with
+  match Routing.Engine.of_configs ~incremental configs with
   | Error m -> Error m
-  | Ok orig -> (
+  | Ok eng0 -> (
+      let orig = Routing.Engine.snapshot eng0 in
       let topo = Confmask.Topo_anon.anonymize ~rng ~k:k_r ~orig configs in
       let fixed =
         match variant with
         | Confmask_v ->
             Result.map
-              (fun (o : Confmask.Route_equiv.outcome) -> o.configs)
-              (Confmask.Route_equiv.fix ~orig ~fake_edges:topo.fake_edges topo.configs)
+              (fun (o : Confmask.Route_equiv.outcome) ->
+                (o.configs, o.engine))
+              (Confmask.Route_equiv.fix ~engine:eng0 ~orig
+                 ~fake_edges:topo.fake_edges topo.configs)
         | Strawman1_v ->
             Result.map
-              (fun (o : Confmask.Strawman.outcome) -> o.configs)
-              (Confmask.Strawman.strawman1 ~orig ~fake_edges:topo.fake_edges topo.configs)
+              (fun (o : Confmask.Strawman.outcome) -> (o.configs, eng0))
+              (Confmask.Strawman.strawman1 ~engine:eng0 ~orig
+                 ~fake_edges:topo.fake_edges topo.configs)
         | Strawman2_v ->
             Result.map
-              (fun (o : Confmask.Strawman.outcome) -> o.configs)
-              (Confmask.Strawman.strawman2 ~orig ~fake_edges:topo.fake_edges topo.configs)
+              (fun (o : Confmask.Strawman.outcome) -> (o.configs, eng0))
+              (Confmask.Strawman.strawman2 ~engine:eng0 ~orig
+                 ~fake_edges:topo.fake_edges topo.configs)
       in
       match fixed with
       | Error m -> Error m
-      | Ok fixed_configs -> (
-          match Confmask.Route_anon.anonymize ~rng ~k_h fixed_configs with
+      | Ok (fixed_configs, engine) -> (
+          match Confmask.Route_anon.anonymize ~rng ~k_h ~engine fixed_configs with
           | Error m -> Error m
-          | Ok anon -> (
-              match Routing.Simulate.run anon.configs with
-              | Error m -> Error m
-              | Ok anon_snapshot ->
-                  let seconds = Unix.gettimeofday () -. t0 in
-                  Ok
-                    ( orig,
-                      anon.configs,
-                      anon_snapshot,
-                      topo.fake_edges,
-                      seconds ))))
+          | Ok anon ->
+              let anon_snapshot = Routing.Engine.snapshot anon.engine in
+              let seconds = Unix.gettimeofday () -. t0 in
+              Ok (orig, anon.configs, anon_snapshot, topo.fake_edges, seconds)))
 
 let cache : (string * int * int * variant, run) Hashtbl.t = Hashtbl.create 64
+let lock = Mutex.create ()
+let locked f = Mutex.protect lock f
 
 let get ?(variant = Confmask_v) ~k_r ~k_h id =
   let key = (id, k_r, k_h, variant) in
-  match Hashtbl.find_opt cache key with
+  match locked (fun () -> Hashtbl.find_opt cache key) with
   | Some r -> r
   | None ->
       let entry = Netgen.Nets.find id in
@@ -95,17 +99,28 @@ let get ?(variant = Confmask_v) ~k_r ~k_h id =
               (Printf.sprintf "%s (net %s, k_r=%d, k_h=%d): %s"
                  (variant_name variant) id k_r k_h m)
       in
-      Hashtbl.replace cache key r;
+      locked (fun () ->
+          if not (Hashtbl.mem cache key) then Hashtbl.replace cache key r);
       r
+
+let prefetch ?pool combos =
+  (* Warm the run cache from the pool: distinct (network, k) pipelines are
+     independent, and every figure afterwards hits the cache. Results are
+     deterministic, so a racing duplicate computation is only wasted work,
+     never a wrong answer. *)
+  ignore
+    (Netcore.Pool.parallel_map ?pool
+       (fun (id, k_r, k_h) -> ignore (get ~k_r ~k_h id))
+       combos)
 
 let orig_dp_cache : (string, Routing.Dataplane.t) Hashtbl.t = Hashtbl.create 16
 
 let orig_dp r =
-  match Hashtbl.find_opt orig_dp_cache r.entry.id with
+  match locked (fun () -> Hashtbl.find_opt orig_dp_cache r.entry.id) with
   | Some dp -> dp
   | None ->
       let dp = Routing.Simulate.dataplane r.orig_snapshot in
-      Hashtbl.replace orig_dp_cache r.entry.id dp;
+      locked (fun () -> Hashtbl.replace orig_dp_cache r.entry.id dp);
       dp
 
 let anon_dp_cache : (string * int * int, Routing.Dataplane.t) Hashtbl.t =
@@ -113,11 +128,11 @@ let anon_dp_cache : (string * int * int, Routing.Dataplane.t) Hashtbl.t =
 
 let anon_dp r =
   let key = (r.entry.id, r.k_r, r.k_h) in
-  match Hashtbl.find_opt anon_dp_cache key with
+  match locked (fun () -> Hashtbl.find_opt anon_dp_cache key) with
   | Some dp -> dp
   | None ->
       let dp = Routing.Simulate.dataplane r.anon_snapshot in
-      Hashtbl.replace anon_dp_cache key dp;
+      locked (fun () -> Hashtbl.replace anon_dp_cache key dp);
       dp
 
 let real_hosts r = List.map fst (Smap.bindings r.orig_snapshot.net.hosts)

@@ -67,7 +67,15 @@ let generate_cmd =
 
 (* ---- anonymize ---- *)
 
-let anonymize in_dir out_dir format k_r k_h noise seed pii fake_routers =
+let set_jobs n = if n >= 1 then Netcore.Pool.set_default_jobs n
+
+let jobs_arg =
+  Arg.(value & opt int 0 & info [ "jobs" ] ~docv:"N"
+         ~doc:"Size of the simulation worker pool (default: the number of \
+               available cores).")
+
+let anonymize in_dir out_dir format k_r k_h noise seed pii fake_routers jobs =
+  set_jobs jobs;
   let configs = read_dir in_dir in
   let params = { Confmask.Workflow.k_r; k_h; noise; seed; pii; fake_routers } in
   match Confmask.Workflow.run ~params configs with
@@ -137,11 +145,12 @@ let anonymize_cmd =
   let info = Cmd.info "anonymize" ~doc:"Anonymize a directory of configurations" in
   Cmd.v info
     Term.(const anonymize $ in_arg $ out_arg $ format_arg $ kr_arg $ kh_arg $ noise_arg
-          $ seed_arg $ pii_arg $ fake_routers_arg)
+          $ seed_arg $ pii_arg $ fake_routers_arg $ jobs_arg)
 
 (* ---- simulate ---- *)
 
-let simulate in_dir show_paths =
+let simulate in_dir show_paths jobs =
+  set_jobs jobs;
   let configs = read_dir in_dir in
   match Routing.Simulate.run configs with
   | Error m ->
@@ -170,7 +179,7 @@ let paths_arg =
 
 let simulate_cmd =
   let info = Cmd.info "simulate" ~doc:"Simulate a directory of configurations" in
-  Cmd.v info Term.(const simulate $ in_arg $ paths_arg)
+  Cmd.v info Term.(const simulate $ in_arg $ paths_arg $ jobs_arg)
 
 (* ---- metrics ---- *)
 

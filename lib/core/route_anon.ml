@@ -7,6 +7,7 @@ type outcome = {
   fake_hosts : (string * string) list;
   filters_added : int;
   filters_removed : int;
+  engine : Routing.Engine.t;
 }
 
 let default_noise = 0.1
@@ -79,48 +80,90 @@ let apply_one configs f =
 let remove_one configs f =
   Edits.update configs f.f_router (fun c -> Attach.undeny_at c f.f_attach f.f_prefix)
 
+module Sset = Set.Make (String)
+
 (* Routers that can deliver traffic for [fp]: walk every router's FIB and
-   check that all ECMP branches reach a router owning the prefix. *)
+   check that all ECMP branches reach a router owning the prefix. Walks
+   share a memo table — on loop-free FIBs (the common case; IGP metrics
+   strictly decrease along next hops) every router is explored once
+   instead of once per ECMP branch per start router. A result is
+   memoized only when its computation never hit the cycle check, i.e.
+   never depended on the path taken to reach it. *)
 let reachable_routers (snap : Routing.Simulate.snapshot) fp =
   let owners =
     Smap.fold
       (fun rname (r : Routing.Device.router) acc ->
         if List.exists (fun i -> Prefix.equal (Routing.Device.ifc_prefix i) fp) r.r_ifaces
-        then rname :: acc
+        then Sset.add rname acc
         else acc)
-      snap.net.routers []
+      snap.net.routers Sset.empty
   in
-  let rec delivers r visited =
-    if List.mem r owners then true
-    else if List.mem r visited then false
-    else
-      match Smap.find_opt r snap.fibs with
-      | None -> false
-      | Some fib -> (
-          match Routing.Fib.lookup fib (Prefix.host fp 10) with
-          | None -> false
-          | Some route when route.rt_nexthops = [] -> false
-          | Some route ->
-              List.for_all
-                (fun (nh : Routing.Fib.nexthop) -> delivers nh.nh_router (r :: visited))
-                route.rt_nexthops)
+  let probe = Prefix.host fp 10 in
+  let memo : (string, bool) Hashtbl.t = Hashtbl.create 64 in
+  (* Returns (delivers, pure); [pure] marks a result independent of the
+     [visiting] path, hence safe to memoize. *)
+  let rec delivers r visiting =
+    match Hashtbl.find_opt memo r with
+    | Some b -> (b, true)
+    | None ->
+        if Sset.mem r owners then begin
+          Hashtbl.replace memo r true;
+          (true, true)
+        end
+        else if Sset.mem r visiting then (false, false)
+        else begin
+          let b, pure =
+            match Smap.find_opt r snap.fibs with
+            | None -> (false, true)
+            | Some fib -> (
+                match Routing.Fib.lookup fib probe with
+                | None -> (false, true)
+                | Some route when route.rt_nexthops = [] -> (false, true)
+                | Some route ->
+                    let visiting = Sset.add r visiting in
+                    List.fold_left
+                      (fun (ok, pure) (nh : Routing.Fib.nexthop) ->
+                        if not ok then (ok, pure)
+                        else
+                          let b, p = delivers nh.nh_router visiting in
+                          (b, pure && p))
+                      (true, true) route.rt_nexthops)
+          in
+          if pure then Hashtbl.replace memo r b;
+          (b, pure)
+        end
   in
   Smap.fold
-    (fun rname _ acc -> if delivers rname [] then rname :: acc else acc)
+    (fun rname _ acc ->
+      if fst (delivers rname Sset.empty) then rname :: acc else acc)
     snap.net.routers []
   |> List.sort String.compare
 
-let anonymize ~rng ~k_h ?(p = default_noise) configs =
-  match Routing.Simulate.run configs with
+let anonymize ~rng ~k_h ?(p = default_noise) ?engine configs =
+  let initial =
+    match engine with
+    | Some e -> Routing.Engine.apply_edit e configs
+    | None -> Routing.Engine.of_configs configs
+  in
+  match initial with
   | Error m -> Error ("route_anon: baseline simulation failed: " ^ m)
-  | Ok snap0 -> (
+  | Ok eng0 -> (
+      let snap0 = Routing.Engine.snapshot eng0 in
       let configs, fake_hosts = add_fake_hosts ~k_h configs snap0 in
       if fake_hosts = [] then
-        Ok { configs; fake_hosts = []; filters_added = 0; filters_removed = 0 }
+        Ok
+          {
+            configs;
+            fake_hosts = [];
+            filters_added = 0;
+            filters_removed = 0;
+            engine = eng0;
+          }
       else
-        match Routing.Simulate.run configs with
+        match Routing.Engine.apply_edit eng0 configs with
         | Error m -> Error ("route_anon: fake-host simulation failed: " ^ m)
-        | Ok snap ->
+        | Ok eng ->
+            let snap = Routing.Engine.snapshot eng in
             let fake_prefixes =
               List.filter_map
                 (fun (fh, _) ->
@@ -155,19 +198,24 @@ let anonymize ~rng ~k_h ?(p = default_noise) configs =
             in
             (* Reachability repair: any fake prefix that lost a router must
                shed the filters on the routers where walks now dead-end. *)
-            let rec repair configs active removed guard =
-              match Routing.Simulate.run configs with
+            (* [suspect] is the subset of [baseline] whose routing may have
+               changed since it was last checked clean: the added filters
+               are per-prefix denies on disjoint fake /24s, so rolling one
+               back can only move its own prefix's routes. *)
+            let rec repair eng configs active removed guard suspect =
+              match Routing.Engine.apply_edit eng configs with
               | Error m -> Error ("route_anon: repair simulation failed: " ^ m)
-              | Ok snap' ->
+              | Ok eng ->
+                  let snap' = Routing.Engine.snapshot eng in
                   let broken =
                     List.filter_map
                       (fun (fp, routers0) ->
                         let now = reachable_routers snap' fp in
                         let lost = List.filter (fun r -> not (List.mem r now)) routers0 in
                         if lost = [] then None else Some (fp, lost))
-                      baseline
+                      suspect
                   in
-                  if broken = [] then Ok (configs, active, removed)
+                  if broken = [] then Ok (eng, configs, active, removed)
                   else if guard <= 0 then
                     Error "route_anon: reachability repair did not converge"
                   else begin
@@ -198,15 +246,25 @@ let anonymize ~rng ~k_h ?(p = default_noise) configs =
                          roll back"
                     else
                       let configs = List.fold_left remove_one configs to_remove in
-                      repair configs keep (removed + List.length to_remove) (guard - 1)
+                      let suspect =
+                        List.filter
+                          (fun (fp, _) ->
+                            List.exists
+                              (fun f -> Prefix.equal f.f_prefix fp)
+                              to_remove)
+                          baseline
+                      in
+                      repair eng configs keep (removed + List.length to_remove)
+                        (guard - 1) suspect
                   end
             in
             Result.map
-              (fun (configs, active, removed) ->
+              (fun (eng, configs, active, removed) ->
                 {
                   configs;
                   fake_hosts = List.rev fake_hosts;
                   filters_added = List.length active;
                   filters_removed = removed;
+                  engine = eng;
                 })
-              (repair configs planned 0 (List.length planned + 4)))
+              (repair eng configs planned 0 (List.length planned + 4) baseline))

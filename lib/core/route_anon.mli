@@ -14,6 +14,8 @@ type outcome = {
   fake_hosts : (string * string) list;  (** (fake host, real host) *)
   filters_added : int;
   filters_removed : int;  (** rolled back by the reachability check *)
+  engine : Routing.Engine.t;
+      (** engine state after the final repair simulation *)
 }
 
 val default_noise : float
@@ -23,7 +25,10 @@ val anonymize :
   rng:Netcore.Rng.t ->
   k_h:int ->
   ?p:float ->
+  ?engine:Routing.Engine.t ->
   Configlang.Ast.config list ->
   (outcome, string) result
 (** [anonymize ~rng ~k_h configs]: [configs] is the network after route
-    equivalence. [k_h = 1] adds no fake hosts and no filters. *)
+    equivalence. [k_h = 1] adds no fake hosts and no filters. The noise
+    and repair loops simulate through an incremental {!Routing.Engine} —
+    pass [engine] (e.g. from [Route_equiv.fix]) to reuse its caches. *)

@@ -5,6 +5,7 @@ type outcome = {
   configs : Configlang.Ast.config list;
   iterations : int;
   filters_added : int;
+  engine : Routing.Engine.t;
 }
 
 module Key = struct
@@ -15,6 +16,12 @@ module Key = struct
 end
 
 module Kmap = Map.Make (Key)
+
+module Pset = Set.Make (struct
+  type t = string * string
+
+  let compare = compare
+end)
 
 let nexthop_map snap =
   List.fold_left
@@ -37,50 +44,62 @@ let fib_equal_on_hosts ~orig snap =
 let apply_filter net configs r nxt hp =
   Attach.deny configs net ~router:r ~toward:nxt hp
 
-let fix ?max_iters ~orig ~fake_edges configs =
+let fix ?max_iters ?engine ~orig ~fake_edges configs =
   let max_iters =
     match max_iters with Some m -> m | None -> (2 * List.length fake_edges) + 8
   in
+  let fake_set =
+    List.fold_left
+      (fun s (u, v) ->
+        Pset.add (if String.compare u v <= 0 then (u, v) else (v, u)) s)
+      Pset.empty fake_edges
+  in
   let fake u v =
-    let key = if String.compare u v <= 0 then (u, v) else (v, u) in
-    List.mem key fake_edges
+    Pset.mem (if String.compare u v <= 0 then (u, v) else (v, u)) fake_set
   in
   let orig_nexthops = nexthop_map orig in
   let orig_set r hp =
     Option.value ~default:[] (Kmap.find_opt (r, hp) orig_nexthops)
   in
-  let rec loop configs iter filters =
-    match Routing.Simulate.run configs with
-    | Error m -> Error ("route_equiv: simulation failed: " ^ m)
-    | Ok snap ->
-        let wrong =
-          List.concat_map
-            (fun (r, hp, nxts) ->
-              let ok = orig_set r hp in
-              List.filter_map
-                (fun nxt ->
-                  if (not (List.mem nxt ok)) && fake r nxt then Some (r, hp, nxt)
-                  else None)
-                nxts)
-            (Routing.Simulate.host_routes snap)
-        in
-        if wrong = [] then
-          if fib_equal_on_hosts ~orig snap then
-            Ok { configs; iterations = iter; filters_added = filters }
-          else
-            Error
-              "route_equiv: FIBs differ from the original but no fake-edge \
-               next hop is left to filter"
-        else if iter >= max_iters then
-          Error
-            (Printf.sprintf "route_equiv: no convergence after %d iterations"
-               iter)
-        else
-          let configs =
-            List.fold_left
-              (fun configs (r, hp, nxt) -> apply_filter snap.net configs r nxt hp)
-              configs wrong
-          in
-          loop configs (iter + 1) (filters + List.length wrong)
+  let initial =
+    match engine with
+    | Some e -> Routing.Engine.apply_edit e configs
+    | None -> Routing.Engine.of_configs configs
   in
-  loop configs 1 0
+  let rec loop eng configs iter filters =
+    let snap = Routing.Engine.snapshot eng in
+    let wrong =
+      List.concat_map
+        (fun (r, hp, nxts) ->
+          let ok = orig_set r hp in
+          List.filter_map
+            (fun nxt ->
+              if (not (List.mem nxt ok)) && fake r nxt then Some (r, hp, nxt)
+              else None)
+            nxts)
+        (Routing.Simulate.host_routes snap)
+    in
+    if wrong = [] then
+      if fib_equal_on_hosts ~orig snap then
+        Ok { configs; iterations = iter; filters_added = filters; engine = eng }
+      else
+        Error
+          "route_equiv: FIBs differ from the original but no fake-edge \
+           next hop is left to filter"
+    else if iter >= max_iters then
+      Error
+        (Printf.sprintf "route_equiv: no convergence after %d iterations" iter)
+    else
+      let configs =
+        List.fold_left
+          (fun configs (r, hp, nxt) ->
+            apply_filter snap.net configs r nxt hp)
+          configs wrong
+      in
+      match Routing.Engine.apply_edit eng configs with
+      | Error m -> Error ("route_equiv: simulation failed: " ^ m)
+      | Ok eng -> loop eng configs (iter + 1) (filters + List.length wrong)
+  in
+  match initial with
+  | Error m -> Error ("route_equiv: simulation failed: " ^ m)
+  | Ok eng -> loop eng configs 1 0

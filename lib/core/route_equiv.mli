@@ -13,10 +13,13 @@ type outcome = {
   configs : Configlang.Ast.config list;
   iterations : int;  (** simulations performed *)
   filters_added : int;
+  engine : Routing.Engine.t;
+      (** engine state at convergence, for downstream reuse *)
 }
 
 val fix :
   ?max_iters:int ->
+  ?engine:Routing.Engine.t ->
   orig:Routing.Simulate.snapshot ->
   fake_edges:(string * string) list ->
   Configlang.Ast.config list ->
@@ -24,8 +27,10 @@ val fix :
 (** [fix ~orig ~fake_edges configs]: [configs] is the network after
     topology anonymization; [orig] the pre-anonymization snapshot.
     [max_iters] defaults to [2 * |fake_edges| + 8] (the paper bounds the
-    iteration count by the number of added edges). Errors if the loop
-    cannot restore the original FIBs. *)
+    iteration count by the number of added edges). The loop simulates
+    through an incremental {!Routing.Engine} — pass [engine] to reuse
+    caches from an earlier stage. Errors if the loop cannot restore the
+    original FIBs. *)
 
 val fib_equal_on_hosts :
   orig:Routing.Simulate.snapshot -> Routing.Simulate.snapshot -> bool

@@ -7,10 +7,16 @@ type outcome = {
   filters_added : int;
 }
 
-let strawman1 ~orig ~fake_edges configs =
-  match Routing.Simulate.run configs with
+let strawman1 ?engine ~orig ~fake_edges configs =
+  let initial =
+    match engine with
+    | Some e -> Routing.Engine.apply_edit e configs
+    | None -> Routing.Engine.of_configs configs
+  in
+  match initial with
   | Error m -> Error ("strawman1: simulation failed: " ^ m)
-  | Ok snap ->
+  | Ok eng ->
+      let snap = Routing.Engine.snapshot eng in
       let host_prefixes =
         List.map fst (Routing.Simulate.host_prefixes orig.Routing.Simulate.net)
       in
@@ -36,11 +42,11 @@ let strawman1 ~orig ~fake_edges configs =
           configs fake_edges
       in
       (* One verification simulation. *)
-      (match Routing.Simulate.run configs with
+      (match Routing.Engine.apply_edit eng configs with
       | Error m -> Error ("strawman1: verification failed: " ^ m)
-      | Ok snap' ->
-          if Route_equiv.fib_equal_on_hosts ~orig snap' then
-            Ok { configs; iterations = 2; filters_added = !filters }
+      | Ok eng' ->
+          if Route_equiv.fib_equal_on_hosts ~orig (Routing.Engine.snapshot eng')
+          then Ok { configs; iterations = 2; filters_added = !filters }
           else Error "strawman1: blanket filters did not restore the FIBs")
 
 let orig_paths_table orig_dp =
@@ -50,7 +56,7 @@ let orig_paths_table orig_dp =
     (Routing.Dataplane.all_delivered orig_dp);
   table
 
-let strawman2 ?(max_iters = 64) ~orig ~fake_edges:_ configs =
+let strawman2 ?(max_iters = 64) ?engine ~orig ~fake_edges:_ configs =
   let orig_dp = Routing.Simulate.dataplane orig in
   let orig_table = orig_paths_table orig_dp in
   let orig_fibs = Routing.Simulate.host_routes orig in
@@ -82,52 +88,59 @@ let strawman2 ?(max_iters = 64) ~orig ~fake_edges:_ configs =
     in
     scan routers
   in
-  let rec loop configs iter filters =
-    match Routing.Simulate.run configs with
-    | Error m -> Error ("strawman2: simulation failed: " ^ m)
-    | Ok snap ->
-        let dp = Routing.Simulate.dataplane snap in
-        let pairs =
-          List.concat_map
-            (fun s ->
-              List.filter_map
-                (fun d -> if String.equal s d then None else Some (s, d))
-                (hosts snap))
-            (hosts snap)
-        in
-        let deviating =
-          List.filter_map
-            (fun pair ->
-              let current = Routing.Dataplane.paths dp ~src:(fst pair) ~dst:(snd pair) in
-              let original =
-                Option.value ~default:[] (Hashtbl.find_opt orig_table pair)
-              in
-              if List.equal (List.equal String.equal) current original then None
-              else Some (pair, current, original))
-            pairs
-        in
-        let fixes =
-          List.concat_map
-            (fun (_, current, original) ->
-              List.filter_map
-                (fun p -> if List.mem p original then None else locate_fix snap p)
-                current)
-            deviating
-          |> List.sort_uniq compare
-        in
-        if deviating = [] then
-          Ok { configs; iterations = iter; filters_added = filters }
-        else if fixes = [] then
-          Error "strawman2: deviating paths remain but no hop is fixable"
-        else if iter >= max_iters then
-          Error (Printf.sprintf "strawman2: no convergence after %d iterations" iter)
-        else
-          let configs =
-            List.fold_left
-              (fun configs (r, nxt, hp) ->
-                Attach.deny configs snap.net ~router:r ~toward:nxt hp)
-              configs fixes
-          in
-          loop configs (iter + 1) (filters + List.length fixes)
+  let initial =
+    match engine with
+    | Some e -> Routing.Engine.apply_edit e configs
+    | None -> Routing.Engine.of_configs configs
   in
-  loop configs 1 0
+  let rec loop eng configs iter filters =
+    let snap = Routing.Engine.snapshot eng in
+    let dp = Routing.Simulate.dataplane snap in
+    let pairs =
+      List.concat_map
+        (fun s ->
+          List.filter_map
+            (fun d -> if String.equal s d then None else Some (s, d))
+            (hosts snap))
+        (hosts snap)
+    in
+    let deviating =
+      List.filter_map
+        (fun pair ->
+          let current = Routing.Dataplane.paths dp ~src:(fst pair) ~dst:(snd pair) in
+          let original =
+            Option.value ~default:[] (Hashtbl.find_opt orig_table pair)
+          in
+          if List.equal (List.equal String.equal) current original then None
+          else Some (pair, current, original))
+        pairs
+    in
+    let fixes =
+      List.concat_map
+        (fun (_, current, original) ->
+          List.filter_map
+            (fun p -> if List.mem p original then None else locate_fix snap p)
+            current)
+        deviating
+      |> List.sort_uniq compare
+    in
+    if deviating = [] then
+      Ok { configs; iterations = iter; filters_added = filters }
+    else if fixes = [] then
+      Error "strawman2: deviating paths remain but no hop is fixable"
+    else if iter >= max_iters then
+      Error (Printf.sprintf "strawman2: no convergence after %d iterations" iter)
+    else
+      let configs =
+        List.fold_left
+          (fun configs (r, nxt, hp) ->
+            Attach.deny configs snap.net ~router:r ~toward:nxt hp)
+          configs fixes
+      in
+      match Routing.Engine.apply_edit eng configs with
+      | Error m -> Error ("strawman2: simulation failed: " ^ m)
+      | Ok eng -> loop eng configs (iter + 1) (filters + List.length fixes)
+  in
+  match initial with
+  | Error m -> Error ("strawman2: simulation failed: " ^ m)
+  | Ok eng -> loop eng configs 1 0

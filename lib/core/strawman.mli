@@ -11,6 +11,7 @@ type outcome = {
 }
 
 val strawman1 :
+  ?engine:Routing.Engine.t ->
   orig:Routing.Simulate.snapshot ->
   fake_edges:(string * string) list ->
   Configlang.Ast.config list ->
@@ -22,6 +23,7 @@ val strawman1 :
 
 val strawman2 :
   ?max_iters:int ->
+  ?engine:Routing.Engine.t ->
   orig:Routing.Simulate.snapshot ->
   fake_edges:(string * string) list ->
   Configlang.Ast.config list ->

@@ -62,9 +62,11 @@ let run ?(params = default_params) orig_configs =
     let* equiv =
       Route_equiv.fix ~orig:base_snapshot ~fake_edges:topo.fake_edges topo.configs
     in
-    (* Step 2.2: route anonymity. *)
+    (* Step 2.2: route anonymity, reusing the engine state route
+       equivalence converged with. *)
     let* anon =
-      Route_anon.anonymize ~rng ~k_h:params.k_h ~p:params.noise equiv.configs
+      Route_anon.anonymize ~rng ~k_h:params.k_h ~p:params.noise
+        ~engine:equiv.engine equiv.configs
     in
     (* Optional add-on: PII scrubbing. *)
     let anon_configs =
@@ -72,8 +74,12 @@ let run ?(params = default_params) orig_configs =
       else anon.configs
     in
     let* anon_snapshot =
-      Result.map_error (fun m -> "workflow: anonymized network: " ^ m)
-        (Routing.Simulate.run anon_configs)
+      (* Without PII scrubbing, [anon.engine] already holds the final
+         simulation; scrubbing rewrites names/addresses, so re-simulate. *)
+      if params.pii then
+        Result.map_error (fun m -> "workflow: anonymized network: " ^ m)
+          (Routing.Simulate.run anon_configs)
+      else Ok (Routing.Engine.snapshot anon.engine)
     in
     Ok
       {

@@ -1,0 +1,143 @@
+(* A fixed-size Domain worker pool with a helping scheduler: [map] batches
+   are consumed through an atomic work-stealing index, and the submitting
+   thread participates until its batch drains. Workers never block on a
+   batch, so nested [map] calls from inside a task cannot deadlock; a
+   worker reaching an exhausted batch simply returns to the queue. *)
+
+type job = unit -> unit
+
+type t = {
+  jobs : int;
+  queue : job Queue.t;
+  lock : Mutex.t;
+  work_available : Condition.t;
+  mutable stopped : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let worker_loop t =
+  let rec next () =
+    Mutex.lock t.lock;
+    let rec take () =
+      if t.stopped then begin
+        Mutex.unlock t.lock;
+        None
+      end
+      else if Queue.is_empty t.queue then begin
+        Condition.wait t.work_available t.lock;
+        take ()
+      end
+      else begin
+        let job = Queue.pop t.queue in
+        Mutex.unlock t.lock;
+        Some job
+      end
+    in
+    match take () with
+    | None -> ()
+    | Some job ->
+        job ();
+        next ()
+  in
+  next ()
+
+let create ?jobs () =
+  let jobs =
+    match jobs with
+    | Some j -> max 1 j
+    | None -> Domain.recommended_domain_count ()
+  in
+  let t =
+    {
+      jobs;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      work_available = Condition.create ();
+      stopped = false;
+      workers = [];
+    }
+  in
+  (* The caller helps during [map], so jobs - 1 background domains give a
+     total of [jobs] active workers. *)
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.jobs
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stopped <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let map t f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when t.jobs <= 1 || t.stopped -> List.map f xs
+  | _ ->
+      let items = Array.of_list xs in
+      let n = Array.length items in
+      let results = Array.make n None in
+      let error = Atomic.make None in
+      let next = Atomic.make 0 in
+      let completed = Atomic.make 0 in
+      let help () =
+        let rec go () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            (try results.(i) <- Some (f items.(i))
+             with e ->
+               let bt = Printexc.get_raw_backtrace () in
+               ignore (Atomic.compare_and_set error None (Some (e, bt))));
+            Atomic.incr completed;
+            go ()
+          end
+        in
+        go ()
+      in
+      (* Hand a helper to every idle worker; stale helpers popped after the
+         batch has drained exit immediately. *)
+      let helpers = min (t.jobs - 1) (n - 1) in
+      Mutex.lock t.lock;
+      for _ = 1 to helpers do
+        Queue.push help t.queue
+      done;
+      Condition.broadcast t.work_available;
+      Mutex.unlock t.lock;
+      help ();
+      while Atomic.get completed < n do
+        Domain.cpu_relax ()
+      done;
+      (match Atomic.get error with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ());
+      Array.to_list (Array.map Option.get results)
+
+(* The process-wide shared pool. Sized by [Domain.recommended_domain_count]
+   unless [set_default_jobs] was called first (the [--jobs] flag). *)
+
+let default_jobs = ref None
+let shared = ref None
+
+let set_default_jobs j =
+  default_jobs := Some (max 1 j);
+  match !shared with
+  | Some p ->
+      shared := None;
+      shutdown p
+  | None -> ()
+
+let default () =
+  match !shared with
+  | Some p -> p
+  | None ->
+      let p = create ?jobs:!default_jobs () in
+      shared := Some p;
+      p
+
+let parallel_map ?pool f xs =
+  let t = match pool with Some t -> t | None -> default () in
+  map t f xs

@@ -1,0 +1,35 @@
+(** A fixed-size [Domain]-based worker pool.
+
+    Work submitted through {!map} is consumed cooperatively: the calling
+    thread participates in its own batch, and pool workers never block on
+    a batch's completion, so nested [map] calls (a parallel stage inside a
+    parallel stage) are safe and cannot deadlock. Results preserve input
+    order, and with equal inputs the output is identical to [List.map] —
+    parallelism never changes observable results. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns a pool of [jobs] workers ([jobs - 1]
+    background domains plus the caller during a [map]). Defaults to
+    [Domain.recommended_domain_count ()]; values [<= 1] yield a pool that
+    runs everything sequentially on the caller. *)
+
+val jobs : t -> int
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map. If any application raises, the first
+    exception (by completion order) is re-raised after the batch drains. *)
+
+val shutdown : t -> unit
+(** Joins the worker domains. Subsequent [map]s run sequentially. *)
+
+val set_default_jobs : int -> unit
+(** Size the process-wide shared pool (the [--jobs N] flag). Replaces an
+    already-created shared pool. Clamped below at 1. *)
+
+val default : unit -> t
+(** The process-wide shared pool, created on first use. *)
+
+val parallel_map : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map] over [pool], defaulting to the shared pool. *)

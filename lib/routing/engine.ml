@@ -1,0 +1,305 @@
+open Netcore
+module Smap = Device.Smap
+module Ast = Configlang.Ast
+
+module Dmap = Map.Make (struct
+  type t = [ `As of int | `Residual | `Global ]
+
+  let compare = compare
+end)
+
+(* Structural fingerprints over the *compiled* router, so textually
+   different but semantically identical configs (resolved ACLs, defaulted
+   costs) hash equal. Everything in [Device.router] is immutable data, so
+   Marshal is a sound structural serializer. *)
+let digest v = Digest.string (Marshal.to_string v [])
+
+let full_fp (r : Device.router) = digest r
+
+(* What the SPF state of a domain depends on: presence of an OSPF process,
+   its [network] statements, and every interface's name/address/cost.
+   Distribute-lists are deliberately excluded — they only affect route
+   selection, not the Dijkstras. *)
+let spf_fp (r : Device.router) =
+  digest
+    ( Option.map (fun (o : Device.ospf_proc) -> o.op_networks) r.r_ospf,
+      List.map
+        (fun (i : Device.iface) -> (i.ifc_name, i.ifc_addr, i.ifc_plen, i.ifc_cost))
+        r.r_ifaces )
+
+(* What one router's OSPF route selection depends on beyond the SPF state. *)
+let sel_fp (r : Device.router) =
+  digest (Option.map (fun (o : Device.ospf_proc) -> o.op_filters) r.r_ospf)
+
+(* Distance-vector protocols propagate filters, so any DV-relevant change
+   at one member invalidates the whole domain. *)
+let dv_fp (r : Device.router) =
+  digest
+    ( r.r_rip,
+      r.r_eigrp,
+      List.map
+        (fun (i : Device.iface) ->
+          (i.ifc_name, i.ifc_addr, i.ifc_plen, i.ifc_delay))
+        r.r_ifaces )
+
+type dom_cache = {
+  dc_members : string list;
+  dc_spf : string;  (* combined members' spf_fp *)
+  dc_state : Ospf.state option;  (* None when no member runs OSPF *)
+  (* member -> sel_fp, distribute-list filters, selected routes *)
+  dc_sel :
+    (string * (string * Ast.prefix_list) list * Fib.route list) Smap.t;
+  dc_dv : string;  (* combined members' dv_fp *)
+  dc_rip : Fib.route list Smap.t;
+  dc_eigrp : Fib.route list Smap.t;
+}
+
+type t = {
+  incremental : bool;
+  pool : Pool.t option;
+  configs : Ast.config list;
+  net : Device.network;
+  fps : string Smap.t;  (* full fingerprint per router *)
+  doms : dom_cache Dmap.t;
+  cands : Fib.route list Smap.t;  (* per-router non-BGP candidates *)
+  base : Fib.t Smap.t;
+  bgp : Fib.route list Smap.t;
+  fibs : Fib.t Smap.t;
+}
+
+let snapshot t = { Simulate.net = t.net; fibs = t.fibs }
+let configs t = t.configs
+let network t = t.net
+let fibs t = t.fibs
+let is_incremental t = t.incremental
+
+(* ---- per-domain computation with cache reuse ---- *)
+
+let compute_domain ?pool ~prev (net : Device.network)
+    (d : Simulate.igp_domain) =
+  let routers =
+    List.filter_map
+      (fun m -> Option.map (fun r -> (m, r)) (Smap.find_opt m net.routers))
+      d.dom_members
+  in
+  let spf = digest (List.map (fun (m, r) -> (m, spf_fp r)) routers) in
+  let dv = digest (List.map (fun (m, r) -> (m, dv_fp r)) routers) in
+  let prev =
+    match prev with
+    | Some c when c.dc_members = d.dom_members -> Some c
+    | _ -> None
+  in
+  let has f = List.exists (fun (_, r) -> f r) routers in
+  let state, sel =
+    if not (has (fun r -> r.Device.r_ospf <> None)) then (None, Smap.empty)
+    else
+      let filters_of (r : Device.router) =
+        match r.r_ospf with Some o -> o.op_filters | None -> []
+      in
+      let select st reuse =
+        (* Recompute selection only for members whose filters changed. *)
+        Pool.parallel_map ?pool
+          (fun (m, r) ->
+            let fp = sel_fp r in
+            match reuse st m r fp with
+            | Some routes -> (m, (fp, filters_of r, routes))
+            | None -> (m, (fp, filters_of r, Ospf.routes_for st net m)))
+          routers
+        |> List.fold_left (fun acc (m, v) -> Smap.add m v acc) Smap.empty
+      in
+      (* Patch one member's previous selection given the prefixes whose
+         SPF distances changed; gives up (full recompute) when the
+         member's filter change cannot be bounded. *)
+      let reuse_with c spf_changed st m (r : Device.router) fp =
+        match Smap.find_opt m c.dc_sel with
+        | Some (fp', _, routes)
+          when String.equal fp fp' && spf_changed = [] -> Some routes
+        | Some (fp', old_filters, routes) -> (
+            let filter_affected =
+              if String.equal fp fp' then Some []
+              else Ospf.changed_filter_prefixes old_filters (filters_of r)
+            in
+            match filter_affected with
+            | Some affected ->
+                Some
+                  (Ospf.routes_for_update st net m ~prev:routes
+                     ~affected:(spf_changed @ affected))
+            | None -> None)
+        | None -> None
+      in
+      let full () =
+        let st = Ospf.prepare ~scope:d.dom_scope ?pool net in
+        (Some st, select st (fun _ _ _ _ -> None))
+      in
+      match prev with
+      | Some c when String.equal c.dc_spf spf && c.dc_state <> None ->
+          let st = Option.get c.dc_state in
+          (Some st, select st (reuse_with c []))
+      | Some c when c.dc_state <> None -> (
+          (* SPF inputs changed; when no router-to-router adjacency moved
+             (stub attachments only) the old distance fields survive. *)
+          match
+            Ospf.prepare_update ~scope:d.dom_scope ?pool
+              ~prev:(Option.get c.dc_state) net
+          with
+          | Some (st, changed) -> (Some st, select st (reuse_with c changed))
+          | None -> full ())
+      | _ -> full ()
+  in
+  let rip, eigrp =
+    match prev with
+    | Some c when String.equal c.dc_dv dv -> (c.dc_rip, c.dc_eigrp)
+    | _ ->
+        ( (if has (fun r -> r.Device.r_rip <> None) then
+             Rip.compute ~scope:d.dom_scope net
+           else Smap.empty),
+          if has (fun r -> r.Device.r_eigrp <> None) then
+            Eigrp.compute ~scope:d.dom_scope net
+          else Smap.empty )
+  in
+  {
+    dc_members = d.dom_members;
+    dc_spf = spf;
+    dc_state = state;
+    dc_sel = sel;
+    dc_dv = dv;
+    dc_rip = rip;
+    dc_eigrp = eigrp;
+  }
+
+(* Per-router candidates of a domain, in the ospf @ rip @ eigrp order the
+   from-scratch path produces. *)
+let domain_cache_candidates dc =
+  List.fold_left
+    (fun acc m ->
+      let ospf =
+        match Smap.find_opt m dc.dc_sel with Some (_, _, rs) -> rs | None -> []
+      in
+      let rip = Option.value ~default:[] (Smap.find_opt m dc.dc_rip) in
+      let eigrp = Option.value ~default:[] (Smap.find_opt m dc.dc_eigrp) in
+      match ospf @ rip @ eigrp with
+      | [] -> acc
+      | routes -> Smap.add m routes acc)
+    Smap.empty dc.dc_members
+
+let build ?(incremental = true) ?pool ?prev configs =
+  match Device.compile configs with
+  | Error m -> Error m
+  | Ok net ->
+      let prev = if incremental then prev else None in
+      let fps = Smap.map full_fp net.routers in
+      let unchanged =
+        (* Routers whose whole config (hence statics, ACLs, everything
+           entering a FIB) is identical to the previous engine state. *)
+        match prev with
+        | None -> fun _ -> false
+        | Some p -> (
+            fun name ->
+              match (Smap.find_opt name fps, Smap.find_opt name p.fps) with
+              | Some a, Some b -> String.equal a b
+              | _ -> false)
+      in
+      let prev_doms = match prev with Some p -> p.doms | None -> Dmap.empty in
+      let doms =
+        Pool.parallel_map ?pool
+          (fun (d : Simulate.igp_domain) ->
+            ( d.dom_key,
+              compute_domain ?pool ~prev:(Dmap.find_opt d.dom_key prev_doms) net
+                d ))
+          (Simulate.igp_domains net)
+        |> List.fold_left (fun acc (k, v) -> Dmap.add k v acc) Dmap.empty
+      in
+      let igp =
+        Dmap.fold
+          (fun _ dc acc -> Simulate.merge_candidates acc (domain_cache_candidates dc))
+          doms Smap.empty
+      in
+      let cands =
+        Smap.mapi
+          (fun name r ->
+            Simulate.connected_routes r
+            @ Simulate.static_routes net r
+            @ Option.value ~default:[] (Smap.find_opt name igp))
+          net.routers
+      in
+      let base =
+        Smap.mapi
+          (fun name c ->
+            let reusable =
+              match prev with
+              | Some p -> (
+                  match Smap.find_opt name p.cands with
+                  | Some c' when c = c' -> Smap.find_opt name p.base
+                  | _ -> None)
+              | None -> None
+            in
+            match reusable with
+            | Some fib -> fib
+            | None ->
+                List.fold_left (fun fib r -> Fib.add_candidate r fib) Fib.empty c)
+          cands
+      in
+      let has_bgp =
+        Smap.exists (fun _ (r : Device.router) -> r.r_bgp <> None) net.routers
+      in
+      let bgp, fibs =
+        if not has_bgp then (Smap.empty, base)
+        else
+          let bgp =
+            (* BGP is a global fixpoint over the IGP-resolved base FIBs:
+               it is redone whenever any router changed at all, and only
+               skipped on a no-op edit. *)
+            match prev with
+            | Some p
+              when Smap.equal String.equal fps p.fps
+                   && Smap.for_all
+                        (fun name fib ->
+                          match Smap.find_opt name p.base with
+                          | Some f -> f == fib
+                          | None -> false)
+                        base -> p.bgp
+            | _ -> Bgp.compute net ~igp_fibs:base
+          in
+          let fibs =
+            Smap.mapi
+              (fun name fib ->
+                let bc = Option.value ~default:[] (Smap.find_opt name bgp) in
+                let base_reused =
+                  match prev with
+                  | Some p -> (
+                      match Smap.find_opt name p.base with
+                      | Some f -> f == fib
+                      | None -> false)
+                  | None -> false
+                in
+                let reusable =
+                  match prev with
+                  | Some p
+                    when unchanged name && base_reused
+                         && Option.value ~default:[] (Smap.find_opt name p.bgp)
+                            = bc -> Smap.find_opt name p.fibs
+                  | _ -> None
+                in
+                match reusable with
+                | Some final -> final
+                | None ->
+                    List.fold_left (fun fib c -> Fib.add_candidate c fib) fib bc)
+              base
+          in
+          (bgp, fibs)
+      in
+      Ok { incremental; pool; configs; net; fps; doms; cands; base; bgp; fibs }
+
+let of_configs ?(incremental = true) ?pool configs =
+  build ~incremental ?pool configs
+
+let apply_edit t configs =
+  build ~incremental:t.incremental ?pool:t.pool ~prev:t configs
+
+let of_configs_exn ?incremental ?pool configs =
+  match of_configs ?incremental ?pool configs with
+  | Ok t -> t
+  | Error m -> failwith m
+
+let apply_edit_exn t configs =
+  match apply_edit t configs with Ok t -> t | Error m -> failwith m

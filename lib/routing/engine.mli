@@ -1,0 +1,59 @@
+(** Incremental control-plane simulation engine.
+
+    Wraps {!Simulate}'s building blocks with per-IGP-domain caches keyed
+    by structural fingerprints of each router's compiled config, so the
+    anonymization fixpoints (deny-filter edits in [Route_equiv.fix], the
+    k_H repair loop in [Route_anon]) pay only for what an edit actually
+    invalidates instead of a full re-simulation per iteration.
+
+    Invalidation granularity, coarse to fine:
+    - a router whose full fingerprint is unchanged keeps its FIB when its
+      inputs (base FIB, BGP candidates) are also unchanged;
+    - per domain, the OSPF SPF state (per-prefix Dijkstras) is reused as
+      long as no member changed interfaces, costs or [network] statements
+      — distribute-list edits, the only edit the fixpoints issue, never
+      invalidate it; per-router OSPF route selection is recomputed only
+      for members whose filters changed;
+    - RIP/EIGRP propagate filters, so a DV-relevant change at any member
+      recomputes that domain's DV routes;
+    - BGP is a global fixpoint and is redone whenever anything changed.
+
+    Results are bit-identical to [Simulate.run] on the same configs: the
+    property tests in [test/test_routing.ml] compare FIBs structurally
+    after random edit sequences. *)
+
+module Smap = Device.Smap
+
+type t
+
+val of_configs :
+  ?incremental:bool ->
+  ?pool:Netcore.Pool.t ->
+  Configlang.Ast.config list ->
+  (t, string) result
+(** Compile and simulate from scratch. [incremental:false] disables all
+    cache reuse in subsequent {!apply_edit} calls — every edit then costs
+    a full re-simulation, which is the pre-engine cost model used as the
+    benchmark baseline. Default [true]. *)
+
+val of_configs_exn :
+  ?incremental:bool ->
+  ?pool:Netcore.Pool.t ->
+  Configlang.Ast.config list ->
+  t
+
+val apply_edit : t -> Configlang.Ast.config list -> (t, string) result
+(** [apply_edit t configs] re-simulates under the (full) edited config
+    list, reusing every cache the edit does not invalidate. *)
+
+val apply_edit_exn : t -> Configlang.Ast.config list -> t
+
+val snapshot : t -> Simulate.snapshot
+
+val configs : t -> Configlang.Ast.config list
+
+val network : t -> Device.network
+
+val fibs : t -> Fib.t Smap.t
+
+val is_incremental : t -> bool

@@ -63,14 +63,18 @@ let add_candidate r t =
 let find t p = Prefix.Map.find_opt p t
 
 let lookup t addr =
-  Prefix.Map.fold
-    (fun p r best ->
-      if Prefix.mem addr p then
-        match best with
-        | Some b when Prefix.length b.rt_prefix >= Prefix.length p -> best
-        | _ -> Some r
-      else best)
-    t None
+  (* Longest-prefix match by direct probing: the /len prefix containing
+     [addr] is a single canonical key, so try each length from most to
+     least specific. 33 logarithmic lookups beat a linear scan on any
+     realistically sized FIB. *)
+  let rec go len =
+    if len < 0 then None
+    else
+      match Prefix.Map.find_opt (Prefix.v addr len) t with
+      | Some r -> Some r
+      | None -> go (len - 1)
+  in
+  go 32
 
 let routes t = List.map snd (Prefix.Map.bindings t)
 

@@ -1,5 +1,6 @@
 open Netcore
 module Smap = Device.Smap
+module Ast = Configlang.Ast
 
 let all _ = true
 
@@ -81,55 +82,235 @@ let advertised_prefixes ?(scope = all) (net : Device.network) =
           acc r.r_ifaces)
     net.routers Prefix.Map.empty
 
-let compute ?(scope = all) (net : Device.network) =
+(* The SPF state of one IGP domain: the scoped adjacencies and, per
+   advertised prefix, the routers it is connected to and the reverse
+   shortest-path distance of every scoped router toward it. This is the
+   expensive part of OSPF — it depends only on interfaces, costs and
+   [network] statements, never on distribute-list filters, so the
+   incremental engine reuses it across filter-only edits. *)
+type state = {
+  st_adjs : Device.adj list Smap.t;
+  st_dists : ((string * int) list * int Smap.t) Prefix.Map.t;
+}
+
+let prepare ?(scope = all) ?pool (net : Device.network) =
   let adjs = ospf_adjs ~scope net in
   let rev = reverse_index adjs in
   let prefixes = advertised_prefixes ~scope net in
+  (* One reverse Dijkstra per advertised prefix, embarrassingly parallel. *)
+  let dists =
+    Pool.parallel_map ?pool
+      (fun (p, seeds) -> (p, (seeds, distances_to ~rev seeds)))
+      (Prefix.Map.bindings prefixes)
+  in
+  {
+    st_adjs = adjs;
+    st_dists =
+      List.fold_left
+        (fun m (p, v) -> Prefix.Map.add p v m)
+        Prefix.Map.empty dists;
+  }
+
+(* Refresh a state after an edit that kept every router-to-router OSPF
+   adjacency intact (e.g. attaching stub networks for fake hosts): only
+   prefixes whose advertising seeds changed need new Dijkstras, every
+   other distance field is carried over. Returns the new state plus the
+   prefixes whose distances changed (including removed ones) so selection
+   can be patched, or None when the adjacencies differ and a full
+   [prepare] is required. *)
+let prepare_update ?(scope = all) ?pool ~(prev : state) (net : Device.network) =
+  let adjs = ospf_adjs ~scope net in
+  if not (Smap.equal ( = ) adjs prev.st_adjs) then None
+  else
+    let rev = reverse_index adjs in
+    let prefixes = advertised_prefixes ~scope net in
+    let fresh =
+      Prefix.Map.fold
+        (fun p seeds acc ->
+          match Prefix.Map.find_opt p prev.st_dists with
+          | Some (seeds', _) when seeds = seeds' -> acc
+          | _ -> (p, seeds) :: acc)
+        prefixes []
+    in
+    let removed =
+      Prefix.Map.fold
+        (fun p _ acc -> if Prefix.Map.mem p prefixes then acc else p :: acc)
+        prev.st_dists []
+    in
+    let recomputed =
+      Pool.parallel_map ?pool
+        (fun (p, seeds) -> (p, (seeds, distances_to ~rev seeds)))
+        fresh
+    in
+    let dists =
+      List.fold_left
+        (fun m (p, v) -> Prefix.Map.add p v m)
+        (Prefix.Map.filter
+           (fun p _ -> Prefix.Map.mem p prefixes)
+           prev.st_dists)
+        recomputed
+    in
+    let changed = removed @ List.map fst recomputed in
+    Some ({ st_adjs = prev.st_adjs; st_dists = dists }, changed)
+
+(* Route selection for one (router, prefix) pair against a prepared
+   state: a function of the router's own filters and scoped adjacencies
+   only. *)
+let select_one ~filters ~adjs r p (seeds, dist) =
+  match Smap.find_opt r dist with
+  | None -> None
+  | Some dr ->
+      if List.mem_assoc r seeds then None
+      else
+        let nexthops =
+          List.filter_map
+            (fun (a : Device.adj) ->
+              match Smap.find_opt a.a_to dist with
+              | Some dn when a.a_out_iface.ifc_cost + dn = dr ->
+                  if Device.iface_filter_denies filters a.a_out_iface.ifc_name p
+                  then None
+                  else
+                    Some
+                      { Fib.nh_router = a.a_to; nh_iface = a.a_out_iface.ifc_name }
+              | Some _ | None -> None)
+            adjs
+        in
+        if nexthops = [] then None
+        else
+          Some
+            {
+              Fib.rt_prefix = p;
+              rt_proto = Fib.Ospf;
+              rt_metric = dr;
+              rt_nexthops = nexthops;
+            }
+
+let router_filters (net : Device.network) r =
+  match Smap.find_opt r net.routers with
+  | None -> []
+  | Some router -> (
+      match router.Device.r_ospf with Some o -> o.op_filters | None -> [])
+
+(* Route selection for one router against a prepared state: cheap, and a
+   function of the router's own filters and scoped adjacencies only. *)
+let routes_for st (net : Device.network) r =
+  let filters = router_filters net r in
+  let adjs = Option.value ~default:[] (Smap.find_opt r st.st_adjs) in
   Prefix.Map.fold
-    (fun p seeds acc ->
-      let dist = distances_to ~rev seeds in
-      let connected = List.map fst seeds in
-      Smap.fold
-        (fun r dr acc ->
-          if List.mem r connected then acc
-          else
-            let router = Smap.find r net.routers in
-            let filters =
-              match router.Device.r_ospf with
-              | Some o -> o.op_filters
-              | None -> []
+    (fun p v acc ->
+      match select_one ~filters ~adjs r p v with
+      | None -> acc
+      | Some route -> route :: acc)
+    st.st_dists []
+
+(* ---- filter-delta selection ----
+
+   The anonymization loops only ever touch distribute-lists of the shape
+   produced by [Edits.deny_on_iface]: exact-match rules followed by a
+   catch-all permit. Under that shape a prefix not named by any rule is
+   permitted no matter what, so the set of prefixes whose import decision
+   can differ between two filter configurations is bounded by the rules'
+   own prefixes — and route selection can be patched instead of redone. *)
+
+let exact_rule (r : Ast.prefix_rule) = r.le = None
+
+let permit_all_rule (r : Ast.prefix_rule) =
+  r.action = Ast.Permit && Prefix.length r.rule_prefix = 0
+  &&
+  match r.le with Some le -> le >= 32 | None -> false
+
+(* A list where only explicitly named prefixes can be denied: exact rules
+   in front, one catch-all permit at the end (the [Edits.list_deny]
+   shape). Returns the named prefixes, or None if the shape is more
+   general than that. *)
+let bounded_list (pl : Ast.prefix_list) =
+  match List.rev pl.pl_rules with
+  | last :: earlier when permit_all_rule last ->
+      if List.for_all exact_rule earlier then
+        Some (List.map (fun (r : Ast.prefix_rule) -> r.rule_prefix) earlier)
+      else None
+  | _ -> None
+
+(* Prefixes whose inbound decision at a router can differ between filter
+   configurations [old_f] and [new_f]; None when the lists are too
+   general to bound cheaply (callers then fall back to [routes_for]). *)
+let changed_filter_prefixes old_f new_f =
+  let ifaces =
+    List.sort_uniq String.compare (List.map fst old_f @ List.map fst new_f)
+  in
+  let rec per_iface acc = function
+    | [] -> Some (List.sort_uniq Prefix.compare acc)
+    | ifc :: rest ->
+        let bound f = List.filter_map
+            (fun (i, pl) -> if String.equal i ifc then Some pl else None) f
+        in
+        let o = bound old_f and n = bound new_f in
+        if o = n then per_iface acc rest
+        else
+          let collect pls =
+            List.fold_left
+              (fun acc pl ->
+                match (acc, bounded_list pl) with
+                | Some acc, Some ps -> Some (ps @ acc)
+                | _ -> None)
+              (Some []) pls
+          in
+          (match collect (o @ n) with
+          | Some ps -> per_iface (ps @ acc) rest
+          | None -> None)
+  in
+  per_iface [] ifaces
+
+(* Patch a previous [routes_for] result after a filter-only change:
+   recompute selection for the [affected] prefixes and splice the results
+   into [prev], preserving the descending-prefix order [routes_for]
+   produces. Correct only when the SPF state is unchanged and every
+   prefix outside [affected] keeps its filter decision. *)
+let routes_for_update st (net : Device.network) r ~prev ~affected =
+  let filters = router_filters net r in
+  let adjs = Option.value ~default:[] (Smap.find_opt r st.st_adjs) in
+  let news =
+    (* A prefix no longer advertised still needs a [None] entry so the
+       merge drops its previous route. *)
+    List.map
+      (fun p ->
+        ( p,
+          Option.bind
+            (Prefix.Map.find_opt p st.st_dists)
+            (fun v -> select_one ~filters ~adjs r p v) ))
+      affected
+    |> List.sort_uniq (fun (a, _) (b, _) -> Prefix.compare b a)
+  in
+  let rec merge prev news =
+    match news with
+    | [] -> prev
+    | (p, ro) :: ntl -> (
+        match prev with
+        | (r : Fib.route) :: ptl when Prefix.compare r.rt_prefix p > 0 ->
+            r :: merge ptl news
+        | _ ->
+            let prev =
+              match prev with
+              | (r : Fib.route) :: ptl when Prefix.compare r.rt_prefix p = 0 ->
+                  ptl
+              | _ -> prev
             in
-            let nexthops =
-              List.filter_map
-                (fun (a : Device.adj) ->
-                  match Smap.find_opt a.a_to dist with
-                  | Some dn when a.a_out_iface.ifc_cost + dn = dr ->
-                      if Device.iface_filter_denies filters a.a_out_iface.ifc_name p
-                      then None
-                      else
-                        Some
-                          {
-                            Fib.nh_router = a.a_to;
-                            nh_iface = a.a_out_iface.ifc_name;
-                          }
-                  | Some _ | None -> None)
-                (Option.value ~default:[] (Smap.find_opt r adjs))
-            in
-            if nexthops = [] then acc
-            else
-              let route =
-                {
-                  Fib.rt_prefix = p;
-                  rt_proto = Fib.Ospf;
-                  rt_metric = dr;
-                  rt_nexthops = nexthops;
-                }
-              in
-              Smap.update r
-                (function None -> Some [ route ] | Some l -> Some (route :: l))
-                acc)
-        dist acc)
-    prefixes Smap.empty
+            (match ro with
+            | Some route -> route :: merge prev ntl
+            | None -> merge prev ntl))
+  in
+  merge prev news
+
+let compute ?(scope = all) ?pool (net : Device.network) =
+  let st = prepare ~scope ?pool net in
+  Smap.fold
+    (fun name _ acc ->
+      if not (scope name) then acc
+      else
+        match routes_for st net name with
+        | [] -> acc
+        | routes -> Smap.add name routes acc)
+    net.routers Smap.empty
 
 let min_cost ?(scope = all) (net : Device.network) u =
   (* Distance from [u] to each router v: Dijkstra on forward adjacencies. *)

@@ -7,15 +7,78 @@
     then derive ECMP next hops from the distance field. Inbound
     distribute-lists suppress the *installation* of a next hop without
     affecting the SPF computation — exactly the Cisco semantics ConfMask's
-    route-equivalence filters rely on (§5.2). *)
+    route-equivalence filters rely on (§5.2).
+
+    The computation is split in two phases so the incremental engine can
+    cache the expensive one: {!prepare} runs every per-prefix Dijkstra
+    (depends on interfaces, costs and [network] statements only), and
+    {!routes_for} selects one router's routes against a prepared state
+    (depends additionally on that router's distribute-lists). *)
 
 module Smap = Device.Smap
 
+type state
+(** SPF state of one domain: scoped adjacencies plus, per advertised
+    prefix, its connected routers and the distance of every scoped router
+    toward it. Valid as long as no in-scope router changes its interfaces,
+    costs or IGP [network] statements. *)
+
+val prepare :
+  ?scope:(string -> bool) -> ?pool:Netcore.Pool.t -> Device.network -> state
+(** Runs the per-prefix Dijkstras, in parallel through [pool] (defaults to
+    the shared pool). *)
+
+val prepare_update :
+  ?scope:(string -> bool) ->
+  ?pool:Netcore.Pool.t ->
+  prev:state ->
+  Device.network ->
+  (state * Netcore.Prefix.t list) option
+(** [prepare_update ~prev net] refreshes [prev] after an edit that kept
+    every router-to-router OSPF adjacency intact (e.g. attaching stub
+    networks): only prefixes whose advertising seeds changed get new
+    Dijkstras, everything else is carried over. Returns the new state and
+    the prefixes whose distances changed (including ones no longer
+    advertised), or [None] when the adjacencies differ and a full
+    {!prepare} is needed. *)
+
+val routes_for : state -> Device.network -> string -> Fib.route list
+(** [routes_for st net r] is router [r]'s OSPF candidate routes under
+    state [st]. *)
+
+val changed_filter_prefixes :
+  (string * Configlang.Ast.prefix_list) list ->
+  (string * Configlang.Ast.prefix_list) list ->
+  Netcore.Prefix.t list option
+(** [changed_filter_prefixes old new_] bounds the set of prefixes whose
+    inbound-filter decision can differ between the two distribute-list
+    configurations: [Some ps] when every list involved in a changed
+    interface binding has the [Edits.deny_on_iface] shape (exact-match
+    rules then a catch-all permit), [None] when the lists are too general
+    to bound cheaply. *)
+
+val routes_for_update :
+  state ->
+  Device.network ->
+  string ->
+  prev:Fib.route list ->
+  affected:Netcore.Prefix.t list ->
+  Fib.route list
+(** [routes_for_update st net r ~prev ~affected] patches a previous
+    [routes_for] result after a filter-only change: selection is redone
+    for the [affected] prefixes only and spliced into [prev]. Produces
+    exactly what [routes_for st net r] would, provided [st] is unchanged
+    and every prefix outside [affected] kept its filter decision (as
+    guaranteed by {!changed_filter_prefixes}). *)
+
 val compute :
-  ?scope:(string -> bool) -> Device.network -> Fib.route list Smap.t
-(** OSPF candidate routes per router. [scope] restricts the domain (used
-    to run one OSPF instance per AS in BGP networks); it defaults to all
-    routers. *)
+  ?scope:(string -> bool) ->
+  ?pool:Netcore.Pool.t ->
+  Device.network ->
+  Fib.route list Smap.t
+(** OSPF candidate routes per router ([prepare] + [routes_for] for every
+    scoped router). [scope] restricts the domain (used to run one OSPF
+    instance per AS in BGP networks); it defaults to all routers. *)
 
 val min_cost :
   ?scope:(string -> bool) -> Device.network -> string -> int Smap.t

@@ -1,5 +1,6 @@
 (* merged candidate routes per protocol *)
 module Smap = Device.Smap
+module Imap = Map.Make (Int)
 
 type snapshot = {
   net : Device.network;
@@ -41,59 +42,119 @@ let connected_routes (r : Device.router) =
       })
     r.r_ifaces
 
-let as_groups (net : Device.network) =
-  Smap.fold
-    (fun name r acc ->
-      match Device.as_of_router r with
-      | Some asn ->
-          let members = Option.value ~default:[] (List.assoc_opt asn acc) in
-          (asn, name :: members) :: List.remove_assoc asn acc
-      | None -> acc)
-    net.routers []
+type igp_domain = {
+  dom_key : [ `As of int | `Residual | `Global ];
+  dom_members : string list;
+  dom_scope : string -> bool;
+}
 
-let run_net (net : Device.network) =
+(* One IGP domain per AS when BGP is present (BGP-less routers form a
+   residual domain), a single global domain otherwise. Membership lookups
+   are Map-based; scopes are only ever evaluated on router names. *)
+let igp_domains (net : Device.network) =
+  let has_bgp =
+    Smap.exists (fun _ (r : Device.router) -> r.r_bgp <> None) net.routers
+  in
+  if not has_bgp then
+    [
+      {
+        dom_key = `Global;
+        dom_members = List.map fst (Smap.bindings net.routers);
+        dom_scope = (fun _ -> true);
+      };
+    ]
+  else
+    let member_as =
+      Smap.filter_map (fun _ r -> Device.as_of_router r) net.routers
+    in
+    let groups =
+      Smap.fold
+        (fun name asn acc ->
+          Imap.update asn
+            (function None -> Some [ name ] | Some l -> Some (name :: l))
+            acc)
+        member_as Imap.empty
+    in
+    let as_domains =
+      Imap.fold
+        (fun asn members acc ->
+          {
+            dom_key = `As asn;
+            dom_members = List.rev members;
+            dom_scope = (fun n -> Smap.find_opt n member_as = Some asn);
+          }
+          :: acc)
+        groups []
+      |> List.rev
+    in
+    let residual =
+      Smap.fold
+        (fun name _ acc -> if Smap.mem name member_as then acc else name :: acc)
+        net.routers []
+      |> List.rev
+    in
+    as_domains
+    @ [
+        {
+          dom_key = `Residual;
+          dom_members = residual;
+          dom_scope = (fun n -> not (Smap.mem n member_as));
+        };
+      ]
+
+let merge_candidates a b = Smap.union (fun _ x y -> Some (x @ y)) a b
+
+(* OSPF, RIP and EIGRP candidates of one domain, merged per router in
+   administrative order (ospf @ rip @ eigrp). Protocols none of the
+   members run are skipped. *)
+let domain_candidates ?pool (net : Device.network) d =
+  let member_runs f =
+    List.exists
+      (fun m ->
+        match Smap.find_opt m net.routers with
+        | Some r -> f r
+        | None -> false)
+      d.dom_members
+  in
+  let scope = d.dom_scope in
+  let ospf =
+    if member_runs (fun r -> r.Device.r_ospf <> None) then
+      Ospf.compute ~scope ?pool net
+    else Smap.empty
+  in
+  let rip =
+    if member_runs (fun r -> r.Device.r_rip <> None) then Rip.compute ~scope net
+    else Smap.empty
+  in
+  let eigrp =
+    if member_runs (fun r -> r.Device.r_eigrp <> None) then
+      Eigrp.compute ~scope net
+    else Smap.empty
+  in
+  merge_candidates (merge_candidates ospf rip) eigrp
+
+let base_fibs_of_candidates (net : Device.network) igp_candidates =
+  Smap.mapi
+    (fun name (r : Device.router) ->
+      let candidates =
+        connected_routes r @ static_routes net r
+        @ Option.value ~default:[] (Smap.find_opt name igp_candidates)
+      in
+      List.fold_left (fun fib c -> Fib.add_candidate c fib) Fib.empty candidates)
+    net.routers
+
+let run_net ?pool (net : Device.network) =
   let has_bgp =
     Smap.exists (fun _ (r : Device.router) -> r.r_bgp <> None) net.routers
   in
   let igp_candidates =
-    if has_bgp then
-      (* One IGP domain per AS; BGP-less routers form a residual domain. *)
-      let groups = as_groups net in
-      let member_as name =
-        List.find_opt (fun (_, members) -> List.mem name members) groups
-        |> Option.map fst
-      in
-      let domains =
-        List.map (fun (asn, _) -> fun name -> member_as name = Some asn) groups
-        @ [ (fun name -> member_as name = None) ]
-      in
-      List.fold_left
-        (fun acc scope ->
-          let merge computed =
-            Smap.union (fun _ a b -> Some (a @ b)) acc computed
-          in
-          merge (Ospf.compute ~scope net)
-          |> fun acc' ->
-          Smap.union (fun _ a b -> Some (a @ b)) acc' (Rip.compute ~scope net)
-          |> fun acc'' ->
-          Smap.union (fun _ a b -> Some (a @ b)) acc'' (Eigrp.compute ~scope net))
-        Smap.empty domains
-    else
-      Smap.union
-        (fun _ a b -> Some (a @ b))
-        (Smap.union (fun _ a b -> Some (a @ b)) (Ospf.compute net) (Rip.compute net))
-        (Eigrp.compute net)
+    (* Domains are disjoint, so each is an independent parallel task. *)
+    Netcore.Pool.parallel_map ?pool
+      (fun d -> domain_candidates ?pool net d)
+      (igp_domains net)
+    |> List.fold_left merge_candidates Smap.empty
   in
-  let base_fibs =
-    Smap.mapi
-      (fun name (r : Device.router) ->
-        let candidates =
-          connected_routes r @ static_routes net r
-          @ Option.value ~default:[] (Smap.find_opt name igp_candidates)
-        in
-        List.fold_left (fun fib c -> Fib.add_candidate c fib) Fib.empty candidates)
-      net.routers
-  in
+  let base_fibs = base_fibs_of_candidates net igp_candidates in
   if not has_bgp then base_fibs
   else
     let bgp_candidates = Bgp.compute net ~igp_fibs:base_fibs in
@@ -105,13 +166,13 @@ let run_net (net : Device.network) =
           (Option.value ~default:[] (Smap.find_opt name bgp_candidates)))
       base_fibs
 
-let run configs =
+let run ?pool configs =
   match Device.compile configs with
   | Error _ as e -> e
-  | Ok net -> Ok { net; fibs = run_net net }
+  | Ok net -> Ok { net; fibs = run_net ?pool net }
 
-let run_exn configs =
-  match run configs with Ok s -> s | Error m -> failwith m
+let run_exn ?pool configs =
+  match run ?pool configs with Ok s -> s | Error m -> failwith m
 
 let dataplane ?max_paths s = Dataplane.extract ?max_paths s.net s.fibs
 

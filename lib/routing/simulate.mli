@@ -3,7 +3,13 @@
     Compiles configurations, runs the protocol engines — one IGP domain
     per AS when BGP is present, a single domain otherwise — merges
     candidate routes into per-router FIBs by administrative distance, and
-    exposes the data plane. *)
+    exposes the data plane.
+
+    This is the from-scratch reference path; [Routing.Engine] layers
+    incremental recomputation on top of the same building blocks and is
+    property-tested equivalent to it. Independent IGP domains and
+    per-prefix SPF runs execute in parallel through [Netcore.Pool]
+    (parallelism never changes results). *)
 
 module Smap = Device.Smap
 
@@ -12,10 +18,14 @@ type snapshot = {
   fibs : Fib.t Smap.t;
 }
 
-val run : Configlang.Ast.config list -> (snapshot, string) result
-val run_exn : Configlang.Ast.config list -> snapshot
+val run :
+  ?pool:Netcore.Pool.t ->
+  Configlang.Ast.config list ->
+  (snapshot, string) result
 
-val run_net : Device.network -> Fib.t Smap.t
+val run_exn : ?pool:Netcore.Pool.t -> Configlang.Ast.config list -> snapshot
+
+val run_net : ?pool:Netcore.Pool.t -> Device.network -> Fib.t Smap.t
 (** Protocol computation only, for callers that already compiled. *)
 
 val dataplane : ?max_paths:int -> snapshot -> Dataplane.t
@@ -27,3 +37,36 @@ val host_routes : snapshot -> (string * Netcore.Prefix.t * string list) list
 
 val host_prefixes : Device.network -> (Netcore.Prefix.t * string) list
 (** [(subnet, host name)] for every host. *)
+
+(** {1 Building blocks shared with the incremental engine} *)
+
+val connected_routes : Device.router -> Fib.route list
+
+val static_routes : Device.network -> Device.router -> Fib.route list
+(** Static routes whose next hop resolves over a connected subnet. *)
+
+type igp_domain = {
+  dom_key : [ `As of int | `Residual | `Global ];
+  dom_members : string list;  (** router names, ascending *)
+  dom_scope : string -> bool;  (** evaluated on router names only *)
+}
+
+val igp_domains : Device.network -> igp_domain list
+(** The disjoint IGP domains of the network: one per AS plus a residual
+    domain when BGP is present, a single global domain otherwise. *)
+
+val merge_candidates :
+  Fib.route list Smap.t -> Fib.route list Smap.t -> Fib.route list Smap.t
+(** Per-router concatenation (left routes first). *)
+
+val domain_candidates :
+  ?pool:Netcore.Pool.t ->
+  Device.network ->
+  igp_domain ->
+  Fib.route list Smap.t
+(** OSPF @ RIP @ EIGRP candidates of one domain's members. *)
+
+val base_fibs_of_candidates :
+  Device.network -> Fib.route list Smap.t -> Fib.t Smap.t
+(** Per-router FIBs from connected, static and the given IGP candidates
+    (everything except BGP). *)

@@ -886,6 +886,134 @@ let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [ prop_metric_decreases; prop_all_pairs_routable ]
 
+(* ---------------- worker pool ---------------- *)
+
+let test_pool_map_matches () =
+  let pool = Netcore.Pool.create ~jobs:4 () in
+  let xs = List.init 100 Fun.id in
+  let f x = (x * x) + 1 in
+  check Alcotest.(list int) "order and values" (List.map f xs)
+    (Netcore.Pool.map pool f xs);
+  (* Nested maps must not deadlock the helping scheduler. *)
+  let ys = List.init 10 Fun.id in
+  check
+    Alcotest.(list (list int))
+    "nested"
+    (List.map (fun x -> List.map (fun y -> x + y) ys) ys)
+    (Netcore.Pool.map pool (fun x -> Netcore.Pool.map pool (fun y -> x + y) ys) ys);
+  Netcore.Pool.shutdown pool
+
+let test_pool_sequential () =
+  let pool = Netcore.Pool.create ~jobs:1 () in
+  let xs = List.init 10 Fun.id in
+  check Alcotest.(list int) "jobs=1" (List.map succ xs)
+    (Netcore.Pool.map pool succ xs);
+  Netcore.Pool.shutdown pool
+
+exception Boom
+
+let test_pool_exception () =
+  let pool = Netcore.Pool.create ~jobs:4 () in
+  (try
+     ignore
+       (Netcore.Pool.map pool
+          (fun x -> if x = 37 then raise Boom else x)
+          (List.init 64 Fun.id));
+     Alcotest.fail "expected Boom"
+   with Boom -> ());
+  (* The pool survives a batch that raised and remains usable. *)
+  check Alcotest.(list int) "pool alive" [ 2; 3 ]
+    (Netcore.Pool.map pool succ [ 1; 2 ]);
+  Netcore.Pool.shutdown pool
+
+(* ---------------- engine: incremental == from-scratch ---------------- *)
+
+(* Drive the incremental engine through a random edit sequence — deny
+   filters (the fixpoints' edit), their rollback, and structural
+   interface additions (fake hosts' edit) — asserting after every step
+   that its FIBs equal a from-scratch [Simulate.run]. *)
+let engine_equiv_case ~seed (entry : Netgen.Nets.entry) () =
+  let rng = Netcore.Rng.create seed in
+  let configs = ref (Netgen.Nets.configs entry) in
+  let eng = ref (Engine.of_configs_exn !configs) in
+  let denies = ref [] in
+  let structurals = ref 0 in
+  let agree step =
+    let fresh = Simulate.run_exn !configs in
+    if not (Device.Smap.equal ( = ) (Engine.fibs !eng) fresh.fibs) then
+      Alcotest.failf "net %s seed %d: FIBs diverge from scratch after edit %d"
+        entry.id seed step
+  in
+  agree 0;
+  for step = 1 to 8 do
+    let net = Engine.network !eng in
+    let hps = List.map fst (Simulate.host_prefixes net) in
+    let adj_routers =
+      List.filter (fun (_, adjs) -> adjs <> []) (Device.Smap.bindings net.adjs)
+    in
+    let kind =
+      let k = Netcore.Rng.int rng 10 in
+      if k < 6 then `Deny
+      else if k < 8 then if !denies = [] then `Deny else `Undeny
+      else if !structurals >= 2 then `Deny
+      else `Structural
+    in
+    (match kind with
+    | `Deny -> (
+        match (adj_routers, hps) with
+        | [], _ | _, [] -> ()
+        | _ -> (
+            let r, adjs = Netcore.Rng.pick rng adj_routers in
+            let a = Netcore.Rng.pick rng adjs in
+            let hp = Netcore.Rng.pick rng hps in
+            match Confmask.Attach.point net r a.Device.a_to with
+            | None -> ()
+            | Some at ->
+                configs :=
+                  Confmask.Edits.update !configs r (fun c ->
+                      Confmask.Attach.deny_at c at hp);
+                denies := (r, at, hp) :: !denies))
+    | `Undeny ->
+        let ((r, at, hp) as d) = Netcore.Rng.pick rng !denies in
+        configs :=
+          Confmask.Edits.update !configs r (fun c ->
+              Confmask.Attach.undeny_at c at hp);
+        denies := List.filter (fun x -> x <> d) !denies
+    | `Structural ->
+        incr structurals;
+        let routers = List.map fst (Device.Smap.bindings net.routers) in
+        let r = Netcore.Rng.pick rng routers in
+        let alloc =
+          Netcore.Prefix.alloc_create
+            ~avoid:(Confmask.Edits.used_prefixes !configs)
+            ()
+        in
+        let subnet = Netcore.Prefix.alloc_fresh alloc ~len:24 in
+        let addr = Netcore.Prefix.host subnet 1 in
+        configs :=
+          Confmask.Edits.update !configs r (fun c ->
+              let name = Confmask.Edits.fresh_iface_name c in
+              let c =
+                Confmask.Edits.add_interface c ~name ~addr ~plen:24
+                  ~desc:"prop-test" ()
+              in
+              Confmask.Edits.add_igp_network c subnet));
+    eng := Engine.apply_edit_exn !eng !configs;
+    agree step
+  done
+
+let engine_suite =
+  List.concat_map
+    (fun (entry : Netgen.Nets.entry) ->
+      List.map
+        (fun seed ->
+          Alcotest.test_case
+            (Printf.sprintf "incremental = scratch (%s, seed %d)" entry.id seed)
+            `Quick
+            (engine_equiv_case ~seed entry))
+        [ 7; 21 ])
+    (Netgen.Nets.small ())
+
 let () =
   Alcotest.run "routing"
     [
@@ -947,5 +1075,12 @@ let () =
           Alcotest.test_case "loop detection" `Quick test_loop_detection;
           Alcotest.test_case "path cap truncation" `Quick test_truncation;
         ] );
+      ( "pool",
+        [
+          Alcotest.test_case "map matches List.map" `Quick test_pool_map_matches;
+          Alcotest.test_case "jobs=1 is sequential" `Quick test_pool_sequential;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception;
+        ] );
+      ("engine", engine_suite);
       ("properties", qsuite);
     ]
