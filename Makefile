@@ -8,9 +8,18 @@ build:
 test:
 	dune runtest
 
-# Fast end-to-end smoke: the small-network slice of every experiment.
+# Fast end-to-end smoke: the small-network slice of every experiment,
+# then one self-checked anonymization run that must show engine cache
+# reuse in its telemetry (pool counters are 0 on single-core runners,
+# so the grep checks engine counters only).
 bench-smoke:
 	dune exec bench/main.exe -- --fast --only table2 --only fig5 --only fig6
+	rm -rf /tmp/confmask-smoke && mkdir -p /tmp/confmask-smoke
+	dune exec bin/confmask_cli.exe -- generate --net A --out /tmp/confmask-smoke/orig
+	dune exec bin/confmask_cli.exe -- anonymize --in /tmp/confmask-smoke/orig \
+	  --out /tmp/confmask-smoke/anon --selfcheck --metrics-out /tmp/confmask-smoke/metrics.json
+	grep -Eq '"engine\.spf_reuse": *[1-9]' /tmp/confmask-smoke/metrics.json
+	grep -Eq '"engine\.fib_reuse": *[1-9]' /tmp/confmask-smoke/metrics.json
 
 check: build test bench-smoke
 

@@ -259,15 +259,26 @@ let fig15 () =
 let fig16 () =
   header "Figure 16: end-to-end running time (k_R = 6, k_H = 2)"
     "strawman 1 fastest, ConfMask in between, strawman 2 slowest \
-     (paper: s2 takes 8-100x ConfMask; FatTree-08 within minutes)";
-  Printf.printf "%-3s %-11s %12s %12s %12s\n" "ID" "Network" "Strawman1" "ConfMask"
-    "Strawman2";
+     (paper: s2 takes 8-100x ConfMask; FatTree-08 within minutes). \
+     Hit-rate columns show the ConfMask run's engine cache reuse \
+     (approximate when runs were prefetched in parallel).";
+  Printf.printf "%-3s %-11s %12s %12s %12s %9s %9s %9s\n" "ID" "Network" "Strawman1"
+    "ConfMask" "Strawman2" "spf-hit" "fib-hit" "bgp-skip";
   List.iter
     (fun id ->
       let t variant = (Runs.get ~variant ~k_r:6 ~k_h:2 id).seconds in
-      Printf.printf "%-3s %-11s %11.2fs %11.2fs %11.2fs\n" id
-        (Netgen.Nets.find id).label (t Runs.Strawman1_v) (t Runs.Confmask_v)
-        (t Runs.Strawman2_v))
+      let cm = Runs.get ~variant:Runs.Confmask_v ~k_r:6 ~k_h:2 id in
+      Printf.printf
+        "%-3s %-11s %11.2fs %11.2fs %11.2fs %8.1f%% %8.1f%% %9d\n" id
+        (Netgen.Nets.find id).label (t Runs.Strawman1_v) cm.seconds
+        (t Runs.Strawman2_v)
+        (100.0
+        *. Runs.hit_rate cm.stats ~reuse:"engine.spf_reuse"
+             ~miss:"engine.spf_full")
+        (100.0
+        *. Runs.hit_rate cm.stats ~reuse:"engine.fib_reuse"
+             ~miss:"engine.fib_build")
+        (Runs.stat cm.stats "engine.bgp_skip"))
     (ids ())
 
 (* ---------------- Table 3 ---------------- *)
@@ -488,47 +499,60 @@ let timing () =
         re-simulation per edit vs incremental engine"
        k_r k_h)
     "the incremental engine cuts pipeline time; the gap widens with network \
-     size (the fixpoints dominate). Results land in BENCH_PR1.json.";
-  Printf.printf "%-3s %-11s %14s %14s %9s\n" "ID" "Network" "full resim"
-    "incremental" "speedup";
+     size (the fixpoints dominate). Hit rates come from the incremental \
+     run's engine counters. Results land in BENCH_PR2.json.";
+  Printf.printf "%-3s %-11s %14s %14s %9s %9s %9s %9s\n" "ID" "Network"
+    "full resim" "incremental" "speedup" "spf-hit" "fib-hit" "bgp-skip";
   let measure id incremental =
     let configs = Netgen.Nets.configs (Netgen.Nets.find id) in
     match
       Runs.pipeline ~incremental ~variant:Runs.Confmask_v ~k_r ~k_h configs
     with
-    | Ok (_, _, _, _, seconds) -> seconds
+    | Ok (_, _, _, _, seconds, stats) -> (seconds, stats)
     | Error m -> failwith (Printf.sprintf "timing (net %s): %s" id m)
   in
   let rows =
     List.map
       (fun id ->
-        let base = measure id false in
-        let inc = measure id true in
+        let base, _ = measure id false in
+        let inc, stats = measure id true in
         let label = (Netgen.Nets.find id).label in
-        Printf.printf "%-3s %-11s %13.2fs %13.2fs %8.1fx\n%!" id label base inc
-          (base /. inc);
-        (id, label, base, inc))
+        let spf_hit =
+          Runs.hit_rate stats ~reuse:"engine.spf_reuse" ~miss:"engine.spf_full"
+        in
+        let fib_hit =
+          Runs.hit_rate stats ~reuse:"engine.fib_reuse" ~miss:"engine.fib_build"
+        in
+        let bgp_skips = Runs.stat stats "engine.bgp_skip" in
+        Printf.printf
+          "%-3s %-11s %13.2fs %13.2fs %8.1fx %8.1f%% %8.1f%% %9d\n%!" id label
+          base inc (base /. inc) (100.0 *. spf_hit) (100.0 *. fib_hit)
+          bgp_skips;
+        (id, label, base, inc, spf_hit, fib_hit, bgp_skips))
       (ids ())
   in
-  let out = open_out "BENCH_PR1.json" in
+  let out = open_out "BENCH_PR2.json" in
   Printf.fprintf out
     "{\n  \"experiment\": \"confmask pipeline seconds, full re-simulation \
-     per edit vs incremental engine\",\n\
+     per edit vs incremental engine, with engine cache-hit rates\",\n\
     \  \"k_r\": %d,\n  \"k_h\": %d,\n  \"seed\": %d,\n  \"jobs\": %d,\n\
     \  \"networks\": [\n"
     k_r k_h Runs.seed
     (Netcore.Pool.jobs (Netcore.Pool.default ()));
   List.iteri
-    (fun i (id, label, base, inc) ->
+    (fun i (id, label, base, inc, spf_hit, fib_hit, bgp_skips) ->
       Printf.fprintf out
         "    {\"id\": \"%s\", \"label\": \"%s\", \"baseline_seconds\": %.3f, \
-         \"incremental_seconds\": %.3f, \"speedup\": %.2f}%s\n"
-        (json_escape id) (json_escape label) base inc (base /. inc)
+         \"incremental_seconds\": %.3f, \"speedup\": %.2f, \
+         \"spf_hit_rate\": %.3f, \"fib_hit_rate\": %.3f, \
+         \"bgp_skips\": %d}%s\n"
+        (json_escape id) (json_escape label) base inc (base /. inc) spf_hit
+        fib_hit bgp_skips
         (if i = List.length rows - 1 then "" else ","))
     rows;
   Printf.fprintf out "  ]\n}\n";
   close_out out;
-  Printf.printf "[wrote BENCH_PR1.json]\n"
+  Printf.printf "[wrote BENCH_PR2.json]\n"
 
 (* ---------------- Bechamel microbenchmarks ---------------- *)
 
@@ -612,6 +636,9 @@ let experiments =
   ]
 
 let () =
+  (* Counters are cheap (one atomic add each) and the hit-rate columns of
+     fig16/timing need them, so the whole harness runs with telemetry on. *)
+  Netcore.Telemetry.set_enabled true;
   let only = ref [] in
   let args = Array.to_list Sys.argv in
   let rec parse = function

@@ -23,9 +23,27 @@ type run = {
   anon_snapshot : Routing.Simulate.snapshot;
   fake_edges : (string * string) list;
   seconds : float;
+  stats : (string * int) list;  (* telemetry counter deltas of this run *)
 }
 
 let seed = 42
+
+(* Telemetry counters are process-global, so a run's contribution is the
+   delta across it. Exact when the run is the only work in flight;
+   approximate under parallel [prefetch], where concurrent pipelines tick
+   the same counters. *)
+let counter_delta before after =
+  List.filter_map
+    (fun (name, v) ->
+      let v0 = Option.value ~default:0 (List.assoc_opt name before) in
+      if v > v0 then Some (name, v - v0) else None)
+    after
+
+let stat stats name = Option.value ~default:0 (List.assoc_opt name stats)
+
+let hit_rate stats ~reuse ~miss =
+  let r = stat stats reuse and m = stat stats miss in
+  if r + m = 0 then 0.0 else float_of_int r /. float_of_int (r + m)
 
 (* The pipeline with a pluggable route-fixing stage (step 2.1), so the
    strawman baselines slot into the exact same workflow. All simulations
@@ -34,6 +52,7 @@ let seed = 42
    pre-engine cost model, kept as the benchmark baseline). *)
 let pipeline ?(incremental = true) ~variant ~k_r ~k_h configs =
   let rng = Netcore.Rng.create seed in
+  let counters0 = Netcore.Telemetry.counters () in
   let t0 = Unix.gettimeofday () in
   match Routing.Engine.of_configs ~incremental configs with
   | Error m -> Error m
@@ -67,7 +86,8 @@ let pipeline ?(incremental = true) ~variant ~k_r ~k_h configs =
           | Ok anon ->
               let anon_snapshot = Routing.Engine.snapshot anon.engine in
               let seconds = Unix.gettimeofday () -. t0 in
-              Ok (orig, anon.configs, anon_snapshot, topo.fake_edges, seconds)))
+              let stats = counter_delta counters0 (Netcore.Telemetry.counters ()) in
+              Ok (orig, anon.configs, anon_snapshot, topo.fake_edges, seconds, stats)))
 
 let cache : (string * int * int * variant, run) Hashtbl.t = Hashtbl.create 64
 let lock = Mutex.create ()
@@ -82,7 +102,8 @@ let get ?(variant = Confmask_v) ~k_r ~k_h id =
       let configs = Netgen.Nets.configs entry in
       let r =
         match pipeline ~variant ~k_r ~k_h configs with
-        | Ok (orig_snapshot, anon_configs, anon_snapshot, fake_edges, seconds) ->
+        | Ok (orig_snapshot, anon_configs, anon_snapshot, fake_edges, seconds, stats)
+          ->
             {
               entry;
               k_r;
@@ -93,6 +114,7 @@ let get ?(variant = Confmask_v) ~k_r ~k_h id =
               anon_snapshot;
               fake_edges;
               seconds;
+              stats;
             }
         | Error m ->
             failwith

@@ -65,6 +65,36 @@ let generate_cmd =
   let info = Cmd.info "generate" ~doc:"Generate an evaluation network's configurations" in
   Cmd.v info Term.(const generate $ net_arg $ out_arg $ format_arg)
 
+(* ---- telemetry flags (shared by anonymize and simulate) ---- *)
+
+let setup_telemetry ~trace ~metrics_out ~selfcheck =
+  if trace || metrics_out <> None then Netcore.Telemetry.set_enabled true;
+  if selfcheck && Netcore.Telemetry.selfcheck_period () = 0 then
+    Netcore.Telemetry.set_selfcheck 1
+
+let emit_telemetry ~trace ~metrics_out =
+  if trace then Netcore.Telemetry.pp_report Format.err_formatter ();
+  match metrics_out with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Netcore.Telemetry.report_json ());
+      close_out oc
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ]
+         ~doc:"Print a span/counter telemetry report to stderr when done.")
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
+         ~doc:"Write the span/counter telemetry report to $(docv) as JSON.")
+
+let selfcheck_arg =
+  Arg.(value & flag & info [ "selfcheck" ]
+         ~doc:"Shadow every incremental simulation step with a from-scratch \
+               one and abort on any FIB divergence (slow; for validation). \
+               Equivalent to CONFMASK_SELFCHECK=1.")
+
 (* ---- anonymize ---- *)
 
 let set_jobs n = if n >= 1 then Netcore.Pool.set_default_jobs n
@@ -74,8 +104,10 @@ let jobs_arg =
          ~doc:"Size of the simulation worker pool (default: the number of \
                available cores).")
 
-let anonymize in_dir out_dir format k_r k_h noise seed pii fake_routers jobs =
+let anonymize in_dir out_dir format k_r k_h noise seed pii fake_routers jobs
+    trace metrics_out selfcheck =
   set_jobs jobs;
+  setup_telemetry ~trace ~metrics_out ~selfcheck;
   let configs = read_dir in_dir in
   let params = { Confmask.Workflow.k_r; k_h; noise; seed; pii; fake_routers } in
   match Confmask.Workflow.run ~params configs with
@@ -83,6 +115,7 @@ let anonymize in_dir out_dir format k_r k_h noise seed pii fake_routers jobs =
       Printf.eprintf "anonymization failed: %s\n" m;
       1
   | Ok r ->
+      emit_telemetry ~trace ~metrics_out;
       write_configs ~format out_dir r.anon_configs;
       (* The owner-side secret: which elements are fake. Needed to
          interpret answers coming back from collaborators; never share. *)
@@ -145,18 +178,21 @@ let anonymize_cmd =
   let info = Cmd.info "anonymize" ~doc:"Anonymize a directory of configurations" in
   Cmd.v info
     Term.(const anonymize $ in_arg $ out_arg $ format_arg $ kr_arg $ kh_arg $ noise_arg
-          $ seed_arg $ pii_arg $ fake_routers_arg $ jobs_arg)
+          $ seed_arg $ pii_arg $ fake_routers_arg $ jobs_arg
+          $ trace_arg $ metrics_out_arg $ selfcheck_arg)
 
 (* ---- simulate ---- *)
 
-let simulate in_dir show_paths jobs =
+let simulate in_dir show_paths jobs trace metrics_out =
   set_jobs jobs;
+  setup_telemetry ~trace ~metrics_out ~selfcheck:false;
   let configs = read_dir in_dir in
   match Routing.Simulate.run configs with
   | Error m ->
       Printf.eprintf "simulation failed: %s\n" m;
       1
   | Ok snap ->
+      emit_telemetry ~trace ~metrics_out;
       let g = Routing.Device.router_graph snap.net in
       Printf.printf "routers: %d\nhosts: %d\nrouter links: %d\n"
         (Netcore.Graph.num_nodes g)
@@ -179,7 +215,9 @@ let paths_arg =
 
 let simulate_cmd =
   let info = Cmd.info "simulate" ~doc:"Simulate a directory of configurations" in
-  Cmd.v info Term.(const simulate $ in_arg $ paths_arg $ jobs_arg)
+  Cmd.v info
+    Term.(const simulate $ in_arg $ paths_arg $ jobs_arg $ trace_arg
+          $ metrics_out_arg)
 
 (* ---- metrics ---- *)
 

@@ -12,6 +12,11 @@ type outcome = {
 
 let default_noise = 0.1
 
+let c_iterations = Telemetry.counter "anon.iterations"
+let c_fake_hosts = Telemetry.counter "anon.fake_hosts"
+let c_filters_added = Telemetry.counter "anon.filters_added"
+let c_filters_removed = Telemetry.counter "anon.filters_removed"
+
 (* A filter planned/applied by this algorithm, remembered for rollback. *)
 type filter = {
   f_router : string;
@@ -140,6 +145,7 @@ let reachable_routers (snap : Routing.Simulate.snapshot) fp =
   |> List.sort String.compare
 
 let anonymize ~rng ~k_h ?(p = default_noise) ?engine configs =
+  Telemetry.with_span "anon.anonymize" @@ fun () ->
   let initial =
     match engine with
     | Some e -> Routing.Engine.apply_edit e configs
@@ -150,6 +156,7 @@ let anonymize ~rng ~k_h ?(p = default_noise) ?engine configs =
   | Ok eng0 -> (
       let snap0 = Routing.Engine.snapshot eng0 in
       let configs, fake_hosts = add_fake_hosts ~k_h configs snap0 in
+      Telemetry.add c_fake_hosts (List.length fake_hosts);
       if fake_hosts = [] then
         Ok
           {
@@ -203,6 +210,7 @@ let anonymize ~rng ~k_h ?(p = default_noise) ?engine configs =
                are per-prefix denies on disjoint fake /24s, so rolling one
                back can only move its own prefix's routes. *)
             let rec repair eng configs active removed guard suspect =
+              Telemetry.incr c_iterations;
               match Routing.Engine.apply_edit eng configs with
               | Error m -> Error ("route_anon: repair simulation failed: " ^ m)
               | Ok eng ->
@@ -260,6 +268,8 @@ let anonymize ~rng ~k_h ?(p = default_noise) ?engine configs =
             in
             Result.map
               (fun (eng, configs, active, removed) ->
+                Telemetry.add c_filters_added (List.length active);
+                Telemetry.add c_filters_removed removed;
                 {
                   configs;
                   fake_hosts = List.rev fake_hosts;

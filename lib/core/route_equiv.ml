@@ -23,6 +23,9 @@ module Pset = Set.Make (struct
   let compare = compare
 end)
 
+let c_iterations = Telemetry.counter "equiv.iterations"
+let c_filters = Telemetry.counter "equiv.filters_added"
+
 let nexthop_map snap =
   List.fold_left
     (fun acc (r, hp, nxts) -> Kmap.add (r, hp) nxts acc)
@@ -45,6 +48,7 @@ let apply_filter net configs r nxt hp =
   Attach.deny configs net ~router:r ~toward:nxt hp
 
 let fix ?max_iters ?engine ~orig ~fake_edges configs =
+  Telemetry.with_span "equiv.fix" @@ fun () ->
   let max_iters =
     match max_iters with Some m -> m | None -> (2 * List.length fake_edges) + 8
   in
@@ -67,6 +71,7 @@ let fix ?max_iters ?engine ~orig ~fake_edges configs =
     | None -> Routing.Engine.of_configs configs
   in
   let rec loop eng configs iter filters =
+    Telemetry.incr c_iterations;
     let snap = Routing.Engine.snapshot eng in
     let wrong =
       List.concat_map
@@ -96,6 +101,7 @@ let fix ?max_iters ?engine ~orig ~fake_edges configs =
             apply_filter snap.net configs r nxt hp)
           configs wrong
       in
+      Telemetry.add c_filters (List.length wrong);
       match Routing.Engine.apply_edit eng configs with
       | Error m -> Error ("route_equiv: simulation failed: " ^ m)
       | Ok eng -> loop eng configs (iter + 1) (filters + List.length wrong)

@@ -7,7 +7,11 @@ type outcome = {
   filters_added : int;
 }
 
+let c_iterations = Telemetry.counter "strawman.iterations"
+let c_filters = Telemetry.counter "strawman.filters_added"
+
 let strawman1 ?engine ~orig ~fake_edges configs =
+  Telemetry.with_span "strawman.strawman1" @@ fun () ->
   let initial =
     match engine with
     | Some e -> Routing.Engine.apply_edit e configs
@@ -46,7 +50,11 @@ let strawman1 ?engine ~orig ~fake_edges configs =
       | Error m -> Error ("strawman1: verification failed: " ^ m)
       | Ok eng' ->
           if Route_equiv.fib_equal_on_hosts ~orig (Routing.Engine.snapshot eng')
-          then Ok { configs; iterations = 2; filters_added = !filters }
+          then begin
+            Telemetry.add c_iterations 2;
+            Telemetry.add c_filters !filters;
+            Ok { configs; iterations = 2; filters_added = !filters }
+          end
           else Error "strawman1: blanket filters did not restore the FIBs")
 
 let orig_paths_table orig_dp =
@@ -57,6 +65,7 @@ let orig_paths_table orig_dp =
   table
 
 let strawman2 ?(max_iters = 64) ?engine ~orig ~fake_edges:_ configs =
+  Telemetry.with_span "strawman.strawman2" @@ fun () ->
   let orig_dp = Routing.Simulate.dataplane orig in
   let orig_table = orig_paths_table orig_dp in
   let orig_fibs = Routing.Simulate.host_routes orig in
@@ -94,6 +103,7 @@ let strawman2 ?(max_iters = 64) ?engine ~orig ~fake_edges:_ configs =
     | None -> Routing.Engine.of_configs configs
   in
   let rec loop eng configs iter filters =
+    Telemetry.incr c_iterations;
     let snap = Routing.Engine.snapshot eng in
     let dp = Routing.Simulate.dataplane snap in
     let pairs =
@@ -137,6 +147,7 @@ let strawman2 ?(max_iters = 64) ?engine ~orig ~fake_edges:_ configs =
             Attach.deny configs snap.net ~router:r ~toward:nxt hp)
           configs fixes
       in
+      Telemetry.add c_filters (List.length fixes);
       match Routing.Engine.apply_edit eng configs with
       | Error m -> Error ("strawman2: simulation failed: " ^ m)
       | Ok eng -> loop eng configs (iter + 1) (filters + List.length fixes)

@@ -57,8 +57,11 @@ let realize_as_edges ~rng net asns as_fake_edges =
       | _ -> Some (Rng.pick rng candidates))
     as_fake_edges
 
+let c_fake_edges = Telemetry.counter "topo.fake_edges"
+
 let anonymize ?(cost_policy = Min_cost) ~rng ~k ~orig:(snap : Routing.Simulate.snapshot)
     configs =
+  Telemetry.with_span "topo.anonymize" @@ fun () ->
   let net = snap.net in
   let g = Routing.Device.router_graph net in
   let asns = as_map net in
@@ -88,6 +91,7 @@ let anonymize ?(cost_policy = Min_cost) ~rng ~k ~orig:(snap : Routing.Simulate.s
     List.map (fun (u, v) -> if String.compare u v <= 0 then (u, v) else (v, u)) fake_edges
     |> List.sort_uniq compare
   in
+  Telemetry.add c_fake_edges (List.length fake_edges);
   (* Per-direction IGP shortest-path distances, for the OSPF cost rule.
      Scoped per AS in BGP networks. *)
   let scope_of u =

@@ -31,11 +31,13 @@ type report = {
 let ( let* ) = Result.bind
 
 let run ?(params = default_params) orig_configs =
+  Telemetry.with_span "workflow.run" @@ fun () ->
   if params.k_r < 1 || params.k_h < 1 then Error "workflow: k_r and k_h must be >= 1"
   else
     let rng = Rng.create params.seed in
     (* Preprocess: the original topology and routes are the baseline. *)
     let* orig_snapshot =
+      Telemetry.with_span "workflow.baseline" @@ fun () ->
       Result.map_error (fun m -> "workflow: original network: " ^ m)
         (Routing.Simulate.run orig_configs)
     in
@@ -70,7 +72,9 @@ let run ?(params = default_params) orig_configs =
     in
     (* Optional add-on: PII scrubbing. *)
     let anon_configs =
-      if params.pii then Pii.Scrub.scrub ~key:(Pii.Pan.key_of_int params.seed) anon.configs
+      if params.pii then
+        Telemetry.with_span "workflow.pii" (fun () ->
+            Pii.Scrub.scrub ~key:(Pii.Pan.key_of_int params.seed) anon.configs)
       else anon.configs
     in
     let* anon_snapshot =

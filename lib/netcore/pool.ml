@@ -6,6 +6,10 @@
 
 type job = unit -> unit
 
+let c_batches = Telemetry.counter "pool.batches"
+let c_tasks = Telemetry.counter "pool.tasks"
+let c_steals = Telemetry.counter "pool.steals"
+
 type t = {
   jobs : int;
   queue : job Queue.t;
@@ -84,15 +88,30 @@ let map t f xs =
       let error = Atomic.make None in
       let next = Atomic.make 0 in
       let completed = Atomic.make 0 in
-      let help () =
+      Telemetry.incr c_batches;
+      Telemetry.add c_tasks n;
+      (* The last finisher signals the submitter, which parks on
+         [batch_done] once a bounded spin has not seen the batch drain —
+         so a long tail task does not pin the submitting core. *)
+      let batch_lock = Mutex.create () in
+      let batch_done = Condition.create () in
+      let finish_one () =
+        if Atomic.fetch_and_add completed 1 + 1 = n then begin
+          Mutex.lock batch_lock;
+          Condition.broadcast batch_done;
+          Mutex.unlock batch_lock
+        end
+      in
+      let help ~stolen () =
         let rec go () =
           let i = Atomic.fetch_and_add next 1 in
           if i < n then begin
+            if stolen then Telemetry.incr c_steals;
             (try results.(i) <- Some (f items.(i))
              with e ->
                let bt = Printexc.get_raw_backtrace () in
                ignore (Atomic.compare_and_set error None (Some (e, bt))));
-            Atomic.incr completed;
+            finish_one ();
             go ()
           end
         in
@@ -103,14 +122,23 @@ let map t f xs =
       let helpers = min (t.jobs - 1) (n - 1) in
       Mutex.lock t.lock;
       for _ = 1 to helpers do
-        Queue.push help t.queue
+        Queue.push (help ~stolen:true) t.queue
       done;
       Condition.broadcast t.work_available;
       Mutex.unlock t.lock;
-      help ();
-      while Atomic.get completed < n do
+      help ~stolen:false ();
+      let spins = ref 0 in
+      while Atomic.get completed < n && !spins < 10_000 do
+        incr spins;
         Domain.cpu_relax ()
       done;
+      if Atomic.get completed < n then begin
+        Mutex.lock batch_lock;
+        while Atomic.get completed < n do
+          Condition.wait batch_done batch_lock
+        done;
+        Mutex.unlock batch_lock
+      end;
       (match Atomic.get error with
       | Some (e, bt) -> Printexc.raise_with_backtrace e bt
       | None -> ());
@@ -119,24 +147,36 @@ let map t f xs =
 (* The process-wide shared pool. Sized by [Domain.recommended_domain_count]
    unless [set_default_jobs] was called first (the [--jobs] flag). *)
 
+(* Both the lazy init and the resize read-modify-write [shared] under one
+   mutex: two domains racing [default ()] used to each build a pool, with
+   one leaking its worker domains forever. [shutdown] of the displaced
+   pool happens outside the lock — it may block on an in-flight [map],
+   which completes normally (workers finish the batch they are helping
+   with before they notice [stopped]), and new callers already get the
+   replacement pool meanwhile. *)
+
 let default_jobs = ref None
 let shared = ref None
+let shared_lock = Mutex.create ()
 
 let set_default_jobs j =
-  default_jobs := Some (max 1 j);
-  match !shared with
-  | Some p ->
-      shared := None;
-      shutdown p
-  | None -> ()
+  let displaced =
+    Mutex.protect shared_lock (fun () ->
+        default_jobs := Some (max 1 j);
+        let p = !shared in
+        shared := None;
+        p)
+  in
+  match displaced with Some p -> shutdown p | None -> ()
 
 let default () =
-  match !shared with
-  | Some p -> p
-  | None ->
-      let p = create ?jobs:!default_jobs () in
-      shared := Some p;
-      p
+  Mutex.protect shared_lock (fun () ->
+      match !shared with
+      | Some p -> p
+      | None ->
+          let p = create ?jobs:!default_jobs () in
+          shared := Some p;
+          p)
 
 let parallel_map ?pool f xs =
   let t = match pool with Some t -> t | None -> default () in

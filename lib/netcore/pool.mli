@@ -19,17 +19,22 @@ val jobs : t -> int
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving parallel map. If any application raises, the first
-    exception (by completion order) is re-raised after the batch drains. *)
+    exception (by completion order) is re-raised after the batch drains.
+    The submitter helps with its own batch, then waits for the stragglers
+    with a bounded spin followed by a condition wait — it does not burn a
+    core while the last worker finishes a long task. *)
 
 val shutdown : t -> unit
 (** Joins the worker domains. Subsequent [map]s run sequentially. *)
 
 val set_default_jobs : int -> unit
 (** Size the process-wide shared pool (the [--jobs N] flag). Replaces an
-    already-created shared pool. Clamped below at 1. *)
+    already-created shared pool; an in-flight {!map} on the displaced
+    pool completes normally. Clamped below at 1. *)
 
 val default : unit -> t
-(** The process-wide shared pool, created on first use. *)
+(** The process-wide shared pool, created on first use. Safe to call from
+    multiple domains concurrently: every caller gets the same pool. *)
 
 val parallel_map : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map] over [pool], defaulting to the shared pool. *)

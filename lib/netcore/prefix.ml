@@ -60,33 +60,50 @@ type alloc = {
   avoid : t list;
   mutable cursor : int; (* offset in addresses from the base network *)
   mutable used : t list;
+  mutable probes : int;
 }
 
 let default_base = v (Ipv4.of_octets 100 64 0 0) 10
 
 let alloc_create ?(base = default_base) ~avoid () =
-  { base; avoid; cursor = 0; used = [] }
+  { base; avoid; cursor = 0; used = [] ; probes = 0 }
 
 let alloc_fresh a ~len =
   if len < a.base.len then
     failwith "Prefix.alloc_fresh: requested prefix larger than the pool";
   let step = 1 lsl (32 - len) in
-  (* Align the cursor to the requested size. *)
+  let base_int = Ipv4.to_int a.base.network in
   let rec search offset =
     if offset + step > size a.base then
       failwith "Prefix.alloc_fresh: pool exhausted"
-    else
+    else begin
+      a.probes <- a.probes + 1;
       let candidate = v (Ipv4.add a.base.network offset) len in
       let clash p = overlaps candidate p in
-      if List.exists clash a.avoid || List.exists clash a.used then
-        search (offset + step)
-      else begin
-        a.cursor <- offset + step;
-        a.used <- candidate :: a.used;
-        candidate
-      end
+      match List.filter clash a.avoid @ List.filter clash a.used with
+      | [] ->
+          a.cursor <- offset + step;
+          a.used <- candidate :: a.used;
+          candidate
+      | clashes ->
+          (* CIDR ranges nest or are disjoint, so every step-aligned
+             offset below the furthest clashing range's end also clashes:
+             jump there in one probe instead of stepping through, and
+             advance the cursor immediately — the avoid set is immutable
+             and [used] only grows, so the clash is permanent and no later
+             allocation needs to re-scan it. *)
+          let next =
+            List.fold_left
+              (fun acc p -> max acc (Ipv4.to_int p.network + size p - base_int))
+              (offset + step) clashes
+          in
+          let next = (next + step - 1) / step * step in
+          a.cursor <- max a.cursor next;
+          search next
+    end
   in
-  let aligned = (a.cursor + step - 1) / step * step in
-  search aligned
+  (* Align the cursor to the requested size. *)
+  search ((a.cursor + step - 1) / step * step)
 
 let alloc_used a = a.used
+let alloc_probes a = a.probes

@@ -59,3 +59,9 @@ val alloc_fresh : alloc -> len:int -> t
 
 val alloc_used : alloc -> t list
 (** All prefixes handed out so far, most recent first. *)
+
+val alloc_probes : alloc -> int
+(** Number of candidate prefixes examined over the allocator's lifetime.
+    Each allocation probes at most once per distinct clashing range plus
+    one successful candidate — the cursor jumps past a clashing range
+    rather than stepping through it, and never revisits it. *)

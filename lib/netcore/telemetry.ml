@@ -1,0 +1,152 @@
+let src = Logs.Src.create "confmask.telemetry" ~doc:"ConfMask pipeline telemetry"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+(* ---- counters ---- *)
+
+type counter = { c_name : string; c_cell : int Atomic.t }
+
+let registry_lock = Mutex.create ()
+let registry : (string, counter) Hashtbl.t = Hashtbl.create 64
+
+let counter name =
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some c -> c
+      | None ->
+          let c = { c_name = name; c_cell = Atomic.make 0 } in
+          Hashtbl.replace registry name c;
+          c)
+
+let add c n =
+  if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c.c_cell n)
+
+let incr c = add c 1
+let value c = Atomic.get c.c_cell
+
+let counters () =
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.fold (fun name c acc -> (name, Atomic.get c.c_cell) :: acc) registry [])
+  |> List.sort compare
+
+(* ---- spans ---- *)
+
+type span_stat = { mutable s_count : int; mutable s_seconds : float }
+
+let spans_lock = Mutex.create ()
+let span_table : (string, span_stat) Hashtbl.t = Hashtbl.create 64
+
+(* Innermost-first stack of enclosing span names, per domain. *)
+let span_stack : string list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
+
+let record path seconds =
+  Mutex.protect spans_lock (fun () ->
+      let s =
+        match Hashtbl.find_opt span_table path with
+        | Some s -> s
+        | None ->
+            let s = { s_count = 0; s_seconds = 0.0 } in
+            Hashtbl.replace span_table path s;
+            s
+      in
+      s.s_count <- s.s_count + 1;
+      s.s_seconds <- s.s_seconds +. seconds)
+
+let with_span name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let stack = Domain.DLS.get span_stack in
+    let path = String.concat "/" (List.rev (name :: stack)) in
+    Domain.DLS.set span_stack (name :: stack);
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dt = Unix.gettimeofday () -. t0 in
+        Domain.DLS.set span_stack stack;
+        record path dt;
+        Log.debug (fun m -> m "span %s: %.6fs" path dt))
+      f
+  end
+
+let spans () =
+  Mutex.protect spans_lock (fun () ->
+      Hashtbl.fold
+        (fun path s acc -> (path, s.s_count, s.s_seconds) :: acc)
+        span_table [])
+  |> List.sort compare
+
+(* ---- self-check ---- *)
+
+let selfcheck_of_env () =
+  match Sys.getenv_opt "CONFMASK_SELFCHECK" with
+  | None -> 0
+  | Some s -> (
+      let s = String.trim s in
+      if s = "" then 0
+      else
+        match int_of_string_opt s with
+        | Some n -> max 0 n
+        | None -> 1)
+
+let selfcheck = Atomic.make (selfcheck_of_env ())
+let selfcheck_period () = Atomic.get selfcheck
+let set_selfcheck n = Atomic.set selfcheck (max 0 n)
+
+(* ---- reports ---- *)
+
+let reset () =
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.c_cell 0) registry);
+  Mutex.protect spans_lock (fun () -> Hashtbl.reset span_table)
+
+let pp_report ppf () =
+  let sp = spans () in
+  if sp <> [] then begin
+    Format.fprintf ppf "spans:@.";
+    List.iter
+      (fun (path, count, seconds) ->
+        Format.fprintf ppf "  %-40s %6d calls %10.3fs@." path count seconds)
+      sp
+  end;
+  Format.fprintf ppf "counters:@.";
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "  %-40s %10d@." name v)
+    (counters ())
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let report_json () =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"spans\": [\n";
+  let sp = spans () in
+  List.iteri
+    (fun i (path, count, seconds) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"path\": \"%s\", \"count\": %d, \"seconds\": %.6f}%s\n"
+           (json_escape path) count seconds
+           (if i = List.length sp - 1 then "" else ",")))
+    sp;
+  Buffer.add_string b "  ],\n  \"counters\": {\n";
+  let cs = counters () in
+  List.iteri
+    (fun i (name, v) ->
+      Buffer.add_string b
+        (Printf.sprintf "    \"%s\": %d%s\n" (json_escape name) v
+           (if i = List.length cs - 1 then "" else ",")))
+    cs;
+  Buffer.add_string b "  }\n}\n";
+  Buffer.contents b

@@ -1,0 +1,74 @@
+(** Lightweight pipeline telemetry: named spans, atomic counters, and the
+    engine self-check knob.
+
+    Everything here is process-global and safe to use from any [Domain]:
+    counters are [Atomic] cells, span aggregation is mutex-protected, and
+    the per-domain span stack lives in domain-local storage so nested
+    spans compose correctly across the worker pool.
+
+    Disabled is the default and costs one [Atomic.get] branch per call —
+    counters do not tick and spans do not read the clock. Enable with
+    {!set_enabled} (the CLI's [--trace] / [--metrics-out] flags and the
+    bench harness do) before running the pipeline being measured.
+
+    The self-check period is independent of {!enabled}: when positive,
+    [Routing.Engine.apply_edit] shadows every Nth edit with a from-scratch
+    [Simulate.run] and fails loudly on FIB divergence. It is seeded from
+    the [CONFMASK_SELFCHECK] environment variable at startup and can be
+    overridden programmatically (the CLI's [--selfcheck] flag). *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+(** {1 Counters} *)
+
+type counter
+(** A named atomic counter, interned process-wide by name: two [counter]
+    calls with the same name return the same cell. *)
+
+val counter : string -> counter
+val incr : counter -> unit
+(** No-op while disabled. *)
+
+val add : counter -> int -> unit
+(** No-op while disabled. *)
+
+val value : counter -> int
+val counters : unit -> (string * int) list
+(** Every registered counter with its current value, sorted by name. *)
+
+(** {1 Spans} *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [with_span name f] times [f ()] on the wall clock and aggregates the
+    duration under the span's path — [name] prefixed by the names of the
+    enclosing spans of the current domain, joined with ["/"]. While
+    disabled it is exactly [f ()]. Exceptions propagate; the time until
+    the raise is still recorded. *)
+
+val spans : unit -> (string * int * float) list
+(** [(path, count, total_seconds)] per recorded span path, sorted. *)
+
+(** {1 Self-check} *)
+
+val selfcheck_period : unit -> int
+(** [0] disables the shadow check; [n > 0] shadows every [n]th
+    [Engine.apply_edit]. Initialized from [CONFMASK_SELFCHECK]: unset or
+    un-parsable as a positive integer means [0], except that any
+    non-empty non-numeric value (e.g. ["yes"]) means [1]. *)
+
+val set_selfcheck : int -> unit
+(** Clamped below at [0]. *)
+
+(** {1 Reports} *)
+
+val reset : unit -> unit
+(** Zeroes every counter and drops all span aggregates. Leaves the
+    enabled flag and self-check period alone. *)
+
+val pp_report : Format.formatter -> unit -> unit
+(** Human-readable spans-then-counters report (the [--trace] output). *)
+
+val report_json : unit -> string
+(** The same report as a JSON object:
+    [{"spans": [{"path", "count", "seconds"}...], "counters": {...}}]. *)

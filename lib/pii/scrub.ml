@@ -17,16 +17,36 @@ let default_rename configs =
 
 let sensitive_keywords = [ "password"; "secret"; "community"; "key" ]
 
+let is_space c = c = ' ' || c = '\t'
+
+(* Everything after a sensitive keyword may be secret material — Cisco
+   lines interleave encryption-type digits and the secret itself
+   ("enable secret 5 $1$abc..."), so redacting only the next token leaks
+   the hash. Redact the whole remainder, and slice the original string so
+   lines keep their exact whitespace (the old word-split collapsed runs
+   of spaces and every tab). *)
 let redact_line line =
-  let words = String.split_on_char ' ' line in
-  let rec redact = function
-    | [] -> []
-    | w :: rest
-      when List.mem (String.lowercase_ascii w) sensitive_keywords && rest <> [] ->
-        w :: "<redacted>" :: redact (List.tl rest)
-    | w :: rest -> w :: redact rest
+  let n = String.length line in
+  let rec scan i =
+    if i >= n then line
+    else if is_space line.[i] then scan (i + 1)
+    else begin
+      let j = ref i in
+      while !j < n && not (is_space line.[!j]) do
+        incr j
+      done;
+      let stop = !j in
+      let word = String.lowercase_ascii (String.sub line i (stop - i)) in
+      let rest = ref stop in
+      while !rest < n && is_space line.[!rest] do
+        incr rest
+      done;
+      if List.mem word sensitive_keywords && !rest < n then
+        String.sub line 0 stop ^ " <redacted>"
+      else scan stop
+    end
   in
-  String.concat " " (redact words)
+  scan 0
 
 let scrub ?rename ~key configs =
   let rename =

@@ -14,6 +14,18 @@ end)
    Marshal is a sound structural serializer. *)
 let digest v = Digest.string (Marshal.to_string v [])
 
+(* Cache-layer hit/miss counters. Reuse counters and their recompute
+   denominators come in pairs so reports can form hit rates. *)
+let c_spf_reuse = Telemetry.counter "engine.spf_reuse"
+let c_spf_full = Telemetry.counter "engine.spf_full"
+let c_sel_patch = Telemetry.counter "engine.sel_patch"
+let c_dv_recompute = Telemetry.counter "engine.dv_recompute"
+let c_bgp_skip = Telemetry.counter "engine.bgp_skip"
+let c_bgp_compute = Telemetry.counter "engine.bgp_compute"
+let c_fib_reuse = Telemetry.counter "engine.fib_reuse"
+let c_fib_build = Telemetry.counter "engine.fib_build"
+let c_edits = Telemetry.counter "engine.edits"
+
 let full_fp (r : Device.router) = digest r
 
 (* What the SPF state of a domain depends on: presence of an OSPF process,
@@ -121,6 +133,7 @@ let compute_domain ?pool ~prev (net : Device.network)
             in
             match filter_affected with
             | Some affected ->
+                Telemetry.incr c_sel_patch;
                 Some
                   (Ospf.routes_for_update st net m ~prev:routes
                      ~affected:(spf_changed @ affected))
@@ -128,11 +141,13 @@ let compute_domain ?pool ~prev (net : Device.network)
         | None -> None
       in
       let full () =
+        Telemetry.incr c_spf_full;
         let st = Ospf.prepare ~scope:d.dom_scope ?pool net in
         (Some st, select st (fun _ _ _ _ -> None))
       in
       match prev with
       | Some c when String.equal c.dc_spf spf && c.dc_state <> None ->
+          Telemetry.incr c_spf_reuse;
           let st = Option.get c.dc_state in
           (Some st, select st (reuse_with c []))
       | Some c when c.dc_state <> None -> (
@@ -142,7 +157,9 @@ let compute_domain ?pool ~prev (net : Device.network)
             Ospf.prepare_update ~scope:d.dom_scope ?pool
               ~prev:(Option.get c.dc_state) net
           with
-          | Some (st, changed) -> (Some st, select st (reuse_with c changed))
+          | Some (st, changed) ->
+              Telemetry.incr c_spf_reuse;
+              (Some st, select st (reuse_with c changed))
           | None -> full ())
       | _ -> full ()
   in
@@ -150,6 +167,8 @@ let compute_domain ?pool ~prev (net : Device.network)
     match prev with
     | Some c when String.equal c.dc_dv dv -> (c.dc_rip, c.dc_eigrp)
     | _ ->
+        if has (fun r -> (r.Device.r_rip <> None) || r.r_eigrp <> None) then
+          Telemetry.incr c_dv_recompute;
         ( (if has (fun r -> r.Device.r_rip <> None) then
              Rip.compute ~scope:d.dom_scope net
            else Smap.empty),
@@ -183,6 +202,7 @@ let domain_cache_candidates dc =
     Smap.empty dc.dc_members
 
 let build ?(incremental = true) ?pool ?prev configs =
+  Telemetry.with_span "engine.build" @@ fun () ->
   match Device.compile configs with
   | Error m -> Error m
   | Ok net ->
@@ -201,6 +221,7 @@ let build ?(incremental = true) ?pool ?prev configs =
       in
       let prev_doms = match prev with Some p -> p.doms | None -> Dmap.empty in
       let doms =
+        Telemetry.with_span "engine.domains" @@ fun () ->
         Pool.parallel_map ?pool
           (fun (d : Simulate.igp_domain) ->
             ( d.dom_key,
@@ -234,10 +255,28 @@ let build ?(incremental = true) ?pool ?prev configs =
               | None -> None
             in
             match reusable with
-            | Some fib -> fib
+            | Some fib ->
+                Telemetry.incr c_fib_reuse;
+                fib
             | None ->
+                Telemetry.incr c_fib_build;
                 List.fold_left (fun fib r -> Fib.add_candidate r fib) Fib.empty c)
           cands
+      in
+      (* A router's base FIB equals the previous engine's, physically (the
+         reuse above) or structurally (rebuilt from equal candidates in
+         the same order, so equal tree shape). Both gates below reduce to
+         this one predicate — the old physical-only [==] test silently
+         degraded to a recompute whenever a structurally identical FIB
+         arrived through a fresh build. *)
+      let base_same =
+        match prev with
+        | None -> fun _ _ -> false
+        | Some p -> (
+            fun name fib ->
+              match Smap.find_opt name p.base with
+              | Some f -> f == fib || f = fib
+              | None -> false)
       in
       let has_bgp =
         Smap.exists (fun _ (r : Device.router) -> r.r_bgp <> None) net.routers
@@ -248,41 +287,36 @@ let build ?(incremental = true) ?pool ?prev configs =
           let bgp =
             (* BGP is a global fixpoint over the IGP-resolved base FIBs:
                it is redone whenever any router changed at all, and only
-               skipped on a no-op edit. *)
+               skipped on a no-op edit. Equal full fingerprints already
+               imply equal compiled routers, hence equal base FIBs — no
+               fragile physical-identity conjunct needed. *)
             match prev with
-            | Some p
-              when Smap.equal String.equal fps p.fps
-                   && Smap.for_all
-                        (fun name fib ->
-                          match Smap.find_opt name p.base with
-                          | Some f -> f == fib
-                          | None -> false)
-                        base -> p.bgp
-            | _ -> Bgp.compute net ~igp_fibs:base
+            | Some p when Smap.equal String.equal fps p.fps ->
+                Telemetry.incr c_bgp_skip;
+                p.bgp
+            | _ ->
+                Telemetry.incr c_bgp_compute;
+                Telemetry.with_span "engine.bgp" (fun () ->
+                    Bgp.compute net ~igp_fibs:base)
           in
           let fibs =
             Smap.mapi
               (fun name fib ->
                 let bc = Option.value ~default:[] (Smap.find_opt name bgp) in
-                let base_reused =
-                  match prev with
-                  | Some p -> (
-                      match Smap.find_opt name p.base with
-                      | Some f -> f == fib
-                      | None -> false)
-                  | None -> false
-                in
                 let reusable =
                   match prev with
                   | Some p
-                    when unchanged name && base_reused
+                    when unchanged name && base_same name fib
                          && Option.value ~default:[] (Smap.find_opt name p.bgp)
                             = bc -> Smap.find_opt name p.fibs
                   | _ -> None
                 in
                 match reusable with
-                | Some final -> final
+                | Some final ->
+                    Telemetry.incr c_fib_reuse;
+                    final
                 | None ->
+                    Telemetry.incr c_fib_build;
                     List.fold_left (fun fib c -> Fib.add_candidate c fib) fib bc)
               base
           in
@@ -293,8 +327,60 @@ let build ?(incremental = true) ?pool ?prev configs =
 let of_configs ?(incremental = true) ?pool configs =
   build ~incremental ?pool configs
 
+(* ---- shadow self-check ---- *)
+
+(* Process-wide edit sequence. Deliberately a plain atomic rather than a
+   telemetry counter: the self-check must fire even when telemetry is
+   disabled ([CONFMASK_SELFCHECK=1] alone enables it). *)
+let edit_seq = Atomic.make 0
+
+(* Compare semantically, not structurally: an incrementally patched route
+   selection may list equal routes in a different order than the scratch
+   path, and [Fib.t] trees built from differently ordered candidates can
+   differ in shape while holding the same routes. *)
+let canon_fib fib =
+  List.map
+    (fun (r : Fib.route) ->
+      (r.rt_prefix, r.rt_proto, r.rt_metric, Fib.nexthop_names r))
+    (Fib.routes fib)
+
+let selfcheck_divergence t =
+  match Simulate.run ?pool:t.pool t.configs with
+  | Error m -> Some (Printf.sprintf "reference simulation failed: %s" m)
+  | Ok reference ->
+      let divergent =
+        Smap.merge
+          (fun name inc ref_ ->
+            match (inc, ref_) with
+            | Some a, Some b when canon_fib a = canon_fib b -> None
+            | None, None -> None
+            | _ -> Some name)
+          t.fibs reference.fibs
+      in
+      if Smap.is_empty divergent then None
+      else
+        Some
+          ("FIB divergence at "
+          ^ String.concat ", " (List.map fst (Smap.bindings divergent)))
+
 let apply_edit t configs =
-  build ~incremental:t.incremental ?pool:t.pool ~prev:t configs
+  Telemetry.incr c_edits;
+  match build ~incremental:t.incremental ?pool:t.pool ~prev:t configs with
+  | Error _ as e -> e
+  | Ok t' as ok ->
+      let period = Telemetry.selfcheck_period () in
+      let seq = if period > 0 then Atomic.fetch_and_add edit_seq 1 + 1 else 0 in
+      if period > 0 && seq mod period = 0 then
+        Telemetry.with_span "engine.selfcheck" (fun () ->
+            match selfcheck_divergence t' with
+            | None -> ()
+            | Some msg ->
+                failwith
+                  (Printf.sprintf
+                     "Engine.apply_edit self-check failed at edit %d: \
+                      incremental result diverges from Simulate.run — %s"
+                     seq msg));
+      ok
 
 let of_configs_exn ?incremental ?pool configs =
   match of_configs ?incremental ?pool configs with

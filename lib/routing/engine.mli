@@ -20,7 +20,17 @@
 
     Results are bit-identical to [Simulate.run] on the same configs: the
     property tests in [test/test_routing.ml] compare FIBs structurally
-    after random edit sequences. *)
+    after random edit sequences.
+
+    Cache reuse is observable through [Netcore.Telemetry] counters
+    ([engine.spf_reuse]/[engine.spf_full], [engine.sel_patch],
+    [engine.dv_recompute], [engine.bgp_skip]/[engine.bgp_compute],
+    [engine.fib_reuse]/[engine.fib_build], [engine.edits]) and spans
+    ([engine.build], [engine.domains], [engine.bgp]). When the telemetry
+    self-check period is positive ([CONFMASK_SELFCHECK], [--selfcheck]),
+    every Nth {!apply_edit} additionally shadows the incremental result
+    with a from-scratch [Simulate.run] and raises [Failure] naming the
+    divergent routers if the FIBs differ semantically. *)
 
 module Smap = Device.Smap
 

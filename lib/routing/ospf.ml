@@ -4,6 +4,8 @@ module Ast = Configlang.Ast
 
 let all _ = true
 
+let c_dijkstras = Telemetry.counter "ospf.dijkstras"
+
 (* Directed adjacencies usable by OSPF: both interface ends enabled and
    both routers in scope. *)
 let ospf_adjs ?(scope = all) (net : Device.network) =
@@ -42,6 +44,7 @@ let reverse_index adjs =
 (* Multi-source Dijkstra toward a destination: [seeds] are (router, cost)
    pairs; the result maps each router to its distance to the destination. *)
 let distances_to ~rev seeds =
+  Telemetry.incr c_dijkstras;
   let rec loop dist pq =
     match Pqueue.pop pq with
     | None -> dist
@@ -94,6 +97,7 @@ type state = {
 }
 
 let prepare ?(scope = all) ?pool (net : Device.network) =
+  Telemetry.with_span "ospf.prepare" @@ fun () ->
   let adjs = ospf_adjs ~scope net in
   let rev = reverse_index adjs in
   let prefixes = advertised_prefixes ~scope net in
@@ -119,6 +123,7 @@ let prepare ?(scope = all) ?pool (net : Device.network) =
    can be patched, or None when the adjacencies differ and a full
    [prepare] is required. *)
 let prepare_update ?(scope = all) ?pool ~(prev : state) (net : Device.network) =
+  Telemetry.with_span "ospf.prepare_update" @@ fun () ->
   let adjs = ospf_adjs ~scope net in
   if not (Smap.equal ( = ) adjs prev.st_adjs) then None
   else

@@ -358,9 +358,60 @@ let test_scrub_preserves_acl_semantics () =
 let test_redact () =
   check Alcotest.string "password" "enable password <redacted>"
     (Pii.Scrub.redact_line "enable password hunter2");
-  check Alcotest.string "community" "snmp-server community <redacted> ro"
+  (* Everything after the keyword goes — redacting only the next token
+     would keep "5 $1$abc" and leak the hash after the type digit. *)
+  check Alcotest.string "typed secret" "enable secret <redacted>"
+    (Pii.Scrub.redact_line "enable secret 5 $1$abc$KKmhhSdyN.Ss1");
+  check Alcotest.string "community" "snmp-server community <redacted>"
     (Pii.Scrub.redact_line "snmp-server community sEcReT ro");
-  check Alcotest.string "untouched" "no shutdown" (Pii.Scrub.redact_line "no shutdown")
+  check Alcotest.string "untouched" "no shutdown" (Pii.Scrub.redact_line "no shutdown");
+  check Alcotest.string "whitespace preserved" " ip  route\t10.0.0.0"
+    (Pii.Scrub.redact_line " ip  route\t10.0.0.0");
+  check Alcotest.string "tab before secret" "tacacs-server key <redacted>"
+    (Pii.Scrub.redact_line "tacacs-server key\tS3cr3t");
+  check Alcotest.string "trailing keyword" "crypto key"
+    (Pii.Scrub.redact_line "crypto key")
+
+(* No whitespace-delimited token appearing after a sensitive keyword may
+   survive redaction. *)
+let prop_redact_no_leak =
+  let open QCheck2 in
+  let keyword = Gen.oneofl [ "password"; "secret"; "community"; "key" ] in
+  let token =
+    (* Distinctive secrets, never equal to a keyword or "<redacted>". *)
+    Gen.map (Printf.sprintf "ZQ%d") (Gen.int_bound 99999)
+  in
+  let word = Gen.oneofl [ "enable"; "snmp-server"; "7"; "5"; "ro"; "ip" ] in
+  let sep = Gen.oneofl [ " "; "  "; "\t"; " \t " ] in
+  let gen_line =
+    Gen.map
+      (fun (pre, kw, s1, parts) ->
+        let tail = List.concat_map (fun (s, t) -> [ s; t ]) parts in
+        String.concat "" ((pre ^ " " ^ kw ^ s1) :: tail))
+      (Gen.quad word keyword sep
+         (Gen.list_size (Gen.int_range 1 4) (Gen.pair sep token)))
+  in
+  QCheck2.Test.make ~name:"no token after a sensitive keyword survives scrub"
+    ~count:500 gen_line (fun line ->
+      let out = Pii.Scrub.redact_line line in
+      let is_space c = c = ' ' || c = '\t' in
+      let tokens s =
+        String.fold_left
+          (fun (acc, cur) c ->
+            if is_space c then
+              ((if cur = "" then acc else cur :: acc), "")
+            else (acc, cur ^ String.make 1 c))
+          ([], "") s
+        |> fun (acc, cur) -> if cur = "" then acc else cur :: acc
+      in
+      let keywords = [ "password"; "secret"; "community"; "key" ] in
+      let rec after_kw = function
+        | [] -> []
+        | w :: rest when List.mem (String.lowercase_ascii w) keywords -> rest
+        | _ :: rest -> after_kw rest
+      in
+      let secrets = after_kw (List.rev (tokens line)) in
+      List.for_all (fun s -> not (List.mem s (tokens out))) secrets)
 
 let test_default_rename () =
   let configs = Netgen.Nets.configs (Netgen.Nets.find "CCNP") in
@@ -372,7 +423,13 @@ let test_default_rename () =
 
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_degree_anon; prop_realize; prop_pan_prefix; prop_pan_bijective ]
+    [
+      prop_degree_anon;
+      prop_realize;
+      prop_pan_prefix;
+      prop_pan_bijective;
+      prop_redact_no_leak;
+    ]
 
 let () =
   Alcotest.run "anonlibs"

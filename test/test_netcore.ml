@@ -85,6 +85,28 @@ let test_alloc_exhaustion () =
   Alcotest.check_raises "exhausted" (Failure "Prefix.alloc_fresh: pool exhausted")
     (fun () -> ignore (Prefix.alloc_fresh a ~len:31))
 
+let test_alloc_probe_bound () =
+  (* A large avoided range in front of the pool: the cursor must jump past
+     it instead of stepping /30 by /30 (16k probes for this /18). Each
+     allocation costs at most one probe per clashing range plus the
+     successful one. *)
+  let avoid = [ pfx "100.64.0.0/18"; pfx "100.64.64.0/20" ] in
+  let a = Prefix.alloc_create ~avoid () in
+  let p1 = Prefix.alloc_fresh a ~len:30 in
+  check Alcotest.string "first free /30" "100.64.80.0/30" (Prefix.to_string p1);
+  check Alcotest.bool "constant probes, not a linear scan" true
+    (Prefix.alloc_probes a <= 3);
+  (* Later allocations must not re-scan the avoided ranges. *)
+  for _ = 1 to 100 do
+    ignore (Prefix.alloc_fresh a ~len:30)
+  done;
+  check Alcotest.bool "amortized one probe per allocation" true
+    (Prefix.alloc_probes a <= 103);
+  (* A mixed-size sequence still avoids everything. *)
+  let p_big = Prefix.alloc_fresh a ~len:24 in
+  check Alcotest.bool "fresh /24 avoids all" false
+    (List.exists (Prefix.overlaps p_big) (avoid @ List.tl (Prefix.alloc_used a)))
+
 (* -------------------- Rng -------------------- *)
 
 let test_rng_deterministic () =
@@ -252,6 +274,7 @@ let () =
           Alcotest.test_case "host /32" `Quick test_prefix_32;
           Alcotest.test_case "allocator avoids collisions" `Quick test_alloc_avoids;
           Alcotest.test_case "allocator exhaustion" `Quick test_alloc_exhaustion;
+          Alcotest.test_case "allocator probe bound" `Quick test_alloc_probe_bound;
         ] );
       ( "rng",
         [

@@ -910,6 +910,31 @@ let test_pool_sequential () =
     (Netcore.Pool.map pool succ xs);
   Netcore.Pool.shutdown pool
 
+(* Two domains racing the lazy init must observe the same shared pool —
+   each used to build its own, one leaking its workers forever. *)
+let test_pool_default_race () =
+  Netcore.Pool.set_default_jobs 2;
+  let spawners =
+    List.init 4 (fun _ -> Domain.spawn (fun () -> Netcore.Pool.default ()))
+  in
+  let pools = List.map Domain.join spawners in
+  let p0 = Netcore.Pool.default () in
+  List.iteri
+    (fun i p ->
+      if not (p == p0) then
+        Alcotest.failf "domain %d saw a different shared pool" i)
+    pools;
+  (* Resizing while a map is in flight on the displaced pool: the batch
+     must complete normally. *)
+  let xs = List.init 200 Fun.id in
+  let f x = List.fold_left ( + ) x (List.init 500 Fun.id) in
+  let d = Domain.spawn (fun () -> Netcore.Pool.map p0 f xs) in
+  Netcore.Pool.set_default_jobs 2;
+  check Alcotest.(list int) "in-flight map completes" (List.map f xs)
+    (Domain.join d);
+  if Netcore.Pool.default () == p0 then
+    Alcotest.fail "set_default_jobs did not replace the shared pool"
+
 exception Boom
 
 let test_pool_exception () =
@@ -1002,6 +1027,31 @@ let engine_equiv_case ~seed (entry : Netgen.Nets.entry) () =
     agree step
   done
 
+(* A no-op edit must take the BGP-skip gate (the fingerprint-only test),
+   not fall through to a recompute, and must leave the FIBs intact. Runs
+   with the shadow self-check on, so the skipped result is also verified
+   against a from-scratch simulation. *)
+let test_engine_bgp_skip () =
+  let configs = Netgen.Nets.configs (Netgen.Nets.find "A") in
+  let skip = Netcore.Telemetry.counter "engine.bgp_skip" in
+  let compute = Netcore.Telemetry.counter "engine.bgp_compute" in
+  Netcore.Telemetry.set_enabled true;
+  Netcore.Telemetry.set_selfcheck 1;
+  Fun.protect ~finally:(fun () ->
+      Netcore.Telemetry.set_enabled false;
+      Netcore.Telemetry.set_selfcheck 0)
+  @@ fun () ->
+  let eng = Engine.of_configs_exn configs in
+  let s0 = Netcore.Telemetry.value skip in
+  let c0 = Netcore.Telemetry.value compute in
+  let eng' = Engine.apply_edit_exn eng configs in
+  check Alcotest.int "no-op edit skips the BGP fixpoint" (s0 + 1)
+    (Netcore.Telemetry.value skip);
+  check Alcotest.int "no BGP recompute on a no-op edit" c0
+    (Netcore.Telemetry.value compute);
+  check Alcotest.bool "FIBs preserved" true
+    (Device.Smap.equal ( = ) (Engine.fibs eng) (Engine.fibs eng'))
+
 let engine_suite =
   List.concat_map
     (fun (entry : Netgen.Nets.entry) ->
@@ -1080,7 +1130,10 @@ let () =
           Alcotest.test_case "map matches List.map" `Quick test_pool_map_matches;
           Alcotest.test_case "jobs=1 is sequential" `Quick test_pool_sequential;
           Alcotest.test_case "exception propagation" `Quick test_pool_exception;
+          Alcotest.test_case "shared pool init race" `Quick test_pool_default_race;
         ] );
-      ("engine", engine_suite);
+      ( "engine",
+        engine_suite
+        @ [ Alcotest.test_case "no-op edit skips BGP" `Quick test_engine_bgp_skip ] );
       ("properties", qsuite);
     ]
