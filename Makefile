@@ -1,4 +1,4 @@
-.PHONY: all build test bench-smoke check clean
+.PHONY: all build test bench-smoke fuzz-smoke check clean
 
 all: build
 
@@ -21,7 +21,14 @@ bench-smoke:
 	grep -Eq '"engine\.spf_reuse": *[1-9]' /tmp/confmask-smoke/metrics.json
 	grep -Eq '"engine\.fib_reuse": *[1-9]' /tmp/confmask-smoke/metrics.json
 
-check: build test bench-smoke
+# Randomized differential/metamorphic fuzz of the whole pipeline: 200
+# generated networks against every crucible oracle; failures are shrunk
+# and written to crucible-failures/ for adoption into test/corpus/.
+fuzz-smoke:
+	dune exec bin/crucible_cli.exe -- --seed 0 --cases 200 \
+	  --minimize --corpus-dir crucible-failures
+
+check: build test bench-smoke fuzz-smoke
 
 clean:
 	dune clean

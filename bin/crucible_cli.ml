@@ -1,0 +1,166 @@
+(* The crucible driver: randomized differential & metamorphic testing of
+   the full anonymization pipeline on generated networks, with greedy
+   shrinking of failures into replayable corpus cases. *)
+
+open Cmdliner
+
+let pp_spec ppf (s : Netgen.Netspec.t) =
+  Format.fprintf ppf "%d routers / %d links / %d hosts%s" (List.length s.routers)
+    (List.length s.links) (List.length s.hosts)
+    (if s.asn = [] then " (OSPF)" else " (BGP+OSPF)")
+
+let report_failure (f : Crucible.Runner.failure) =
+  Printf.eprintf "FAIL seed=%d oracle=%s: %s\n  spec: %s\n" f.f_seed f.f_oracle
+    f.f_message
+    (Format.asprintf "%a" pp_spec f.f_spec);
+  match f.f_minimized with
+  | Some m ->
+      Printf.eprintf "  minimized (%d shrink steps): %s\n" f.f_shrink_steps
+        (Format.asprintf "%a" pp_spec m)
+  | None -> ()
+
+let resolve_oracles names =
+  match names with
+  | [] -> Ok Crucible.Oracle.all
+  | names ->
+      List.fold_left
+        (fun acc n ->
+          match (acc, Crucible.Oracle.find n) with
+          | Error m, _ -> Error m
+          | _, Error m -> Error m
+          | Ok os, Ok o -> Ok (os @ [ o ]))
+        (Ok []) names
+
+let run_main seed cases max_size max_hosts oracle_names minimize corpus_dir
+    replays list_oracles jobs trace metrics_out =
+  if list_oracles then begin
+    List.iter
+      (fun (o : Crucible.Oracle.t) -> Printf.printf "%-10s %s\n" o.name o.doc)
+      Crucible.Oracle.all;
+    0
+  end
+  else begin
+    if jobs >= 1 then Netcore.Pool.set_default_jobs jobs;
+    if trace || metrics_out <> None then Netcore.Telemetry.set_enabled true;
+    match resolve_oracles oracle_names with
+    | Error m ->
+        Printf.eprintf "%s\n" m;
+        2
+    | Ok oracles ->
+        let emit_telemetry () =
+          if trace then Netcore.Telemetry.pp_report Format.err_formatter ();
+          match metrics_out with
+          | None -> ()
+          | Some file ->
+              let oc = open_out file in
+              output_string oc (Netcore.Telemetry.report_json ());
+              close_out oc
+        in
+        let failures =
+          if replays <> [] then begin
+            (* Replay mode: corpus files or directories instead of
+               generated cases. *)
+            let cases =
+              List.concat_map
+                (fun path ->
+                  if Sys.is_directory path then Crucible.Corpus.load_dir path
+                  else
+                    match Crucible.Corpus.load_file path with
+                    | Ok case -> [ (path, case) ]
+                    | Error m -> failwith m)
+                replays
+            in
+            List.concat_map
+              (fun (path, case) ->
+                let fs = Crucible.Runner.replay ~oracles case in
+                List.iter
+                  (fun (f : Crucible.Runner.failure) ->
+                    Printf.eprintf "FAIL %s oracle=%s: %s\n" path f.f_oracle
+                      f.f_message)
+                  fs;
+                fs)
+              cases
+          end
+          else begin
+            let gen =
+              {
+                Crucible.Gen.default with
+                max_routers = max_size;
+                max_hosts = (if max_hosts > 0 then max_hosts else max_size);
+              }
+            in
+            let outcome =
+              Crucible.Runner.run ~minimize_failures:minimize ?corpus_dir
+                ~oracles ~gen ~seed ~cases ()
+            in
+            List.iter report_failure outcome.failures;
+            Printf.printf "crucible: %d cases x %d oracles, %d failures\n"
+              outcome.cases (List.length oracles)
+              (List.length outcome.failures);
+            outcome.failures
+          end
+        in
+        emit_telemetry ();
+        if failures = [] then 0 else 1
+  end
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N"
+         ~doc:"Base seed; case $(i,i) of the run uses seed N+i.")
+
+let cases_arg =
+  Arg.(value & opt int 100 & info [ "cases" ] ~docv:"N"
+         ~doc:"Number of generated networks to check.")
+
+let max_size_arg =
+  Arg.(value & opt int 12 & info [ "max-size" ] ~docv:"N"
+         ~doc:"Maximum routers per generated network (minimum 3).")
+
+let max_hosts_arg =
+  Arg.(value & opt int 0 & info [ "max-hosts" ] ~docv:"N"
+         ~doc:"Maximum hosts per generated network (default: --max-size).")
+
+let oracle_arg =
+  Arg.(value & opt_all string [] & info [ "oracle" ] ~docv:"NAME"
+         ~doc:"Oracle to run (repeatable; default: all). See --list-oracles.")
+
+let minimize_arg =
+  Arg.(value & flag & info [ "minimize" ]
+         ~doc:"Greedily shrink every failing network to a minimal repro.")
+
+let corpus_dir_arg =
+  Arg.(value & opt (some string) None & info [ "corpus-dir" ] ~docv:"DIR"
+         ~doc:"Write each failure as a replayable .case file into $(docv).")
+
+let replay_arg =
+  Arg.(value & opt_all string [] & info [ "replay" ] ~docv:"PATH"
+         ~doc:"Replay a corpus .case file or a directory of them instead \
+               of generating networks (repeatable).")
+
+let list_oracles_arg =
+  Arg.(value & flag & info [ "list-oracles" ] ~doc:"List the oracle suite and exit.")
+
+let jobs_arg =
+  Arg.(value & opt int 0 & info [ "jobs" ] ~docv:"N"
+         ~doc:"Size of the simulation worker pool (default: available cores).")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ]
+         ~doc:"Print the span/counter telemetry report to stderr when done.")
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
+         ~doc:"Write the telemetry report to $(docv) as JSON.")
+
+let () =
+  let info =
+    Cmd.info "crucible" ~version:"1.0.0"
+      ~doc:"Randomized differential and metamorphic testing of the ConfMask \
+            anonymization pipeline on seeded generated networks"
+  in
+  let term =
+    Term.(const run_main $ seed_arg $ cases_arg $ max_size_arg $ max_hosts_arg
+          $ oracle_arg $ minimize_arg $ corpus_dir_arg $ replay_arg
+          $ list_oracles_arg $ jobs_arg $ trace_arg $ metrics_out_arg)
+  in
+  exit (Cmd.eval' (Cmd.v info term))

@@ -1,0 +1,146 @@
+type case = {
+  c_name : string;
+  c_seed : int;
+  c_oracle : string option;
+  c_spec : Netgen.Netspec.t;
+}
+
+let igp_to_string = function
+  | Netgen.Netspec.Ospf -> "ospf"
+  | Netgen.Netspec.Rip -> "rip"
+  | Netgen.Netspec.Eigrp -> "eigrp"
+
+let igp_of_string = function
+  | "ospf" -> Some Netgen.Netspec.Ospf
+  | "rip" -> Some Netgen.Netspec.Rip
+  | "eigrp" -> Some Netgen.Netspec.Eigrp
+  | _ -> None
+
+let to_string c =
+  let b = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "# crucible corpus case";
+  line "name %s" c.c_name;
+  line "seed %d" c.c_seed;
+  (match c.c_oracle with Some o -> line "oracle %s" o | None -> ());
+  line "igp %s" (igp_to_string c.c_spec.igp);
+  List.iter
+    (fun r ->
+      match Netgen.Netspec.as_of c.c_spec r with
+      | Some a -> line "router %s as %d" r a
+      | None -> line "router %s" r)
+    c.c_spec.routers;
+  List.iter (fun (u, v, cost) -> line "link %s %s %d" u v cost) c.c_spec.links;
+  List.iter (fun (h, r) -> line "host %s %s" h r) c.c_spec.hosts;
+  Buffer.contents b
+
+let of_string text =
+  let err lineno fmt =
+    Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" lineno m)) fmt
+  in
+  let name = ref None
+  and seed = ref None
+  and oracle = ref None
+  and igp = ref Netgen.Netspec.Ospf
+  and routers = ref []
+  and asn = ref []
+  and links = ref []
+  and hosts = ref [] in
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno = function
+    | [] -> Ok ()
+    | line :: rest -> (
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then go (lineno + 1) rest
+        else
+          let tokens =
+            String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+          in
+          match tokens with
+          | [ "name"; n ] ->
+              name := Some n;
+              go (lineno + 1) rest
+          | [ "seed"; s ] -> (
+              match int_of_string_opt s with
+              | Some n ->
+                  seed := Some n;
+                  go (lineno + 1) rest
+              | None -> err lineno "bad seed %S" s)
+          | [ "oracle"; o ] ->
+              oracle := Some o;
+              go (lineno + 1) rest
+          | [ "igp"; i ] -> (
+              match igp_of_string i with
+              | Some v ->
+                  igp := v;
+                  go (lineno + 1) rest
+              | None -> err lineno "unknown igp %S" i)
+          | [ "router"; r ] ->
+              routers := r :: !routers;
+              go (lineno + 1) rest
+          | [ "router"; r; "as"; a ] -> (
+              match int_of_string_opt a with
+              | Some n ->
+                  routers := r :: !routers;
+                  asn := (r, n) :: !asn;
+                  go (lineno + 1) rest
+              | None -> err lineno "bad AS number %S" a)
+          | [ "link"; u; v; c ] -> (
+              match int_of_string_opt c with
+              | Some cost ->
+                  links := (u, v, cost) :: !links;
+                  go (lineno + 1) rest
+              | None -> err lineno "bad link cost %S" c)
+          | [ "host"; h; r ] ->
+              hosts := (h, r) :: !hosts;
+              go (lineno + 1) rest
+          | _ -> err lineno "unrecognized statement %S" line)
+  in
+  match go 1 lines with
+  | Error _ as e -> e
+  | Ok () -> (
+      match (!name, !seed) with
+      | None, _ -> Error "missing 'name' statement"
+      | _, None -> Error "missing 'seed' statement"
+      | Some c_name, Some c_seed -> (
+          try
+            Ok
+              {
+                c_name;
+                c_seed;
+                c_oracle = !oracle;
+                c_spec =
+                  Netgen.Netspec.v ~name:c_name ~asn:(List.rev !asn) ~igp:!igp
+                    ~routers:(List.rev !routers)
+                    ~links:(List.rev !links)
+                    ~hosts:(List.rev !hosts)
+                    ();
+              }
+          with Invalid_argument m -> Error ("invalid spec: " ^ m)))
+
+let save ~dir case =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (case.c_name ^ ".case") in
+  let oc = open_out path in
+  output_string oc (to_string case);
+  close_out oc;
+  path
+
+let load_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  Result.map_error (fun m -> Printf.sprintf "%s: %s" path m) (of_string text)
+
+let load_dir dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".case")
+    |> List.sort String.compare
+    |> List.map (fun f ->
+           let path = Filename.concat dir f in
+           match load_file path with
+           | Ok case -> (path, case)
+           | Error m -> failwith m)

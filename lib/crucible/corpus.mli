@@ -1,0 +1,47 @@
+(** Corpus cases: minimized failing specs (or interesting regression
+    seeds) serialized for deterministic replay.
+
+    The format is a plain line-based text file, one statement per line,
+    [#]-comments ignored:
+
+    {v
+    name shrunk-seed42-diff_fib
+    seed 42
+    oracle diff_fib
+    igp ospf
+    router cr00
+    router cr01 as 65001
+    link cr00 cr01 10
+    host ch00 cr00
+    v}
+
+    [oracle] is optional (absent means replay against the full suite);
+    [as] clauses are per-router and must cover every router or none, as
+    {!Netgen.Netspec.v} demands. Specs are revalidated on load, so a
+    hand-edited case that breaks an invariant is a parse error, not a
+    crash later. [test/corpus/*.case] files are replayed by the test
+    suite on every [dune runtest]. *)
+
+type case = {
+  c_name : string;
+  c_seed : int;  (** seed handed to the oracle (drives its internal rng) *)
+  c_oracle : string option;  (** [None] replays the full suite *)
+  c_spec : Netgen.Netspec.t;
+}
+
+val to_string : case -> string
+(** Deterministic: structurally equal cases print identically. *)
+
+val of_string : string -> (case, string) result
+(** Errors carry the 1-based line number of the first offending line. *)
+
+val save : dir:string -> case -> string
+(** Writes [<dir>/<c_name>.case] (creating [dir] if needed) and returns
+    the path. *)
+
+val load_file : string -> (case, string) result
+
+val load_dir : string -> (string * case) list
+(** [(path, case)] for every [*.case] file, sorted by path; missing
+    directory yields []. Raises [Failure] on the first unparsable case —
+    a corrupt corpus should fail loudly, not silently shrink. *)

@@ -1,0 +1,92 @@
+open Netcore
+
+type params = { max_routers : int; max_hosts : int; bgp_fraction : float }
+
+let default = { max_routers = 12; max_hosts = 8; bgp_fraction = 0.4 }
+
+let spec ?(params = default) ~seed () =
+  let rng = Rng.create seed in
+  let max_r = max 3 params.max_routers in
+  let n = 3 + Rng.int rng (max_r - 2) in
+  let router i = Printf.sprintf "cr%02d" i in
+  (* Random spanning tree (attach each node to a random earlier one)
+     guarantees connectivity whatever the extra-edge model adds. *)
+  let tree = List.init (n - 1) (fun i -> (Rng.int rng (i + 1), i + 1)) in
+  let have = Hashtbl.create (4 * n) in
+  let add_have (i, j) = Hashtbl.replace have (min i j, max i j) () in
+  List.iter add_have tree;
+  let extras = ref [] in
+  let add_extra (i, j) =
+    add_have (i, j);
+    extras := (min i j, max i j) :: !extras
+  in
+  (if Rng.bool rng ~p:0.5 then begin
+     (* ER-style: each remaining pair independently, with a density that
+        keeps the expected extra degree between 1 and 3. *)
+     let p = (1.0 +. (2.0 *. Rng.float rng)) /. float_of_int n in
+     for i = 0 to n - 1 do
+       for j = i + 1 to n - 1 do
+         if (not (Hashtbl.mem have (i, j))) && Rng.bool rng ~p then add_extra (i, j)
+       done
+     done
+   end
+   else begin
+     (* Preferential attachment: extra endpoints drawn proportionally to
+        current degree, producing the hub-heavy shapes the catalog's
+        curated nets never exercise. *)
+     let deg = Array.make n 1 in
+     List.iter
+       (fun (i, j) ->
+         deg.(i) <- deg.(i) + 1;
+         deg.(j) <- deg.(j) + 1)
+       tree;
+     let attempts = Rng.int rng (n + 1) in
+     for _ = 1 to attempts do
+       let u = Rng.int rng n in
+       let total = Array.fold_left ( + ) 0 deg in
+       let rec weighted k i = if k < deg.(i) then i else weighted (k - deg.(i)) (i + 1) in
+       let v = weighted (Rng.int rng total) 0 in
+       if u <> v && not (Hashtbl.mem have (min u v, max u v)) then begin
+         deg.(u) <- deg.(u) + 1;
+         deg.(v) <- deg.(v) + 1;
+         add_extra (u, v)
+       end
+     done
+   end);
+  let cost () = if Rng.bool rng ~p:0.15 then 1 + Rng.int rng 20 else 10 in
+  let links =
+    List.map (fun (i, j) -> (router i, router j, cost ())) (tree @ List.rev !extras)
+  in
+  (* AS partition: cut tree edges, so every AS is internally connected
+     through the surviving subtree; cross-partition links (cut tree edges
+     and any extras that straddle) become eBGP adjacencies. *)
+  let asn =
+    if n >= 4 && Rng.bool rng ~p:params.bgp_fraction then begin
+      let parts = if n >= 6 && Rng.bool rng ~p:0.4 then 3 else 2 in
+      let cut = List.filteri (fun k _ -> k < parts - 1) (Rng.shuffle rng tree) in
+      let g =
+        List.fold_left (fun g i -> Graph.add_node (router i) g) Graph.empty
+          (List.init n Fun.id)
+      in
+      let g =
+        List.fold_left
+          (fun g (i, j) ->
+            if List.mem (i, j) cut then g else Graph.add_edge (router i) (router j) g)
+          g tree
+      in
+      List.concat
+        (List.mapi
+           (fun k comp -> List.map (fun r -> (r, 65001 + k)) comp)
+           (Gmetrics.components g))
+    end
+    else []
+  in
+  let h = 1 + Rng.int rng (max 1 params.max_hosts) in
+  let hosts =
+    List.init h (fun k -> (Printf.sprintf "ch%02d" k, router (Rng.int rng n)))
+  in
+  Netgen.Netspec.v
+    ~name:(Printf.sprintf "crucible-%d" seed)
+    ~asn ~igp:Netgen.Netspec.Ospf
+    ~routers:(List.init n router)
+    ~links ~hosts ()

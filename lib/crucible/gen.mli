@@ -1,0 +1,29 @@
+(** Seeded random network specifications — the crucible's input space.
+
+    Every generated {!Netgen.Netspec.t} is valid by construction (it goes
+    through [Netspec.v]) and connected, so any oracle failure on one is a
+    genuine pipeline defect rather than a malformed input. Two topology
+    models are drawn from: an Erdős–Rényi-style model over a random
+    spanning tree (the Waxman-flavoured shape of the catalog WANs) and
+    preferential attachment (hub-heavy, the shape fat trees and
+    enterprise cores stress). Link costs, host placement and the
+    OSPF-only vs BGP+OSPF split (connected AS partitions carved out of
+    the spanning tree) are all drawn from the same seeded {!Netcore.Rng}
+    stream, so equal seeds yield equal specs. *)
+
+type params = {
+  max_routers : int;  (** inclusive upper bound on routers; clamped to >= 3 *)
+  max_hosts : int;  (** inclusive upper bound on hosts; at least 1 host is placed *)
+  bgp_fraction : float;
+      (** probability that a generated net is AS-partitioned BGP+OSPF
+          rather than a single-domain OSPF network *)
+}
+
+val default : params
+(** [{ max_routers = 12; max_hosts = 8; bgp_fraction = 0.4 }] — small
+    enough that a full oracle suite runs in milliseconds per case. *)
+
+val spec : ?params:params -> seed:int -> unit -> Netgen.Netspec.t
+(** [spec ~seed ()] is a fresh random specification. Deterministic: equal
+    seeds and params yield structurally equal specs. Router names are
+    [cr00..], host names [ch00..]. *)

@@ -1,0 +1,269 @@
+open Netcore
+module Smap = Routing.Device.Smap
+
+type verdict = Pass | Fail of string
+
+type t = {
+  name : string;
+  doc : string;
+  check : seed:int -> Netgen.Netspec.t -> verdict;
+}
+
+let oracle_runs = Telemetry.counter "crucible.oracle_runs"
+
+let fibs_equal a b = Smap.equal ( = ) a b
+
+let fail fmt = Printf.ksprintf (fun m -> Fail m) fmt
+
+(* -------------------- differential FIB -------------------- *)
+
+let diff_fib_check ~seed spec =
+  let configs0 = Netgen.Emit.emit spec in
+  (* Single- vs multi-domain pool: parallelism must not change results. *)
+  let pool1 = Pool.create ~jobs:1 () in
+  let seq = Routing.Simulate.run_exn ~pool:pool1 configs0 in
+  Pool.shutdown pool1;
+  let par = Routing.Simulate.run_exn configs0 in
+  if not (fibs_equal seq.fibs par.fibs) then
+    Fail "sequential and parallel simulation disagree"
+  else begin
+    let eng = ref (Routing.Engine.of_configs_exn configs0) in
+    if not (fibs_equal (Routing.Engine.fibs !eng) par.fibs) then
+      Fail "engine initial build diverges from from-scratch simulation"
+    else begin
+      (* Deny/undeny edit walk: the exact edits the anonymization
+         fixpoints issue, re-checked against a fresh simulation. *)
+      let rng = Rng.create (seed lxor 0x2c9277b5) in
+      let configs = ref configs0 in
+      let denies = ref [] in
+      let verdict = ref Pass in
+      let step = ref 0 in
+      while !verdict = Pass && !step < 4 do
+        incr step;
+        let net = Routing.Engine.network !eng in
+        let hps = List.map fst (Routing.Simulate.host_prefixes net) in
+        let adj_routers =
+          List.filter (fun (_, adjs) -> adjs <> []) (Smap.bindings net.adjs)
+        in
+        let undeny = !denies <> [] && Rng.bool rng ~p:0.25 in
+        (if undeny then begin
+           let ((r, at, hp) as d) = Rng.pick rng !denies in
+           configs :=
+             Confmask.Edits.update !configs r (fun c ->
+                 Confmask.Attach.undeny_at c at hp);
+           denies := List.filter (fun x -> x <> d) !denies
+         end
+         else
+           match (adj_routers, hps) with
+           | [], _ | _, [] -> ()
+           | _ -> (
+               let r, adjs = Rng.pick rng adj_routers in
+               let a = Rng.pick rng adjs in
+               let hp = Rng.pick rng hps in
+               match Confmask.Attach.point net r a.Routing.Device.a_to with
+               | None -> ()
+               | Some at ->
+                   configs :=
+                     Confmask.Edits.update !configs r (fun c ->
+                         Confmask.Attach.deny_at c at hp);
+                   denies := (r, at, hp) :: !denies));
+        eng := Routing.Engine.apply_edit_exn !eng !configs;
+        let fresh = Routing.Simulate.run_exn !configs in
+        if not (fibs_equal (Routing.Engine.fibs !eng) fresh.fibs) then
+          verdict := fail "incremental engine diverges from scratch after edit %d" !step
+      done;
+      !verdict
+    end
+  end
+
+let diff_fib =
+  {
+    name = "diff_fib";
+    doc = "engine vs from-scratch vs pool-parallel FIBs, with an edit walk";
+    check = diff_fib_check;
+  }
+
+(* -------------------- workflow invariants -------------------- *)
+
+(* Small ks keep per-case cost low while still forcing fake edges and
+   fake hosts on every generated net. *)
+let wf_params ~seed =
+  { Confmask.Workflow.default_params with k_r = 2; k_h = 2; seed; pii = false }
+
+let workflow_check ~seed spec =
+  let configs = Netgen.Emit.emit spec in
+  let params = wf_params ~seed in
+  match Confmask.Workflow.run ~params configs with
+  | Error m -> fail "workflow error: %s" m
+  | Ok r ->
+      let g = Routing.Device.router_graph r.anon_snapshot.net in
+      if not (Gmetrics.is_k_degree_anonymous params.k_r g) then
+        fail "anonymized topology is not %d-degree anonymous (min group %d)"
+          params.k_r (Gmetrics.min_degree_group g)
+      else if not (Confmask.Workflow.functional_equivalence r) then
+        Fail "functional equivalence violated (routes or preserved elements)"
+      else begin
+        (* Determinism: a second run under the same seed must be
+           byte-identical, parallel pool and all. *)
+        match Confmask.Workflow.run ~params configs with
+        | Error m -> fail "workflow error on re-run: %s" m
+        | Ok r2 ->
+            if Confmask.Workflow.anon_texts r <> Confmask.Workflow.anon_texts r2
+            then Fail "output not byte-identical under a fixed seed"
+            else Pass
+      end
+
+let workflow =
+  {
+    name = "workflow";
+    doc = "k-degree anonymity, functional equivalence, seed determinism";
+    check = workflow_check;
+  }
+
+(* -------------------- metamorphic: router renaming -------------------- *)
+
+let rename_check ~seed spec =
+  let rng = Rng.create (seed lxor 0x7ed55d15) in
+  let perm = Rng.shuffle rng spec.Netgen.Netspec.routers in
+  let map = Hashtbl.create 16 in
+  List.iter2 (fun a b -> Hashtbl.replace map a b) spec.routers perm;
+  let rn x = Option.value ~default:x (Hashtbl.find_opt map x) in
+  (* Same declaration order, new labels: the emitter numbers subnets by
+     position, so addresses — and hence path costs and tie-breaks — are
+     identical and the FIBs must be equal up to the renaming. *)
+  let spec' =
+    Netgen.Netspec.v ~name:spec.name
+      ~asn:(List.map (fun (r, a) -> (rn r, a)) spec.asn)
+      ~igp:spec.igp
+      ~routers:(List.map rn spec.routers)
+      ~links:(List.map (fun (u, v, c) -> (rn u, rn v, c)) spec.links)
+      ~hosts:(List.map (fun (h, r) -> (h, rn r)) spec.hosts)
+      ()
+  in
+  let routes s =
+    Routing.Simulate.host_routes (Routing.Simulate.run_exn (Netgen.Emit.emit s))
+  in
+  let canon rows =
+    List.sort compare
+      (List.map
+         (fun (r, p, nhs) -> (r, Prefix.to_string p, List.sort compare nhs))
+         rows)
+  in
+  let renamed =
+    canon (List.map (fun (r, p, nhs) -> (rn r, p, List.map rn nhs)) (routes spec))
+  in
+  if renamed <> canon (routes spec') then
+    Fail "router renaming changed the FIB structure"
+  else Pass
+
+let rename =
+  {
+    name = "rename";
+    doc = "permuting router names permutes but does not change the FIBs";
+    check = rename_check;
+  }
+
+(* -------------------- metamorphic: re-anonymization -------------------- *)
+
+let reanon_check ~seed spec =
+  let params = wf_params ~seed in
+  match Confmask.Workflow.run ~params (Netgen.Emit.emit spec) with
+  | Error m -> fail "workflow error: %s" m
+  | Ok r1 -> (
+      match
+        Confmask.Workflow.run
+          ~params:{ params with seed = params.seed + 1 }
+          r1.anon_configs
+      with
+      | Error m -> fail "re-anonymization error: %s" m
+      | Ok r2 ->
+          let g = Routing.Device.router_graph r2.anon_snapshot.net in
+          if not (Gmetrics.is_k_degree_anonymous params.k_r g) then
+            fail "re-anonymizing lost k-degree anonymity (min group %d)"
+              (Gmetrics.min_degree_group g)
+          else Pass)
+
+let reanon =
+  {
+    name = "reanon";
+    doc = "re-anonymizing an anonymized network keeps k-degree anonymity";
+    check = reanon_check;
+  }
+
+(* -------------------- PII scrub -------------------- *)
+
+let sensitive_keywords = [ "password"; "secret"; "community"; "key" ]
+
+(* The secret material of a config text: every token following a
+   sensitive keyword on its line. Tokens of fewer than 6 characters
+   (encryption-type digits, the keyword [ro], ...) are too generic to
+   assert absence of. *)
+let secrets_of_text text =
+  String.split_on_char '\n' text
+  |> List.concat_map (fun line ->
+         let tokens =
+           String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+         in
+         let rec after = function
+           | [] -> []
+           | tok :: rest ->
+               if List.mem (String.lowercase_ascii tok) sensitive_keywords then rest
+               else after rest
+         in
+         after tokens)
+  |> List.filter (fun s -> String.length s >= 6)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  nl > 0 && nl <= hl
+  && (let found = ref false in
+      for i = 0 to hl - nl do
+        if (not !found) && String.sub hay i nl = needle then found := true
+      done;
+      !found)
+
+let scrub_check ~seed spec =
+  let configs = Netgen.Emit.emit spec in
+  let params = { (wf_params ~seed) with pii = true } in
+  match Confmask.Workflow.run ~params configs with
+  | Error m -> fail "workflow error: %s" m
+  | Ok r ->
+      let anon = String.concat "\n" (List.map snd (Confmask.Workflow.anon_texts r)) in
+      let secrets =
+        List.concat_map
+          (fun c -> secrets_of_text (Configlang.Printer.to_string c))
+          configs
+      in
+      let leaked = List.find_opt (fun s -> contains ~needle:s anon) secrets in
+      let orig_names = spec.Netgen.Netspec.routers @ List.map fst spec.hosts in
+      let name_leak = List.find_opt (fun n -> contains ~needle:n anon) orig_names in
+      (match (leaked, name_leak) with
+      | Some s, _ -> fail "sensitive token %S survived the scrub" s
+      | None, Some n -> fail "original device name %S survived the scrub" n
+      | None, None -> Pass)
+
+let scrub =
+  {
+    name = "scrub";
+    doc = "no sensitive token or original device name survives the PII add-on";
+    check = scrub_check;
+  }
+
+(* -------------------- registry -------------------- *)
+
+let all = [ diff_fib; workflow; rename; scrub; reanon ]
+
+let find name =
+  match List.find_opt (fun o -> o.name = name) all with
+  | Some o -> Ok o
+  | None ->
+      Error
+        (Printf.sprintf "unknown oracle %S (valid: %s)" name
+           (String.concat ", " (List.map (fun o -> o.name) all)))
+
+let run o ~seed spec =
+  Telemetry.incr oracle_runs;
+  try o.check ~seed spec with
+  | Failure m -> Fail ("exception: " ^ m)
+  | Invalid_argument m -> Fail ("invalid argument: " ^ m)
+  | e -> Fail ("exception: " ^ Printexc.to_string e)

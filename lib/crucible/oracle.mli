@@ -1,0 +1,50 @@
+(** The crucible's oracle suite: checks every generated network must pass.
+
+    Each oracle is a named total check over a {!Netgen.Netspec.t}; {!run}
+    converts any escaping exception into a {!Fail} verdict so that a
+    crash anywhere in the pipeline is a finding rather than a harness
+    abort, and so the shrinker can keep reducing a spec that makes the
+    pipeline raise.
+
+    The suite:
+    - [diff_fib] — differential simulation: sequential vs parallel
+      {!Netcore.Pool}, incremental {!Routing.Engine} vs from-scratch
+      {!Routing.Simulate}, including a short random deny/undeny edit walk
+      re-checked against a fresh simulation after every step;
+    - [workflow] — anonymization invariants after {!Confmask.Workflow}:
+      k-degree anonymity of the anonymized topology, functional
+      equivalence (original nodes/links/hosts preserved and identical
+      delivered path sets), and byte-identical output on a second run
+      under the same seed;
+    - [rename] — metamorphic: permuting router names (same declaration
+      order, so the emitter assigns identical addresses) must permute the
+      FIBs without changing their structure;
+    - [reanon] — metamorphic: re-anonymizing an anonymized network must
+      keep k-degree anonymity;
+    - [scrub] — after the PII add-on, no password/secret/community/key
+      token from the original configurations survives, and no original
+      device name appears in the shared text. *)
+
+type verdict = Pass | Fail of string
+
+type t = {
+  name : string;
+  doc : string;
+  check : seed:int -> Netgen.Netspec.t -> verdict;
+}
+
+val diff_fib : t
+val workflow : t
+val rename : t
+val reanon : t
+val scrub : t
+
+val all : t list
+(** In cost order: [diff_fib; workflow; rename; scrub; reanon]. *)
+
+val find : string -> (t, string) result
+(** Lookup by name; the error lists the valid names. *)
+
+val run : t -> seed:int -> Netgen.Netspec.t -> verdict
+(** Exception-safe: raising checks become [Fail] with the exception text.
+    Bumps the [crucible.oracle_runs] telemetry counter. *)

@@ -1,0 +1,78 @@
+open Netcore
+
+type failure = {
+  f_seed : int;
+  f_oracle : string;
+  f_message : string;
+  f_spec : Netgen.Netspec.t;
+  f_minimized : Netgen.Netspec.t option;
+  f_shrink_steps : int;
+}
+
+type outcome = { cases : int; failures : failure list }
+
+let cases_c = Telemetry.counter "crucible.cases"
+let failures_c = Telemetry.counter "crucible.failures"
+
+let check_spec ~oracles ~seed spec =
+  List.filter_map
+    (fun (o : Oracle.t) ->
+      match Oracle.run o ~seed spec with
+      | Oracle.Pass -> None
+      | Oracle.Fail m ->
+          Telemetry.incr failures_c;
+          Some
+            {
+              f_seed = seed;
+              f_oracle = o.name;
+              f_message = m;
+              f_spec = spec;
+              f_minimized = None;
+              f_shrink_steps = 0;
+            })
+    oracles
+
+let run_seed ~oracles ~gen seed =
+  Telemetry.incr cases_c;
+  check_spec ~oracles ~seed (Gen.spec ~params:gen ~seed ())
+
+let minimize ~oracles f =
+  match List.find_opt (fun (o : Oracle.t) -> o.name = f.f_oracle) oracles with
+  | None -> f
+  | Some o ->
+      let still_fails s =
+        match Oracle.run o ~seed:f.f_seed s with
+        | Oracle.Fail _ -> true
+        | Oracle.Pass -> false
+      in
+      let minimized, steps = Shrink.spec ~still_fails f.f_spec in
+      { f with f_minimized = Some minimized; f_shrink_steps = steps }
+
+let save_failure ~dir f =
+  ignore
+    (Corpus.save ~dir
+       {
+         Corpus.c_name = Printf.sprintf "seed%d-%s" f.f_seed f.f_oracle;
+         c_seed = f.f_seed;
+         c_oracle = Some f.f_oracle;
+         c_spec = Option.value ~default:f.f_spec f.f_minimized;
+       })
+
+let run ?(minimize_failures = false) ?corpus_dir ~oracles ~gen ~seed ~cases () =
+  let failures = ref [] in
+  for i = 0 to cases - 1 do
+    let fs = run_seed ~oracles ~gen (seed + i) in
+    let fs = if minimize_failures then List.map (minimize ~oracles) fs else fs in
+    Option.iter (fun dir -> List.iter (save_failure ~dir) fs) corpus_dir;
+    failures := !failures @ fs
+  done;
+  { cases; failures = !failures }
+
+let replay ~oracles (case : Corpus.case) =
+  Telemetry.incr cases_c;
+  let oracles =
+    match case.c_oracle with
+    | None -> oracles
+    | Some name -> ( match Oracle.find name with Ok o -> [ o ] | Error m -> failwith m)
+  in
+  check_spec ~oracles ~seed:case.c_seed case.c_spec

@@ -1,0 +1,44 @@
+(** The fuzz loop: generate, check, shrink, persist.
+
+    Case [i] of a run uses seed [base + i], so any failure is replayable
+    from its printed seed alone; minimized repros are additionally saved
+    as corpus cases when a directory is given. Progress is observable
+    through the [crucible.cases], [crucible.oracle_runs],
+    [crucible.failures] and [crucible.shrink_steps] telemetry counters
+    (enable {!Netcore.Telemetry} to read them). *)
+
+type failure = {
+  f_seed : int;
+  f_oracle : string;
+  f_message : string;
+  f_spec : Netgen.Netspec.t;  (** the original failing spec *)
+  f_minimized : Netgen.Netspec.t option;
+  f_shrink_steps : int;
+}
+
+type outcome = { cases : int; failures : failure list }
+
+val run_seed :
+  oracles:Oracle.t list -> gen:Gen.params -> int -> failure list
+(** Generate the spec for one seed and run every oracle against it;
+    one failure per failing oracle, [] when all pass. *)
+
+val minimize : oracles:Oracle.t list -> failure -> failure
+(** Shrink the failing spec under the failure's own oracle (no-op if the
+    oracle name is unknown), filling [f_minimized] / [f_shrink_steps]. *)
+
+val run :
+  ?minimize_failures:bool ->
+  ?corpus_dir:string ->
+  oracles:Oracle.t list ->
+  gen:Gen.params ->
+  seed:int ->
+  cases:int ->
+  unit ->
+  outcome
+(** The full loop. [corpus_dir] saves each (minimized when requested)
+    failure as a [.case] file named [seed<N>-<oracle>]. *)
+
+val replay : oracles:Oracle.t list -> Corpus.case -> failure list
+(** Replay a corpus case against its recorded oracle (or, when it names
+    none, against [oracles]). *)

@@ -1,0 +1,73 @@
+open Netcore
+
+let shrink_steps = Telemetry.counter "crucible.shrink_steps"
+
+let rebuild (s : Netgen.Netspec.t) ~routers ~links ~hosts ~asn =
+  (* Revalidate through the smart constructor; a candidate that violates
+     spec invariants is simply not proposed. *)
+  try
+    let spec = Netgen.Netspec.v ~name:s.name ~asn ~igp:s.igp ~routers ~links ~hosts () in
+    if Gmetrics.connected (Netgen.Netspec.router_graph spec) then Some spec else None
+  with Invalid_argument _ -> None
+
+(* Candidate reductions, biggest first: dropping a router removes its
+   links and hosts in one step, so the greedy loop converges in few
+   oracle runs. Evaluated lazily — each candidate costs an oracle run. *)
+let candidates (s : Netgen.Netspec.t) : (unit -> Netgen.Netspec.t option) list =
+  let drop_router r () =
+    if List.length s.routers <= 2 then None
+    else
+      rebuild s
+        ~routers:(List.filter (fun x -> x <> r) s.routers)
+        ~links:(List.filter (fun (u, v, _) -> u <> r && v <> r) s.links)
+        ~hosts:(List.filter (fun (_, x) -> x <> r) s.hosts)
+        ~asn:(List.filter (fun (x, _) -> x <> r) s.asn)
+  in
+  let drop_host h () =
+    rebuild s ~routers:s.routers ~links:s.links
+      ~hosts:(List.filter (fun (x, _) -> x <> h) s.hosts)
+      ~asn:s.asn
+  in
+  let drop_link l () =
+    rebuild s ~routers:s.routers
+      ~links:(List.filter (fun x -> x <> l) s.links)
+      ~hosts:s.hosts ~asn:s.asn
+  in
+  let flatten_asn () =
+    if s.asn = [] then None
+    else rebuild s ~routers:s.routers ~links:s.links ~hosts:s.hosts ~asn:[]
+  in
+  let normalize_costs () =
+    if List.for_all (fun (_, _, c) -> c = 10) s.links then None
+    else
+      rebuild s ~routers:s.routers
+        ~links:(List.map (fun (u, v, _) -> (u, v, 10)) s.links)
+        ~hosts:s.hosts ~asn:s.asn
+  in
+  List.map drop_router s.routers
+  @ List.map (fun (h, _) -> drop_host h) s.hosts
+  @ List.map drop_link s.links
+  @ [ flatten_asn; normalize_costs ]
+
+exception Shrunk of Netgen.Netspec.t
+
+let spec ~still_fails spec0 =
+  let cur = ref spec0 in
+  let steps = ref 0 in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    try
+      List.iter
+        (fun cand ->
+          match cand () with
+          | Some s when still_fails s -> raise (Shrunk s)
+          | Some _ | None -> ())
+        (candidates !cur)
+    with Shrunk s ->
+      cur := s;
+      incr steps;
+      Telemetry.incr shrink_steps;
+      progress := true
+  done;
+  (!cur, !steps)

@@ -1,0 +1,19 @@
+(** Greedy spec shrinker.
+
+    Given a predicate [still_fails] (typically an {!Oracle.run} returning
+    [Fail]), repeatedly tries structural reductions — dropping a router
+    (with its links and hosts), a host, or a link, flattening the AS
+    partition to pure OSPF, normalizing link costs — keeping any
+    reduction under which the predicate still fails, until a fixpoint.
+    Candidates that would disconnect the router graph or leave fewer than
+    two routers are never proposed, so the minimized spec stays a valid,
+    connected network and the surviving failure is the original defect
+    rather than a degenerate-input artifact. *)
+
+val spec :
+  still_fails:(Netgen.Netspec.t -> bool) ->
+  Netgen.Netspec.t ->
+  Netgen.Netspec.t * int
+(** [(minimized, steps)] where [steps] counts the accepted reductions
+    (also accumulated on the [crucible.shrink_steps] telemetry counter).
+    [minimized = input] and [steps = 0] when nothing can be removed. *)

@@ -17,10 +17,16 @@ let to_octets t =
 let of_string s =
   match String.split_on_char '.' s with
   | [ a; b; c; d ] -> (
+      (* Plain decimal digits only. [int_of_string] also accepts 0x/0o/0b
+         radix prefixes, '_' separators and sign characters, none of which
+         belong in an IPv4 octet ("0x10.1.2.3" must not parse). *)
       let octet x =
-        match int_of_string_opt (String.trim x) with
-        | Some n when n >= 0 && n <= 255 -> Some n
-        | Some _ | None -> None
+        let len = String.length x in
+        if len = 0 || len > 3 || not (String.for_all (fun ch -> ch >= '0' && ch <= '9') x)
+        then None
+        else
+          let n = int_of_string x in
+          if n <= 255 then Some n else None
       in
       match (octet a, octet b, octet c, octet d) with
       | Some a, Some b, Some c, Some d -> Ok (of_octets a b c d)

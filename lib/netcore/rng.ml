@@ -21,9 +21,22 @@ let split t = { state = int64 t }
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  (* Drop to 62 bits so the value fits OCaml's native int non-negatively. *)
-  let r = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
-  r mod bound
+  (* Rejection sampling over the top 62 bits of the SplitMix64 output
+     (dropping to 62 bits keeps the draw a non-negative native int, so
+     draws are uniform on [0, 2^62) = [0, max_int]).  A plain [r mod
+     bound] over-weights the low residues whenever [bound] does not
+     divide 2^62; redrawing the values above the largest multiple of
+     [bound] makes every residue exactly equally likely.  [cut] is that
+     largest multiple minus one, computed without forming 2^62 (which
+     overflows a 63-bit int).  Accepted draws yield the same value the
+     pre-rejection implementation did, and the rejection probability is
+     below [bound]/2^62, so in practice the stream is unchanged. *)
+  let cut = max_int - (((max_int mod bound) + 1) mod bound) in
+  let rec draw () =
+    let r = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+    if r <= cut then r mod bound else draw ()
+  in
+  draw ()
 
 let float t =
   let bits53 = Int64.to_int (Int64.shift_right_logical (int64 t) 11) in

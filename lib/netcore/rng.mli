@@ -16,7 +16,13 @@ val split : t -> t
 
 val int64 : t -> int64
 val int : t -> int -> int
-(** [int t bound] is uniform in [0, bound). Raises on [bound <= 0]. *)
+(** [int t bound] is exactly uniform in [0, bound) — modulo bias is
+    removed by rejection-sampling the underlying 62-bit draw, redrawing
+    the (at most [bound]/2^62 of the space) values above the largest
+    multiple of [bound]. Raises on [bound <= 0]. May consume more than
+    one state step, but the rejection probability is so small that
+    streams coincide with the historical [mod]-based implementation for
+    every practical seed and bound. *)
 
 val float : t -> float
 (** Uniform in [0, 1). *)

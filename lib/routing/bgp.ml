@@ -84,14 +84,16 @@ let filter_denies filter p =
       | Some Ast.Deny | None -> true)
 
 (* Best-path order: highest local preference, then shortest AS path, then
-   locally-originated, then eBGP-learned, then lowest peer name for
-   determinism. *)
+   locally-originated, then eBGP-learned, then lowest neighbor (session)
+   address — the standard BGP final tie-breaker. Deciding ties by address
+   rather than peer name also makes selection invariant under router
+   renaming, since addresses depend only on declaration order. *)
 let preference r =
   ( -r.br_local_pref,
     List.length r.br_as_path,
     (if is_local r then 0 else 1),
     (if r.br_ebgp then 0 else 1),
-    r.br_from )
+    Option.map Ipv4.to_int r.br_via )
 
 let better a b = compare (preference a) (preference b) < 0
 
@@ -133,6 +135,38 @@ let compute (net : Device.network) ~igp_fibs =
   in
   let get state name =
     Option.value ~default:Prefix.Map.empty (Smap.find_opt name state)
+  in
+  (* Next-hop resolution for a learned route at [name]: either the session
+     address is on a directly connected subnet, or the IGP can reach it
+     (minus interfaces whose inbound distribute-list denies [p]). Used both
+     to invalidate candidates during best-path selection — a route whose
+     next hop is unreachable must not win (or be re-advertised), matching
+     real BGP next-hop validation — and to build the final FIB entries. *)
+  let resolve_nexthops name p ~from ~via =
+    match Smap.find_opt name net.routers with
+    | None -> []
+    | Some router -> (
+        let direct =
+          List.find_opt
+            (fun i -> Prefix.mem via (Device.ifc_prefix i))
+            router.r_ifaces
+        in
+        match direct with
+        | Some i -> [ { Fib.nh_router = from; nh_iface = i.Device.ifc_name } ]
+        | None -> (
+            match Smap.find_opt name igp_fibs with
+            | None -> []
+            | Some fib -> (
+                match Fib.lookup fib via with
+                | Some igp_route ->
+                    let igp_filters =
+                      Device.igp_filters (Smap.find name net.routers)
+                    in
+                    List.filter
+                      (fun (nh : Fib.nexthop) ->
+                        not (Device.iface_filter_denies igp_filters nh.nh_iface p))
+                      igp_route.rt_nexthops
+                | None -> [])))
   in
   let step state =
     (* Compute what each router would now select, given advertisements of
@@ -200,7 +234,11 @@ let compute (net : Device.network) ~igp_fibs =
                       in
                       match local_pref with
                       | Some br_local_pref
-                        when (not looped) && not (filter_denies s.s_filter p) ->
+                        when (not looped)
+                             && (not (filter_denies s.s_filter p))
+                             && resolve_nexthops name p ~from:s.s_from
+                                  ~via:s.s_via
+                                <> [] ->
                           add p
                             {
                               br_as_path = as_path;
@@ -243,41 +281,17 @@ let compute (net : Device.network) ~igp_fibs =
      hops through the IGP. *)
   Smap.mapi
     (fun name table ->
-      let router = Smap.find name net.routers in
       (* Inbound IGP distribute-lists for [p] also prune the recursive
          resolution of BGP next hops: a next hop installed through an
          interface whose filter denies [p] is rejected. This is what makes
          the route-equivalence filters able to steer iBGP traffic off fake
          equal-cost IGP branches (ConfMask Algorithm 1). *)
-      let igp_filters = Device.igp_filters router in
-      let prune p nexthops =
-        List.filter
-          (fun (nh : Fib.nexthop) ->
-            not (Device.iface_filter_denies igp_filters nh.nh_iface p))
-          nexthops
-      in
       Prefix.Map.fold
         (fun p (b : broute) acc ->
           match b.br_via with
           | None -> acc (* locally originated: connected/IGP covers it *)
           | Some via ->
-              let direct =
-                List.find_opt
-                  (fun i -> Prefix.mem via (Device.ifc_prefix i))
-                  router.r_ifaces
-              in
-              let nexthops =
-                match direct with
-                | Some i ->
-                    [ { Fib.nh_router = b.br_from; nh_iface = i.Device.ifc_name } ]
-                | None -> (
-                    match Smap.find_opt name igp_fibs with
-                    | None -> []
-                    | Some fib -> (
-                        match Fib.lookup fib via with
-                        | Some igp_route -> prune p igp_route.rt_nexthops
-                        | None -> []))
-              in
+              let nexthops = resolve_nexthops name p ~from:b.br_from ~via in
               if nexthops = [] then acc
               else
                 {

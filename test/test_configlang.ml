@@ -265,8 +265,33 @@ let prop_line_count_stable =
       let c' = Parser.parse_exn (Printer.to_string c) in
       Count.lines_of_config c = Count.lines_of_config c')
 
+(* The same round-trip law over *realistic* configs: everything the
+   emitter produces for crucible-generated random networks, which
+   exercises OSPF/BGP processes, neighbors, hosts and secrets rather
+   than the synthetic generator's vocabulary. *)
+let prop_emitted_roundtrip =
+  QCheck2.Test.make ~name:"parse (print c) = c on emitted crucible nets"
+    ~count:30
+    QCheck2.Gen.(int_bound 10_000)
+    (fun seed ->
+      let configs = Netgen.Emit.emit (Crucible.Gen.spec ~seed ()) in
+      List.for_all (fun c -> Parser.parse_exn (Printer.to_string c) = c) configs)
+
+(* Deterministic sweep over the evaluation catalog's quick subset. *)
+let test_catalog_roundtrip () =
+  List.iter
+    (fun (e : Netgen.Nets.entry) ->
+      List.iter
+        (fun c ->
+          if Parser.parse_exn (Printer.to_string c) <> c then
+            Alcotest.failf "catalog %s: config %s did not round-trip" e.id
+              c.Ast.hostname)
+        (Netgen.Nets.configs e))
+    (Netgen.Nets.small ())
+
 let qsuite =
-  List.map QCheck_alcotest.to_alcotest [ prop_roundtrip; prop_line_count_stable ]
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_roundtrip; prop_line_count_stable; prop_emitted_roundtrip ]
 
 let () =
   Alcotest.run "configlang"
@@ -276,6 +301,7 @@ let () =
           Alcotest.test_case "router config" `Quick test_parse_router;
           Alcotest.test_case "host config" `Quick test_parse_host;
           Alcotest.test_case "roundtrip" `Quick test_roundtrip_fixed;
+          Alcotest.test_case "catalog roundtrip" `Quick test_catalog_roundtrip;
           Alcotest.test_case "errors carry line numbers" `Quick test_parse_errors;
           Alcotest.test_case "unknown lines preserved" `Quick test_unknown_preserved;
         ] );

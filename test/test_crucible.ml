@@ -1,0 +1,186 @@
+(* Tests for the crucible harness itself: generator determinism and
+   validity, corpus round-trips, replay of the committed regression
+   corpus, a fuzz smoke run — and the key self-check, that an injected
+   routing fault is caught by a differential oracle and shrunk to a
+   small repro that replays from its corpus file. *)
+
+open Netcore
+module Netspec = Netgen.Netspec
+
+let gen_deterministic () =
+  let a = Crucible.Gen.spec ~seed:42 () in
+  let b = Crucible.Gen.spec ~seed:42 () in
+  Alcotest.(check bool) "same seed, same spec" true (a = b);
+  let c = Crucible.Gen.spec ~seed:43 () in
+  Alcotest.(check bool) "different seed, different spec" true (a <> c)
+
+let spec_graph (s : Netspec.t) =
+  let g = List.fold_left (fun g r -> Graph.add_node r g) Graph.empty s.routers in
+  List.fold_left (fun g (u, v, _) -> Graph.add_edge u v g) g s.links
+
+let gen_valid () =
+  for seed = 0 to 49 do
+    let s = Crucible.Gen.spec ~seed () in
+    let n = List.length s.Netspec.routers in
+    if n < 3 || n > 12 then
+      Alcotest.failf "seed %d: %d routers out of bounds" seed n;
+    if not (Gmetrics.connected (spec_graph s)) then
+      Alcotest.failf "seed %d: disconnected router graph" seed;
+    if s.hosts = [] then Alcotest.failf "seed %d: no hosts" seed;
+    (* AS partitions must cover every router or none. *)
+    if s.asn <> [] && List.length s.asn <> n then
+      Alcotest.failf "seed %d: partial AS assignment" seed
+  done
+
+let corpus_roundtrip () =
+  for seed = 0 to 9 do
+    let case =
+      {
+        Crucible.Corpus.c_name = Printf.sprintf "rt%d" seed;
+        c_seed = seed;
+        c_oracle = (if seed mod 2 = 0 then Some "rename" else None);
+        c_spec = Crucible.Gen.spec ~seed ();
+      }
+    in
+    let text = Crucible.Corpus.to_string case in
+    match Crucible.Corpus.of_string text with
+    | Error m -> Alcotest.failf "seed %d: %s" seed m
+    | Ok case' ->
+        (* The serialization is canonical: parsing and re-printing is the
+           identity on the text, and the replay-relevant fields survive.
+           (Structural case equality is too strict — the spec's own name
+           is not serialized, and the AS list is normalized to router
+           order.) *)
+        if Crucible.Corpus.to_string case' <> text then
+          Alcotest.failf "seed %d: corpus text did not round-trip" seed;
+        if case'.c_seed <> seed || case'.c_oracle <> case.c_oracle then
+          Alcotest.failf "seed %d: replay fields did not round-trip" seed;
+        List.iter
+          (fun r ->
+            if
+              Netspec.as_of case'.c_spec r <> Netspec.as_of case.c_spec r
+            then Alcotest.failf "seed %d: AS of %s did not round-trip" seed r)
+          case.c_spec.routers
+  done
+
+let corpus_rejects_invalid () =
+  let bad s =
+    match Crucible.Corpus.of_string s with
+    | Ok _ -> Alcotest.failf "accepted invalid case: %s" (String.escaped s)
+    | Error _ -> ()
+  in
+  bad "name x\nseed 0\nigp ospf\nrouter a\nlink a b 10\n";
+  bad "name x\nseed 0\nigp ospf\nrouter a as 1\nrouter b\nlink a b 10\n";
+  bad "name x\nseed 0\nigp nonsense\nrouter a\nrouter b\nlink a b 10\n"
+
+(* Replays every committed test/corpus/*.case — each one is a minimized
+   repro of a past defect (or a structural regression) that must stay
+   green deterministically. *)
+let corpus_regressions () =
+  let cases = Crucible.Corpus.load_dir "corpus" in
+  if cases = [] then Alcotest.fail "test/corpus is empty or missing";
+  List.iter
+    (fun (path, case) ->
+      match Crucible.Runner.replay ~oracles:Crucible.Oracle.all case with
+      | [] -> ()
+      | f :: _ ->
+          Alcotest.failf "%s: oracle %s failed: %s" path
+            f.Crucible.Runner.f_oracle f.f_message)
+    cases
+
+(* A short end-to-end fuzz run; CI's fuzz-smoke job covers larger ones. *)
+let fuzz_smoke () =
+  let gen = { Crucible.Gen.default with max_routers = 8; max_hosts = 4 } in
+  let outcome =
+    Crucible.Runner.run ~oracles:Crucible.Oracle.all ~gen ~seed:0 ~cases:5 ()
+  in
+  Alcotest.(check int) "cases run" 5 outcome.cases;
+  match outcome.failures with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.failf "seed %d oracle %s: %s" f.Crucible.Runner.f_seed
+        f.f_oracle f.f_message
+
+(* -------------------- fault injection -------------------- *)
+
+(* An intentionally broken engine stand-in: a differential oracle that
+   compares the real simulation against FIBs with every BGP-learned
+   route silently dropped. The harness must detect the divergence on
+   generated nets and shrink the repro to a handful of routers. *)
+let faulty_engine_oracle =
+  {
+    Crucible.Oracle.name = "injected_fault";
+    doc = "differential check against an engine that loses BGP routes";
+    check =
+      (fun ~seed:_ spec ->
+        let snap = Routing.Simulate.run_exn (Netgen.Emit.emit spec) in
+        let drops_route _ fib =
+          List.exists
+            (fun (r : Routing.Fib.route) ->
+              r.rt_proto = Routing.Fib.Ebgp || r.rt_proto = Routing.Fib.Ibgp)
+            (Routing.Fib.routes fib)
+        in
+        if Routing.Device.Smap.exists drops_route snap.fibs then
+          Crucible.Oracle.Fail "faulty engine dropped BGP routes"
+        else Crucible.Oracle.Pass);
+  }
+
+let fault_caught_and_shrunk () =
+  (* bgp_fraction 1.0: every net of >= 4 routers is AS-partitioned, so
+     the injected fault must surface within a few seeds. *)
+  let params = { Crucible.Gen.default with bgp_fraction = 1.0 } in
+  let o = faulty_engine_oracle in
+  let rec find seed =
+    if seed > 50 then Alcotest.fail "injected fault never triggered"
+    else
+      let spec = Crucible.Gen.spec ~params ~seed () in
+      match Crucible.Oracle.run o ~seed spec with
+      | Fail _ -> (seed, spec)
+      | Pass -> find (seed + 1)
+  in
+  let seed, spec = find 0 in
+  let still_fails s =
+    match Crucible.Oracle.run o ~seed s with Fail _ -> true | Pass -> false
+  in
+  let minimized, _steps = Crucible.Shrink.spec ~still_fails spec in
+  let n = List.length minimized.Netspec.routers in
+  if n > 6 then Alcotest.failf "minimized repro still has %d routers" n;
+  Alcotest.(check bool) "minimized repro still fails" true (still_fails minimized);
+  Alcotest.(check bool) "minimized spec stays connected" true
+    (Gmetrics.connected (spec_graph minimized));
+  (* The minimized repro must reproduce from its corpus file. *)
+  let dir = Filename.temp_file "crucible" "corpus" in
+  Sys.remove dir;
+  let path =
+    Crucible.Corpus.save ~dir
+      { c_name = "fault"; c_seed = seed; c_oracle = None; c_spec = minimized }
+  in
+  match Crucible.Corpus.load_file path with
+  | Error m -> Alcotest.fail m
+  | Ok case ->
+      let failures = Crucible.Runner.replay ~oracles:[ o ] case in
+      Alcotest.(check int) "replay reproduces the failure" 1
+        (List.length failures)
+
+let () =
+  Alcotest.run "crucible"
+    [
+      ( "gen",
+        [
+          Alcotest.test_case "deterministic" `Quick gen_deterministic;
+          Alcotest.test_case "valid and connected" `Quick gen_valid;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "round-trip" `Quick corpus_roundtrip;
+          Alcotest.test_case "rejects invalid specs" `Quick corpus_rejects_invalid;
+          Alcotest.test_case "committed regressions replay" `Quick
+            corpus_regressions;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "fuzz smoke" `Quick fuzz_smoke;
+          Alcotest.test_case "injected fault caught and shrunk" `Quick
+            fault_caught_and_shrunk;
+        ] );
+    ]

@@ -29,6 +29,21 @@ let test_ipv4_bad () =
       | Error _ -> ())
     [ ""; "10.0.0"; "10.0.0.0.0"; "256.0.0.1"; "-1.0.0.0"; "a.b.c.d"; "10..0.1" ]
 
+let test_ipv4_decimal_only () =
+  (* int_of_string would happily take all of these; octets must be plain
+     decimal digits. *)
+  List.iter
+    (fun s ->
+      match Ipv4.of_string s with
+      | Ok _ -> Alcotest.failf "expected parse failure for %S" s
+      | Error _ -> ())
+    [
+      "0x10.1.2.3"; "0o7.0.0.1"; "0b1.0.0.1"; "1_0.0.0.1"; "+1.0.0.0";
+      "1.2.3.+4"; " 1.2.3.4"; "1.2.3.4 "; "1. 2.3.4"; "0001.2.3.4";
+    ];
+  (* Leading zeros are still decimal digits and keep parsing. *)
+  check Alcotest.string "leading zeros ok" "10.0.0.1" (Ipv4.to_string (ip "010.0.0.01"))
+
 let test_ipv4_add_wraps () =
   check Alcotest.string "wrap" "0.0.0.1" (Ipv4.to_string (Ipv4.add (ip "255.255.255.255") 2))
 
@@ -129,6 +144,32 @@ let test_rng_shuffle_permutation () =
   let ys = Rng.shuffle r xs in
   check Alcotest.(list int) "permutation" xs (List.sort Int.compare ys)
 
+let test_rng_chi_square () =
+  (* Sanity check on [Rng.int]'s uniformity after the rejection-sampling
+     change. Deterministic under the fixed seed: df = 12, and the 99.99th
+     percentile of chi^2(12) is ~39.1, so 45 is a generous bound that only
+     a genuinely skewed generator would exceed. *)
+  List.iter
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let n = 2000 * bound in
+      let counts = Array.make bound 0 in
+      for _ = 1 to n do
+        let x = Rng.int r bound in
+        counts.(x) <- counts.(x) + 1
+      done;
+      let expected = float_of_int n /. float_of_int bound in
+      let chi2 =
+        Array.fold_left
+          (fun acc o ->
+            let d = float_of_int o -. expected in
+            acc +. (d *. d /. expected))
+          0.0 counts
+      in
+      if chi2 > 45.0 then
+        Alcotest.failf "chi-square too high for seed %d bound %d: %.2f" seed bound chi2)
+    [ (42, 13); (7, 13); (2024, 13) ]
+
 (* -------------------- Graph -------------------- *)
 
 let test_graph_basic () =
@@ -203,6 +244,57 @@ let test_dijkstra () =
   let d = Gmetrics.dijkstra g ~weight "a" in
   check Alcotest.(option int) "via b" (Some 2) (Graph.Smap.find_opt "c" d)
 
+(* Hand-computed fixtures for the metrics the crucible oracles lean on. *)
+
+let star =
+  (* hub h with 4 leaves *)
+  Graph.of_edges [ ("h", "l1"); ("h", "l2"); ("h", "l3"); ("h", "l4") ]
+
+let two_cliques =
+  (* K3 on a,b,c and K4 on w,x,y,z — disjoint *)
+  Graph.of_edges
+    [
+      ("a", "b"); ("b", "c"); ("a", "c");
+      ("w", "x"); ("w", "y"); ("w", "z"); ("x", "y"); ("x", "z"); ("y", "z");
+    ]
+
+let test_gmetrics_star () =
+  (* Leaves have degree 1 (local CC 0 by convention); the hub's neighbors
+     share no edges, so every local coefficient is 0. *)
+  check (Alcotest.float 1e-9) "star CC" 0.0 (Gmetrics.clustering_coefficient star);
+  check (Alcotest.float 1e-9) "hub local CC" 0.0 (Gmetrics.local_clustering star "h");
+  check Alcotest.bool "connected" true (Gmetrics.connected star);
+  check Alcotest.int "one component" 1 (List.length (Gmetrics.components star));
+  check
+    Alcotest.(list (pair int int))
+    "histogram" [ (1, 4); (4, 1) ]
+    (Gmetrics.degree_histogram star);
+  check Alcotest.int "min degree group" 1 (Gmetrics.min_degree_group star)
+
+let test_gmetrics_two_cliques () =
+  (* Every node's neighborhood is complete, so each local coefficient is
+     exactly 1 even though the graph is disconnected. *)
+  check (Alcotest.float 1e-9) "cliques CC" 1.0 (Gmetrics.clustering_coefficient two_cliques);
+  check Alcotest.bool "not connected" false (Gmetrics.connected two_cliques);
+  check
+    Alcotest.(list (list string))
+    "components sorted" [ [ "a"; "b"; "c" ]; [ "w"; "x"; "y"; "z" ] ]
+    (Gmetrics.components two_cliques);
+  check Alcotest.bool "2-degree-anonymous" true
+    (Gmetrics.is_k_degree_anonymous 2 two_cliques);
+  check Alcotest.bool "not 4-anonymous" false
+    (Gmetrics.is_k_degree_anonymous 4 two_cliques)
+
+let test_gmetrics_triangle_fixture () =
+  let triangle = Graph.of_edges [ ("a", "b"); ("b", "c"); ("a", "c") ] in
+  check (Alcotest.float 1e-9) "triangle CC" 1.0 (Gmetrics.clustering_coefficient triangle);
+  check Alcotest.bool "connected" true (Gmetrics.connected triangle);
+  check
+    Alcotest.(list (list string))
+    "single component" [ [ "a"; "b"; "c" ] ]
+    (Gmetrics.components triangle);
+  check Alcotest.int "min degree group is all" 3 (Gmetrics.min_degree_group triangle)
+
 let test_pearson () =
   let xs = [ (1.0, 2.0); (2.0, 4.0); (3.0, 6.0) ] in
   check (Alcotest.float 1e-9) "perfect" 1.0 (Gmetrics.pearson xs);
@@ -263,6 +355,7 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_ipv4_roundtrip;
           Alcotest.test_case "octets" `Quick test_ipv4_octets;
           Alcotest.test_case "malformed" `Quick test_ipv4_bad;
+          Alcotest.test_case "decimal octets only" `Quick test_ipv4_decimal_only;
           Alcotest.test_case "add wraps" `Quick test_ipv4_add_wraps;
         ] );
       ( "prefix",
@@ -281,6 +374,7 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
           Alcotest.test_case "bounds" `Quick test_rng_bounds;
           Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "chi-square uniformity" `Quick test_rng_chi_square;
         ] );
       ( "graph",
         [
@@ -297,6 +391,9 @@ let () =
           Alcotest.test_case "bfs" `Quick test_bfs;
           Alcotest.test_case "components" `Quick test_components;
           Alcotest.test_case "dijkstra" `Quick test_dijkstra;
+          Alcotest.test_case "star fixture" `Quick test_gmetrics_star;
+          Alcotest.test_case "two disjoint cliques fixture" `Quick test_gmetrics_two_cliques;
+          Alcotest.test_case "triangle fixture" `Quick test_gmetrics_triangle_fixture;
           Alcotest.test_case "pearson" `Quick test_pearson;
         ] );
       ("properties", qsuite);
