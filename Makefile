@@ -1,4 +1,4 @@
-.PHONY: all build test bench-smoke fuzz-smoke check clean
+.PHONY: all build test bench-smoke batch-smoke fuzz-smoke check clean
 
 all: build
 
@@ -21,6 +21,25 @@ bench-smoke:
 	grep -Eq '"engine\.spf_reuse": *[1-9]' /tmp/confmask-smoke/metrics.json
 	grep -Eq '"engine\.fib_reuse": *[1-9]' /tmp/confmask-smoke/metrics.json
 
+# Batch driver + persistent cache smoke: run a tiny grid with a job
+# limit (leaving one job pending), resume it to completion with warm
+# disk-cache hits in the telemetry, then resume again and require the
+# two manifests to be byte-identical.
+batch-smoke:
+	rm -rf /tmp/confmask-batch-smoke
+	dune exec bin/confmask_cli.exe -- batch --nets A --kr 2,6 --kh 2 \
+	  --limit 1 --out /tmp/confmask-batch-smoke
+	dune exec bin/confmask_cli.exe -- batch --nets A --kr 2,6 --kh 2 \
+	  --resume --out /tmp/confmask-batch-smoke \
+	  --metrics-out /tmp/confmask-batch-smoke/metrics.json
+	grep -Eq '"diskcache\.hit": *[1-9]' /tmp/confmask-batch-smoke/metrics.json
+	grep -q '"status": "ok"' /tmp/confmask-batch-smoke/manifest.json
+	! grep -q '"status": "pending"' /tmp/confmask-batch-smoke/manifest.json
+	cp /tmp/confmask-batch-smoke/manifest.json /tmp/confmask-batch-smoke/manifest.first.json
+	dune exec bin/confmask_cli.exe -- batch --nets A --kr 2,6 --kh 2 \
+	  --resume --out /tmp/confmask-batch-smoke
+	cmp /tmp/confmask-batch-smoke/manifest.first.json /tmp/confmask-batch-smoke/manifest.json
+
 # Randomized differential/metamorphic fuzz of the whole pipeline: 200
 # generated networks against every crucible oracle; failures are shrunk
 # and written to crucible-failures/ for adoption into test/corpus/.
@@ -28,7 +47,7 @@ fuzz-smoke:
 	dune exec bin/crucible_cli.exe -- --seed 0 --cases 200 \
 	  --minimize --corpus-dir crucible-failures
 
-check: build test bench-smoke fuzz-smoke
+check: build test bench-smoke batch-smoke fuzz-smoke
 
 clean:
 	dune clean

@@ -50,11 +50,13 @@ let hit_rate stats ~reuse ~miss =
    run through one incremental engine threaded across the stages;
    [incremental:false] reverts every edit to a full re-simulation (the
    pre-engine cost model, kept as the benchmark baseline). *)
-let pipeline ?(incremental = true) ~variant ~k_r ~k_h configs =
+let pipeline ?(incremental = true) ?cache ~variant ~k_r ~k_h configs =
   let rng = Netcore.Rng.create seed in
   let counters0 = Netcore.Telemetry.counters () in
   let t0 = Unix.gettimeofday () in
-  match Routing.Engine.of_configs ~incremental configs with
+  (* [cache] rides along on the initial engine: every later stage reuses
+     it through [Engine.apply_edit]. *)
+  match Routing.Engine.of_configs ~incremental ?cache configs with
   | Error m -> Error m
   | Ok eng0 -> (
       let orig = Routing.Engine.snapshot eng0 in

@@ -3,31 +3,28 @@
 
 open Cmdliner
 
-let read_dir dir =
-  let files =
-    Sys.readdir dir |> Array.to_list
-    |> List.filter (fun f -> Filename.check_suffix f ".cfg")
-    |> List.sort String.compare
-  in
-  if files = [] then failwith (Printf.sprintf "no .cfg files in %s" dir);
-  List.map
-    (fun f ->
-      let path = Filename.concat dir f in
-      let ic = open_in path in
-      let n = in_channel_length ic in
-      let text = really_input_string ic n in
-      close_in ic;
-      match Configlang.Vendor.parse text with
-      | Ok c -> c
-      | Error m -> failwith (Printf.sprintf "%s: %s" path m))
-    files
+(* Exit-code discipline: cmdliner reports usage errors itself (124);
+   everything a command body raises is classified here — problems with
+   the user's input exit 1 with a plain message, anything else is an
+   internal invariant violation and exits 2. No bare [failwith] ever
+   reaches the user as an uncaught exception. *)
+let guard f =
+  try f ()
+  with e ->
+    let cls, msg = Confmask.Batch.classify e in
+    if cls = "input" then begin
+      Printf.eprintf "confmask: %s\n" msg;
+      1
+    end
+    else begin
+      Printf.eprintf "confmask: internal error: %s\n" msg;
+      2
+    end
 
-let write_configs ?(format = "cisco") dir configs =
-  let printer =
-    match Configlang.Vendor.of_string format with
-    | Ok v -> Configlang.Vendor.print v
-    | Error m -> failwith m
-  in
+let read_dir = Confmask.Batch.read_config_dir
+
+let write_configs ?(format = Configlang.Vendor.Cisco) dir configs =
+  let printer = Configlang.Vendor.print format in
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   List.iter
     (fun (c : Configlang.Ast.config) ->
@@ -41,7 +38,11 @@ let write_configs ?(format = "cisco") dir configs =
 (* ---- generate ---- *)
 
 let generate net out format =
-  let entry = Netgen.Nets.find net in
+  guard @@ fun () ->
+  let entry =
+    try Netgen.Nets.find net
+    with Not_found -> Confmask.Batch.input_error "unknown network '%s'" net
+  in
   write_configs ~format out (Netgen.Nets.configs entry);
   0
 
@@ -57,9 +58,13 @@ let out_arg =
          ~doc:"Output directory for .cfg files.")
 
 let format_arg =
-  Arg.(value & opt string "cisco" & info [ "format" ] ~docv:"VENDOR"
-         ~doc:"Output dialect: 'cisco' (CiscoLite) or 'junos' (JunosLite). \
-               Input files are auto-detected per file.")
+  let vendors =
+    [ ("cisco", Configlang.Vendor.Cisco); ("junos", Configlang.Vendor.Junos) ]
+  in
+  Arg.(value & opt (enum vendors) Configlang.Vendor.Cisco
+       & info [ "format" ] ~docv:"VENDOR"
+           ~doc:"Output dialect: 'cisco' (CiscoLite) or 'junos' (JunosLite). \
+                 Input files are auto-detected per file.")
 
 let generate_cmd =
   let info = Cmd.info "generate" ~doc:"Generate an evaluation network's configurations" in
@@ -105,12 +110,14 @@ let jobs_arg =
                available cores).")
 
 let anonymize in_dir out_dir format k_r k_h noise seed pii fake_routers jobs
-    trace metrics_out selfcheck =
+    cache_dir trace metrics_out selfcheck =
+  guard @@ fun () ->
   set_jobs jobs;
   setup_telemetry ~trace ~metrics_out ~selfcheck;
+  let cache = Option.map Routing.Engine.open_cache cache_dir in
   let configs = read_dir in_dir in
   let params = { Confmask.Workflow.k_r; k_h; noise; seed; pii; fake_routers } in
-  match Confmask.Workflow.run ~params configs with
+  match Confmask.Workflow.run ~params ?cache configs with
   | Error m ->
       Printf.eprintf "anonymization failed: %s\n" m;
       1
@@ -174,16 +181,23 @@ let fake_routers_arg =
          ~doc:"Network-scale obfuscation: add $(docv) fake routers before \
                topology anonymization (IGP-only networks).")
 
+let cache_arg =
+  Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR"
+         ~doc:"Persistent simulation cache directory: SPF states, DV and BGP \
+               fixpoints and whole simulations are reused across runs. \
+               Results are identical with and without it.")
+
 let anonymize_cmd =
   let info = Cmd.info "anonymize" ~doc:"Anonymize a directory of configurations" in
   Cmd.v info
     Term.(const anonymize $ in_arg $ out_arg $ format_arg $ kr_arg $ kh_arg $ noise_arg
-          $ seed_arg $ pii_arg $ fake_routers_arg $ jobs_arg
+          $ seed_arg $ pii_arg $ fake_routers_arg $ jobs_arg $ cache_arg
           $ trace_arg $ metrics_out_arg $ selfcheck_arg)
 
 (* ---- simulate ---- *)
 
 let simulate in_dir show_paths jobs trace metrics_out =
+  guard @@ fun () ->
   set_jobs jobs;
   setup_telemetry ~trace ~metrics_out ~selfcheck:false;
   let configs = read_dir in_dir in
@@ -222,6 +236,7 @@ let simulate_cmd =
 (* ---- metrics ---- *)
 
 let metrics orig_dir anon_dir =
+  guard @@ fun () ->
   let orig_configs = read_dir orig_dir in
   let anon_configs = read_dir anon_dir in
   match (Routing.Simulate.run orig_configs, Routing.Simulate.run anon_configs) with
@@ -253,6 +268,7 @@ let metrics orig_dir anon_dir =
 (* ---- deanon ---- *)
 
 let deanon in_dir =
+  guard @@ fun () ->
   let configs = read_dir in_dir in
   match Routing.Simulate.run configs with
   | Error m ->
@@ -292,6 +308,7 @@ let metrics_cmd =
 (* ---- diff ---- *)
 
 let diff orig_dir anon_dir =
+  guard @@ fun () ->
   let orig = read_dir orig_dir in
   let anon = read_dir anon_dir in
   Printf.printf "%-16s %10s %10s %10s %10s\n" "device" "protocol" "filter" "iface"
@@ -327,6 +344,82 @@ let diff_cmd =
   in
   Cmd.v info Term.(const diff $ orig_arg $ anon_arg)
 
+(* ---- batch ---- *)
+
+let batch nets in_dirs k_rs k_hs out format seed noise resume limit cache_dir
+    no_cache jobs trace metrics_out =
+  guard @@ fun () ->
+  set_jobs jobs;
+  setup_telemetry ~trace ~metrics_out ~selfcheck:false;
+  if nets = [] && in_dirs = [] then
+    Confmask.Batch.input_error "one of --nets or --in-dirs is required";
+  let job_list =
+    Confmask.Batch.grid_jobs ~seed ~noise ~nets ~k_rs ~k_hs ()
+    @ Confmask.Batch.dir_jobs ~seed ~noise ~dirs:in_dirs ~k_rs ~k_hs ()
+  in
+  let cache =
+    if no_cache then None
+    else
+      Some
+        (Routing.Engine.open_cache
+           (Option.value cache_dir ~default:(Filename.concat out "cache")))
+  in
+  let o = Confmask.Batch.run ?cache ~resume ?limit ~format ~out job_list in
+  emit_telemetry ~trace ~metrics_out;
+  Printf.printf "jobs: %d ok (%d reused), %d errors, %d pending\nmanifest: %s\n"
+    o.ok o.reused o.errors o.pending
+    (Confmask.Batch.manifest_path out);
+  o.exit_code
+
+let nets_arg =
+  Arg.(value & opt (list string) [] & info [ "nets" ] ~docv:"IDS"
+         ~doc:"Comma-separated evaluation networks (A-H, CCNP, or labels) to \
+               put on the grid.")
+
+let in_dirs_arg =
+  Arg.(value & opt (list string) [] & info [ "in-dirs" ] ~docv:"DIRS"
+         ~doc:"Comma-separated directories of .cfg files to put on the grid.")
+
+let krs_arg =
+  Arg.(value & opt (list int) [ 6 ] & info [ "kr" ] ~docv:"KS"
+         ~doc:"Comma-separated topology anonymity parameters of the grid.")
+
+let khs_arg =
+  Arg.(value & opt (list int) [ 2 ] & info [ "kh" ] ~docv:"KS"
+         ~doc:"Comma-separated route anonymity parameters of the grid.")
+
+let resume_arg =
+  Arg.(value & flag & info [ "resume" ]
+         ~doc:"Skip jobs whose result.json already reports success, reusing \
+               their records verbatim; failed jobs are retried.")
+
+let limit_arg =
+  Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N"
+         ~doc:"Execute at most $(docv) jobs this run (reused jobs are free); \
+               the rest are recorded as pending. Deterministic way to \
+               interrupt and later $(b,--resume) a batch.")
+
+let batch_cache_arg =
+  Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR"
+         ~doc:"Persistent simulation cache shared by all jobs (default: \
+               $(b,OUT)/cache).")
+
+let no_cache_arg =
+  Arg.(value & flag & info [ "no-cache" ]
+         ~doc:"Disable the persistent simulation cache (force cold runs).")
+
+let batch_cmd =
+  let info =
+    Cmd.info "batch"
+      ~doc:"Run an anonymization grid (networks x kr x kh), sharded across \
+            the worker pool, with per-job fault isolation, a JSON results \
+            manifest and resumable progress"
+  in
+  Cmd.v info
+    Term.(const batch $ nets_arg $ in_dirs_arg $ krs_arg $ khs_arg $ out_arg
+          $ format_arg $ seed_arg $ noise_arg $ resume_arg $ limit_arg
+          $ batch_cache_arg $ no_cache_arg $ jobs_arg $ trace_arg
+          $ metrics_out_arg)
 
 let () =
   let info =
@@ -336,4 +429,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ generate_cmd; anonymize_cmd; simulate_cmd; metrics_cmd; diff_cmd; deanon_cmd ]))
+          [ generate_cmd; anonymize_cmd; batch_cmd; simulate_cmd; metrics_cmd;
+            diff_cmd; deanon_cmd ]))

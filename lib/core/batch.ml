@@ -1,0 +1,285 @@
+open Netcore
+
+exception Input_error of string
+
+let input_error fmt = Printf.ksprintf (fun m -> raise (Input_error m)) fmt
+
+let classify = function
+  | Input_error m -> ("input", m)
+  | Sys_error m -> ("input", m)
+  | Prefix.Pool_exhausted _ as e -> ("input", Printexc.to_string e)
+  | Not_found -> ("input", "not found")
+  | e -> ("internal", Printexc.to_string e)
+
+let exit_code = function "input" -> 1 | _ -> 2
+
+let read_config_dir dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    input_error "%s: no such directory" dir;
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".cfg")
+    |> List.sort String.compare
+  in
+  if files = [] then input_error "no .cfg files in %s" dir;
+  List.map
+    (fun f ->
+      let path = Filename.concat dir f in
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      close_in ic;
+      match Configlang.Vendor.parse text with
+      | Ok c -> c
+      | Error m -> input_error "%s: %s" path m)
+    files
+
+type job = {
+  job_id : string;
+  job_load : unit -> Configlang.Ast.config list;
+  job_params : Workflow.params;
+}
+
+let params_of ~seed ~noise ~k_r ~k_h =
+  { Workflow.default_params with k_r; k_h; seed; noise }
+
+let combos ~ids ~k_rs ~k_hs =
+  List.concat_map
+    (fun id ->
+      List.concat_map
+        (fun k_r -> List.map (fun k_h -> (id, k_r, k_h)) k_hs)
+        k_rs)
+    ids
+
+let grid_jobs ?(seed = 42) ?(noise = 0.1) ~nets ~k_rs ~k_hs () =
+  List.map
+    (fun (net, k_r, k_h) ->
+      {
+        job_id = Printf.sprintf "%s-kr%d-kh%d" net k_r k_h;
+        job_load =
+          (fun () ->
+            match Netgen.Nets.find net with
+            | entry -> Netgen.Nets.configs entry
+            | exception Not_found -> input_error "unknown network '%s'" net);
+        job_params = params_of ~seed ~noise ~k_r ~k_h;
+      })
+    (combos ~ids:nets ~k_rs ~k_hs)
+
+let dir_jobs ?(seed = 42) ?(noise = 0.1) ~dirs ~k_rs ~k_hs () =
+  List.map
+    (fun (dir, k_r, k_h) ->
+      {
+        job_id =
+          Printf.sprintf "%s-kr%d-kh%d" (Filename.basename dir) k_r k_h;
+        job_load = (fun () -> read_config_dir dir);
+        job_params = params_of ~seed ~noise ~k_r ~k_h;
+      })
+    (combos ~ids:dirs ~k_rs ~k_hs)
+
+(* ---- JSON plumbing (same dialect as Telemetry.report_json) ---- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* ---- filesystem plumbing ---- *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+let manifest_path out = Filename.concat out "manifest.json"
+let result_path out id = Filename.concat (Filename.concat out id) "result.json"
+
+(* ---- per-job execution ---- *)
+
+(* Counter deltas around one job. The counters are process-global, so
+   with concurrent jobs a delta also picks up overlapping work; it is
+   exact under [--jobs 1] and directionally useful otherwise (the
+   manifest's purpose — showing that a warm cache skips simulations —
+   survives the attribution blur). *)
+let counter_delta before after =
+  let base = List.to_seq before |> Hashtbl.of_seq in
+  List.filter_map
+    (fun (name, v) ->
+      let d = v - Option.value ~default:0 (Hashtbl.find_opt base name) in
+      if d <> 0 then Some (name, d) else None)
+    after
+
+let ok_record ~id ~seconds ~digest ~deltas (r : Workflow.report) =
+  let telemetry =
+    deltas
+    |> List.map (fun (n, v) -> Printf.sprintf "\"%s\": %d" (json_escape n) v)
+    |> String.concat ", "
+  in
+  Printf.sprintf
+    "{\"id\": \"%s\", \"status\": \"ok\", \"seconds\": %.3f, \
+     \"fake_links\": %d, \"fake_hosts\": %d, \"fake_routers\": %d, \
+     \"equiv_iterations\": %d, \"filters_added\": %d, \
+     \"filters_removed\": %d, \"functional_equivalence\": %b, \
+     \"digest\": \"%s\", \"telemetry\": {%s}}"
+    (json_escape id) seconds
+    (List.length r.fake_edges)
+    (List.length r.fake_hosts)
+    (List.length r.fake_router_names)
+    r.equiv_iterations
+    (r.equiv_filters + r.anon_filters_added)
+    r.anon_filters_removed
+    (Workflow.functional_equivalence r)
+    digest telemetry
+
+let error_record ~id ~seconds ~cls ~msg =
+  Printf.sprintf
+    "{\"id\": \"%s\", \"status\": \"error\", \"class\": \"%s\", \
+     \"error\": \"%s\", \"seconds\": %.3f}"
+    (json_escape id) cls (json_escape msg) seconds
+
+let pending_record ~id =
+  Printf.sprintf "{\"id\": \"%s\", \"status\": \"pending\"}" (json_escape id)
+
+(* A substring check is all record inspection needs: every record was
+   written by this program, and anything unrecognizable must be treated
+   as "not done". *)
+let has_marker record marker =
+  let lm = String.length marker and lr = String.length record in
+  let rec scan i =
+    i + lm <= lr && (String.sub record i lm = marker || scan (i + 1))
+  in
+  scan 0
+
+let reusable_record out id =
+  let path = result_path out id in
+  if not (Sys.file_exists path) then None
+  else
+    match read_file path with
+    | record when has_marker record "\"status\": \"ok\"" -> Some record
+    | _ -> None
+    | exception Sys_error _ -> None
+
+let write_anon_configs ~format dir (r : Workflow.report) =
+  mkdir_p dir;
+  let printer = Configlang.Vendor.print format in
+  List.iter
+    (fun (c : Configlang.Ast.config) ->
+      write_file (Filename.concat dir (c.hostname ^ ".cfg")) (printer c))
+    r.anon_configs
+
+let execute ~out ~cache ~format job =
+  let dir = Filename.concat out job.job_id in
+  mkdir_p dir;
+  let before = Telemetry.counters () in
+  let t0 = Unix.gettimeofday () in
+  let record =
+    match
+      let configs = job.job_load () in
+      Workflow.run ~params:job.job_params ?cache configs
+    with
+    | Ok r ->
+        let seconds = Unix.gettimeofday () -. t0 in
+        let deltas = counter_delta before (Telemetry.counters ()) in
+        write_anon_configs ~format (Filename.concat dir "configs") r;
+        let digest =
+          Digest.to_hex
+            (Digest.string (String.concat "\x00" (List.map snd (Workflow.anon_texts r))))
+        in
+        ok_record ~id:job.job_id ~seconds ~digest ~deltas r
+    | Error msg ->
+        let seconds = Unix.gettimeofday () -. t0 in
+        error_record ~id:job.job_id ~seconds ~cls:"input" ~msg
+    | exception e ->
+        let seconds = Unix.gettimeofday () -. t0 in
+        let cls, msg = classify e in
+        error_record ~id:job.job_id ~seconds ~cls ~msg
+  in
+  write_file (result_path out job.job_id) record;
+  record
+
+(* ---- the driver ---- *)
+
+type outcome = {
+  records : (string * string) list;
+  ok : int;
+  errors : int;
+  pending : int;
+  reused : int;
+  exit_code : int;
+}
+
+let status_of record =
+  if has_marker record "\"status\": \"ok\"" then `Ok
+  else if has_marker record "\"status\": \"pending\"" then `Pending
+  else `Error
+
+let record_exit_code record =
+  match status_of record with
+  | `Ok | `Pending -> 0
+  | `Error -> if has_marker record "\"class\": \"input\"" then 1 else 2
+
+let run ?pool ?cache ?(resume = false) ?limit ?(format = Configlang.Vendor.Cisco)
+    ~out jobs =
+  (* The per-job records embed counter deltas; without telemetry they
+     would all read empty, which defeats the manifest's purpose. *)
+  Telemetry.set_enabled true;
+  let ids = List.map (fun j -> j.job_id) jobs in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun id ->
+      if Hashtbl.mem seen id then input_error "duplicate job id '%s'" id;
+      Hashtbl.add seen id ())
+    ids;
+  mkdir_p out;
+  let executed = Atomic.make 0 in
+  let reused = Atomic.make 0 in
+  let process job =
+    match if resume then reusable_record out job.job_id else None with
+    | Some record ->
+        Atomic.incr reused;
+        (job.job_id, record)
+    | None ->
+        let slot = Atomic.fetch_and_add executed 1 in
+        if match limit with Some l -> slot >= l | None -> false then
+          (job.job_id, pending_record ~id:job.job_id)
+        else (job.job_id, execute ~out ~cache ~format job)
+  in
+  let records = Pool.parallel_map ?pool process jobs in
+  let count f = List.length (List.filter f records) in
+  let ok = count (fun (_, r) -> status_of r = `Ok) in
+  let pending = count (fun (_, r) -> status_of r = `Pending) in
+  let errors = List.length records - ok - pending in
+  let exit_code =
+    List.fold_left (fun acc (_, r) -> max acc (record_exit_code r)) 0 records
+  in
+  let manifest =
+    Printf.sprintf
+      "{\n\"jobs\": [\n%s\n],\n\"ok\": %d,\n\"errors\": %d,\n\"pending\": %d\n}\n"
+      (String.concat ",\n" (List.map snd records))
+      ok errors pending
+  in
+  write_file (manifest_path out) manifest;
+  { records; ok; errors; pending; reused = Atomic.get reused; exit_code }

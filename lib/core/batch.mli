@@ -1,0 +1,106 @@
+(** Sharded batch driver for anonymization runs ([confmask batch]).
+
+    A batch is an ordered list of jobs — one {!Workflow.run} each — built
+    either from the evaluation catalog (network × k_r × k_h grid) or from
+    directories of configuration files. Jobs are sharded across the
+    domain worker pool; each failure is isolated into an error record
+    instead of killing the run. Every job writes its anonymized
+    configurations and a one-line [result.json] under [out/<job id>/],
+    and the run ends by assembling [out/manifest.json] from the per-job
+    records in job order.
+
+    Resume semantics: with [resume:true], a job whose [result.json]
+    already reports ["status": "ok"] is not re-run — its record is reused
+    {e verbatim}, so resuming a finished batch reproduces a byte-identical
+    manifest. Failed jobs are always retried.
+
+    Error classification (shared with the CLI's exit codes): an
+    {!Input_error} — missing directory, unparsable file, unknown network,
+    infeasible parameters, address-pool exhaustion — is the user's to fix
+    (exit 1); any other exception is an internal invariant violation
+    (exit 2); cmdliner reports usage errors itself (exit 124). *)
+
+exception Input_error of string
+(** A problem with the user's input (as opposed to a bug): bad paths,
+    unparsable configurations, unknown catalog ids, infeasible
+    anonymization parameters. *)
+
+val input_error : ('a, unit, string, 'b) format4 -> 'a
+(** [input_error fmt ...] raises {!Input_error} with the formatted
+    message. *)
+
+val classify : exn -> string * string
+(** [classify e] is [(cls, message)] where [cls] is ["input"] for
+    {!Input_error}, [Sys_error], address-pool exhaustion and other
+    input-determined failures, and ["internal"] otherwise. *)
+
+val exit_code : string -> int
+(** Exit code of a classification: ["input"] is 1, anything else 2. *)
+
+val read_config_dir : string -> Configlang.Ast.config list
+(** Reads and parses every [.cfg] file of a directory, in sorted filename
+    order, auto-detecting the vendor per file. Raises {!Input_error} when
+    the directory is missing, holds no [.cfg] file, or a file fails to
+    parse. *)
+
+type job = {
+  job_id : string;  (** unique within the batch; used as directory name *)
+  job_load : unit -> Configlang.Ast.config list;
+      (** called inside the job, so load failures are isolated too *)
+  job_params : Workflow.params;
+}
+
+val grid_jobs :
+  ?seed:int ->
+  ?noise:float ->
+  nets:string list ->
+  k_rs:int list ->
+  k_hs:int list ->
+  unit ->
+  job list
+(** The evaluation grid: one job per [net × k_r × k_h] combination, in
+    that nesting order, with ids like ["A-kr6-kh2"]. Networks come from
+    the {!Netgen.Nets} catalog; an unknown id fails as an input error
+    when the job runs, not when the manifest is built. *)
+
+val dir_jobs :
+  ?seed:int ->
+  ?noise:float ->
+  dirs:string list ->
+  k_rs:int list ->
+  k_hs:int list ->
+  unit ->
+  job list
+(** Like {!grid_jobs} over directories of [.cfg] files; job ids are
+    [basename-krK-khK]. *)
+
+type outcome = {
+  records : (string * string) list;
+      (** (job id, one-line JSON record), in job order *)
+  ok : int;
+  errors : int;
+  pending : int;  (** jobs not processed because of [limit] *)
+  reused : int;  (** subset of [ok] restored from a previous run *)
+  exit_code : int;  (** worst over the processed jobs; pending is 0 *)
+}
+
+val run :
+  ?pool:Netcore.Pool.t ->
+  ?cache:Netcore.Diskcache.t ->
+  ?resume:bool ->
+  ?limit:int ->
+  ?format:Configlang.Vendor.t ->
+  out:string ->
+  job list ->
+  outcome
+(** Runs the batch, sharding jobs across [pool] (default: the shared
+    pool). [cache] is handed to every job's {!Workflow.run}, so the grid
+    shares one persistent simulation cache. [limit] bounds the number of
+    jobs {e executed} this run (reused jobs are free); the rest are
+    recorded as pending — the deterministic way to interrupt a batch.
+    Enables telemetry (the per-job records embed counter deltas).
+    Duplicate job ids are an {!Input_error}. *)
+
+val manifest_path : string -> string
+(** [manifest_path out] is the path of the results manifest under the
+    batch output directory [out]. *)

@@ -47,7 +47,7 @@ let fib_equal_on_hosts ~orig snap =
 let apply_filter net configs r nxt hp =
   Attach.deny configs net ~router:r ~toward:nxt hp
 
-let fix ?max_iters ?engine ~orig ~fake_edges configs =
+let fix ?max_iters ?engine ?cache ~orig ~fake_edges configs =
   Telemetry.with_span "equiv.fix" @@ fun () ->
   let max_iters =
     match max_iters with Some m -> m | None -> (2 * List.length fake_edges) + 8
@@ -68,7 +68,7 @@ let fix ?max_iters ?engine ~orig ~fake_edges configs =
   let initial =
     match engine with
     | Some e -> Routing.Engine.apply_edit e configs
-    | None -> Routing.Engine.of_configs configs
+    | None -> Routing.Engine.of_configs ?cache configs
   in
   let rec loop eng configs iter filters =
     Telemetry.incr c_iterations;

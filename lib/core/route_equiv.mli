@@ -20,6 +20,7 @@ type outcome = {
 val fix :
   ?max_iters:int ->
   ?engine:Routing.Engine.t ->
+  ?cache:Netcore.Diskcache.t ->
   orig:Routing.Simulate.snapshot ->
   fake_edges:(string * string) list ->
   Configlang.Ast.config list ->
@@ -29,8 +30,9 @@ val fix :
     [max_iters] defaults to [2 * |fake_edges| + 8] (the paper bounds the
     iteration count by the number of added edges). The loop simulates
     through an incremental {!Routing.Engine} — pass [engine] to reuse
-    caches from an earlier stage. Errors if the loop cannot restore the
-    original FIBs. *)
+    caches from an earlier stage, or [cache] to let a freshly created
+    engine read/write a persistent cross-run cache. Errors if the loop
+    cannot restore the original FIBs. *)
 
 val fib_equal_on_hosts :
   orig:Routing.Simulate.snapshot -> Routing.Simulate.snapshot -> bool

@@ -30,16 +30,26 @@ type report = {
 
 let ( let* ) = Result.bind
 
-let run ?(params = default_params) orig_configs =
+let run ?(params = default_params) ?cache orig_configs =
   Telemetry.with_span "workflow.run" @@ fun () ->
   if params.k_r < 1 || params.k_h < 1 then Error "workflow: k_r and k_h must be >= 1"
   else
     let rng = Rng.create params.seed in
+    (* With a persistent cache the baseline goes through the engine, whose
+       from-scratch result is bit-identical to [Simulate.run] but can be
+       restored from a previous process's whole-state entry. *)
+    let simulate configs =
+      match cache with
+      | None -> Routing.Simulate.run configs
+      | Some _ ->
+          Result.map Routing.Engine.snapshot
+            (Routing.Engine.of_configs ?cache configs)
+    in
     (* Preprocess: the original topology and routes are the baseline. *)
     let* orig_snapshot =
       Telemetry.with_span "workflow.baseline" @@ fun () ->
       Result.map_error (fun m -> "workflow: original network: " ^ m)
-        (Routing.Simulate.run orig_configs)
+        (simulate orig_configs)
     in
     (* §9 extension (optional): grow the router set first, so the k-degree
        guarantee also covers the fake routers. The extended network keeps
@@ -54,7 +64,7 @@ let run ?(params = default_params) orig_configs =
         in
         let* snap =
           Result.map_error (fun m -> "workflow: extended network: " ^ m)
-            (Routing.Simulate.run n.configs)
+            (simulate n.configs)
         in
         Ok (n.configs, snap, n.fake_routers)
     in
@@ -62,7 +72,8 @@ let run ?(params = default_params) orig_configs =
     let topo = Topo_anon.anonymize ~rng ~k:params.k_r ~orig:base_snapshot base_configs in
     (* Step 2.1: route equivalence. *)
     let* equiv =
-      Route_equiv.fix ~orig:base_snapshot ~fake_edges:topo.fake_edges topo.configs
+      Route_equiv.fix ?cache ~orig:base_snapshot ~fake_edges:topo.fake_edges
+        topo.configs
     in
     (* Step 2.2: route anonymity, reusing the engine state route
        equivalence converged with. *)
@@ -101,8 +112,8 @@ let run ?(params = default_params) orig_configs =
         anon_filters_removed = anon.filters_removed;
       }
 
-let run_exn ?params configs =
-  match run ?params configs with Ok r -> r | Error m -> failwith m
+let run_exn ?params ?cache configs =
+  match run ?params ?cache configs with Ok r -> r | Error m -> failwith m
 
 let real_hosts r =
   List.map fst (Smap.bindings r.orig_snapshot.net.hosts)

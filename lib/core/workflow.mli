@@ -33,9 +33,23 @@ type report = {
   anon_filters_removed : int;
 }
 
-val run : ?params:params -> Configlang.Ast.config list -> (report, string) result
+val run :
+  ?params:params ->
+  ?cache:Netcore.Diskcache.t ->
+  Configlang.Ast.config list ->
+  (report, string) result
+(** [cache] plugs a persistent cross-run simulation cache (see
+    {!Routing.Engine.open_cache}) into every simulation of the workflow:
+    the baseline runs through {!Routing.Engine.of_configs} (bit-identical
+    to [Simulate.run], but restorable from disk) and the route-equivalence
+    and route-anonymity fixpoints reuse SPF/DV/BGP entries written by
+    previous processes. Results are identical with and without it. *)
 
-val run_exn : ?params:params -> Configlang.Ast.config list -> report
+val run_exn :
+  ?params:params ->
+  ?cache:Netcore.Diskcache.t ->
+  Configlang.Ast.config list ->
+  report
 
 val functional_equivalence : report -> bool
 (** Definition 3.3 restricted to real hosts: identical delivered path sets

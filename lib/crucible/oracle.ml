@@ -31,8 +31,11 @@ let diff_fib_check ~seed spec =
     if not (fibs_equal (Routing.Engine.fibs !eng) par.fibs) then
       Fail "engine initial build diverges from from-scratch simulation"
     else begin
-      (* Deny/undeny edit walk: the exact edits the anonymization
-         fixpoints issue, re-checked against a fresh simulation. *)
+      (* Edit walk covering every edit family the anonymization pipeline
+         issues — deny filters and their rollback (the fixpoints),
+         interface additions (fake hosts and fake links), and link-cost
+         rewrites (the cost rule of topology anonymization) — each step
+         re-checked against a fresh simulation. *)
       let rng = Rng.create (seed lxor 0x2c9277b5) in
       let configs = ref configs0 in
       let denies = ref [] in
@@ -45,28 +48,74 @@ let diff_fib_check ~seed spec =
         let adj_routers =
           List.filter (fun (_, adjs) -> adjs <> []) (Smap.bindings net.adjs)
         in
-        let undeny = !denies <> [] && Rng.bool rng ~p:0.25 in
-        (if undeny then begin
-           let ((r, at, hp) as d) = Rng.pick rng !denies in
-           configs :=
-             Confmask.Edits.update !configs r (fun c ->
-                 Confmask.Attach.undeny_at c at hp);
-           denies := List.filter (fun x -> x <> d) !denies
-         end
-         else
-           match (adj_routers, hps) with
-           | [], _ | _, [] -> ()
-           | _ -> (
-               let r, adjs = Rng.pick rng adj_routers in
-               let a = Rng.pick rng adjs in
-               let hp = Rng.pick rng hps in
-               match Confmask.Attach.point net r a.Routing.Device.a_to with
-               | None -> ()
-               | Some at ->
-                   configs :=
-                     Confmask.Edits.update !configs r (fun c ->
-                         Confmask.Attach.deny_at c at hp);
-                   denies := (r, at, hp) :: !denies));
+        let kind =
+          let k = Rng.int rng 10 in
+          if k < 4 then `Deny
+          else if k < 6 then if !denies = [] then `Deny else `Undeny
+          else if k < 8 then `AddIface
+          else `Cost
+        in
+        (match kind with
+        | `Deny -> (
+            match (adj_routers, hps) with
+            | [], _ | _, [] -> ()
+            | _ -> (
+                let r, adjs = Rng.pick rng adj_routers in
+                let a = Rng.pick rng adjs in
+                let hp = Rng.pick rng hps in
+                match Confmask.Attach.point net r a.Routing.Device.a_to with
+                | None -> ()
+                | Some at ->
+                    configs :=
+                      Confmask.Edits.update !configs r (fun c ->
+                          Confmask.Attach.deny_at c at hp);
+                    denies := (r, at, hp) :: !denies))
+        | `Undeny ->
+            let ((r, at, hp) as d) = Rng.pick rng !denies in
+            configs :=
+              Confmask.Edits.update !configs r (fun c ->
+                  Confmask.Attach.undeny_at c at hp);
+            denies := List.filter (fun x -> x <> d) !denies
+        | `AddIface ->
+            let routers =
+              List.map fst (Smap.bindings net.Routing.Device.routers)
+            in
+            let r = Rng.pick rng routers in
+            let alloc =
+              Prefix.alloc_create
+                ~avoid:(Confmask.Edits.used_prefixes !configs)
+                ()
+            in
+            let subnet = Prefix.alloc_fresh alloc ~len:24 in
+            let addr = Prefix.host subnet 1 in
+            configs :=
+              Confmask.Edits.update !configs r (fun c ->
+                  let name = Confmask.Edits.fresh_iface_name c in
+                  let c =
+                    Confmask.Edits.add_interface c ~name ~addr ~plen:24
+                      ~desc:"crucible" ()
+                  in
+                  Confmask.Edits.add_igp_network c subnet)
+        | `Cost -> (
+            match adj_routers with
+            | [] -> ()
+            | _ ->
+                let r, adjs = Rng.pick rng adj_routers in
+                let a = Rng.pick rng adjs in
+                let iface = a.Routing.Device.a_out_iface.ifc_name in
+                let cost = 1 + Rng.int rng 20 in
+                configs :=
+                  Confmask.Edits.update !configs r (fun c ->
+                      {
+                        c with
+                        interfaces =
+                          List.map
+                            (fun (i : Configlang.Ast.interface) ->
+                              if String.equal i.if_name iface then
+                                { i with if_cost = Some cost }
+                              else i)
+                            c.interfaces;
+                      })));
         eng := Routing.Engine.apply_edit_exn !eng !configs;
         let fresh = Routing.Simulate.run_exn !configs in
         if not (fibs_equal (Routing.Engine.fibs !eng) fresh.fibs) then

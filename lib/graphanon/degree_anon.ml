@@ -14,6 +14,19 @@ let is_k_anonymous ~k degrees =
    group must have >= k members; optimal substructure as in Liu-Terzi. *)
 let anonymize_sequence ~k degrees =
   if k <= 0 then invalid_arg "Degree_anon.anonymize_sequence: k <= 0";
+  (* Fewer than k degrees can never form a size-k group: returning the
+     single undersized group would silently break the k-anonymity
+     contract, so refuse, consistently with the k <= 0 case. *)
+  (match degrees with
+  | [] -> ()
+  | _ ->
+      let n = List.length degrees in
+      if n < k then
+        invalid_arg
+          (Printf.sprintf
+             "Degree_anon.anonymize_sequence: %d degrees cannot be \
+              %d-anonymous"
+             n k));
   match degrees with
   | [] -> []
   | _ ->

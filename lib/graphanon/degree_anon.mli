@@ -10,9 +10,11 @@ val anonymize_sequence : k:int -> int list -> int list
 (** [anonymize_sequence ~k degrees] returns the target degree for each
     input position (same order as the input). Every target is >= the
     corresponding input degree, and the multiset of targets is
-    k-anonymous, provided the input has at least [k] elements; shorter
-    inputs collapse to a single group. Raises [Invalid_argument] if
-    [k <= 0]. *)
+    k-anonymous. Exactly [k] elements collapse to a single group at the
+    maximum degree; the empty list maps to the empty list. Raises
+    [Invalid_argument] if [k <= 0], or if [0 < length degrees < k] — a
+    sequence shorter than [k] can never be k-anonymous, and silently
+    returning the undersized single group would break the contract. *)
 
 val is_k_anonymous : k:int -> int list -> bool
 (** Whether every distinct value occurs at least [k] times (vacuously true

@@ -1,0 +1,129 @@
+type t = { cache_dir : string; eff_version : string }
+
+let c_hit = Telemetry.counter "diskcache.hit"
+let c_miss = Telemetry.counter "diskcache.miss"
+let c_write = Telemetry.counter "diskcache.write"
+
+let dir t = t.cache_dir
+let version t = t.eff_version
+
+(* Entry files are self-describing so a reader can reject anything it
+   did not write itself: the version and key guard against collisions
+   and stale formats, the digest against truncation and bit rot. *)
+type entry = {
+  e_version : string;
+  e_key : string;
+  e_digest : string;  (* Digest.string of e_payload *)
+  e_payload : string;
+}
+
+let index_magic = "confmask-diskcache 1"
+let entry_suffix = ".v"
+
+let entry_path t key =
+  Filename.concat t.cache_dir (Digest.to_hex (Digest.string key) ^ entry_suffix)
+
+let entry_files dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | files ->
+      Array.to_list files
+      |> List.filter (fun f -> Filename.check_suffix f entry_suffix)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.is_directory dir -> ()  (* creation race *)
+  end
+
+let index_path dir = Filename.concat dir "INDEX"
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+  with Sys_error _ | End_of_file -> None
+
+(* Unique-enough temp names: same-process writers are distinguished by
+   the counter, concurrent processes by the pid. *)
+let tmp_seq = Atomic.make 0
+
+let write_file_atomic ~dir path content =
+  let tmp =
+    Filename.concat dir
+      (Printf.sprintf ".tmp-%d-%d" (Unix.getpid ())
+         (Atomic.fetch_and_add tmp_seq 1))
+  in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc content);
+  Sys.rename tmp path
+
+let open_dir ?(version = "1") cache_dir =
+  let eff_version = version ^ "/ocaml-" ^ Sys.ocaml_version in
+  let t = { cache_dir; eff_version } in
+  mkdir_p cache_dir;
+  let want = index_magic ^ "\n" ^ eff_version ^ "\n" in
+  (match read_file (index_path cache_dir) with
+  | Some got when String.equal got want -> ()
+  | _ ->
+      (* Missing, corrupted or version-mismatched index: the directory's
+         contents cannot be trusted. Wipe the entries so they do not
+         linger (and cannot be picked up by a later open under the old
+         version), then stamp the expected version. *)
+      List.iter
+        (fun f -> try Sys.remove (Filename.concat cache_dir f) with Sys_error _ -> ())
+        (entry_files cache_dir);
+      write_file_atomic ~dir:cache_dir (index_path cache_dir) want);
+  t
+
+let find t key =
+  let hit payload =
+    Telemetry.incr c_hit;
+    Some payload
+  in
+  let miss () =
+    Telemetry.incr c_miss;
+    None
+  in
+  match read_file (entry_path t key) with
+  | None -> miss ()
+  | Some raw -> (
+      (* The whole decode runs under the handler: unmarshalling garbage
+         raises, and even a well-formed foreign value trips one of the
+         string comparisons before its payload can leak out. *)
+      match
+        let e = (Marshal.from_string raw 0 : entry) in
+        if
+          String.equal e.e_version t.eff_version
+          && String.equal e.e_key key
+          && String.equal e.e_digest (Digest.string e.e_payload)
+        then Some e.e_payload
+        else None
+      with
+      | Some payload -> hit payload
+      | None | (exception _) -> miss ())
+
+let add t ~key payload =
+  let e =
+    {
+      e_version = t.eff_version;
+      e_key = key;
+      e_digest = Digest.string payload;
+      e_payload = payload;
+    }
+  in
+  match
+    write_file_atomic ~dir:t.cache_dir (entry_path t key)
+      (Marshal.to_string e [])
+  with
+  | () -> Telemetry.incr c_write
+  | exception Sys_error _ -> ()
+
+let mem t key = Sys.file_exists (entry_path t key)
+let entries t = List.length (entry_files t.cache_dir)

@@ -1,0 +1,54 @@
+(** Persistent, content-addressed on-disk cache.
+
+    One cache is one directory holding a versioned [INDEX] file plus one
+    value file per key. The store is append-only: entries are written
+    once under a content-derived key and never mutated — invalidation is
+    wholesale, by bumping the version string, which makes a subsequent
+    {!open_dir} discard every entry.
+
+    Robustness contract: a cache is a pure accelerator and is never
+    trusted. Entry files are self-describing (version, key, payload
+    digest); a corrupted, truncated, version-mismatched or otherwise
+    unreadable entry reads as a miss, and a directory whose [INDEX] does
+    not match the expected version is treated as empty (and wiped, so
+    stale entries cannot survive a version bump). Writes go through a
+    temp file and [rename], so readers — including concurrent processes
+    sharing the directory — never observe a partial entry.
+
+    Usage is observable through the [diskcache.hit], [diskcache.miss]
+    and [diskcache.write] telemetry counters. *)
+
+type t
+
+val open_dir : ?version:string -> string -> t
+(** [open_dir ~version dir] opens (creating it, parents included, if
+    needed) the cache directory [dir] for entries of format [version]
+    (default ["1"]). The effective version also incorporates
+    [Sys.ocaml_version], since entries are [Marshal]ed: a cache written
+    by a different compiler version reads as empty. An existing
+    directory whose [INDEX] disagrees is emptied. Raises [Sys_error]
+    when the directory cannot be created or written. *)
+
+val dir : t -> string
+val version : t -> string
+(** The effective (compiler-qualified) version string. *)
+
+val find : t -> string -> string option
+(** [find t key] is the payload stored under [key], or [None] on any
+    kind of miss (absent, corrupted, truncated, wrong version, key
+    collision). Ticks [diskcache.hit] / [diskcache.miss]. *)
+
+val add : t -> key:string -> string -> unit
+(** [add t ~key payload] stores [payload] under [key], atomically
+    (write to a temp file, then rename). Last writer wins on a race,
+    which is harmless because equal keys hold equal payloads by
+    construction. Ticks [diskcache.write]. I/O errors are swallowed: a
+    cache that cannot be written degrades to a smaller cache, it never
+    fails the computation. *)
+
+val mem : t -> string -> bool
+(** Entry-file existence check; does not validate the payload and does
+    not tick counters. *)
+
+val entries : t -> int
+(** Number of entry files currently present. *)

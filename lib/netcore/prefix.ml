@@ -65,17 +65,45 @@ type alloc = {
 
 let default_base = v (Ipv4.of_octets 100 64 0 0) 10
 
+exception
+  Pool_exhausted of {
+    pool : t;
+    requested_len : int;
+    cursor : int;
+    probes : int;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Pool_exhausted { pool; requested_len; cursor; probes } ->
+        Some
+          (Printf.sprintf
+             "Prefix.alloc_fresh: pool %s exhausted (requested /%d, cursor \
+              at offset %d of %d, %d probes)"
+             (to_string pool) requested_len cursor (size pool) probes)
+    | _ -> None)
+
 let alloc_create ?(base = default_base) ~avoid () =
   { base; avoid; cursor = 0; used = [] ; probes = 0 }
 
 let alloc_fresh a ~len =
   if len < a.base.len then
-    failwith "Prefix.alloc_fresh: requested prefix larger than the pool";
+    invalid_arg
+      (Printf.sprintf
+         "Prefix.alloc_fresh: requested /%d is larger than the pool %s" len
+         (to_string a.base));
   let step = 1 lsl (32 - len) in
   let base_int = Ipv4.to_int a.base.network in
   let rec search offset =
     if offset + step > size a.base then
-      failwith "Prefix.alloc_fresh: pool exhausted"
+      raise
+        (Pool_exhausted
+           {
+             pool = a.base;
+             requested_len = len;
+             cursor = a.cursor;
+             probes = a.probes;
+           })
     else begin
       a.probes <- a.probes + 1;
       let candidate = v (Ipv4.add a.base.network offset) len in

@@ -47,6 +47,18 @@ module Map : Map.S with type key = t
 
 type alloc
 
+exception
+  Pool_exhausted of {
+    pool : t;  (** The base pool that ran out. *)
+    requested_len : int;  (** The prefix length being allocated. *)
+    cursor : int;  (** Allocator cursor (address offset) at exhaustion. *)
+    probes : int;  (** Candidates examined over the allocator's lifetime. *)
+  }
+(** Raised by {!alloc_fresh} when no free /[len] remains. Carries the
+    allocation context ([Printexc.to_string] renders it readably) so an
+    exhausted run can report what it was asking for and how far the
+    cursor had advanced. *)
+
 val alloc_create : ?base:t -> avoid:t list -> unit -> alloc
 (** [alloc_create ~avoid ()] allocates from [base] (default
     [100.64.0.0/10], the CGNAT range, which never appears in generated
@@ -54,8 +66,10 @@ val alloc_create : ?base:t -> avoid:t list -> unit -> alloc
 
 val alloc_fresh : alloc -> len:int -> t
 (** [alloc_fresh a ~len] returns a fresh /[len] disjoint from the avoid set
-    and from everything previously returned. Raises [Failure] if the pool
-    is exhausted. *)
+    and from everything previously returned. Raises {!Pool_exhausted} if
+    the pool has run out — in O(1) probes even when huge avoided ranges
+    cover it, via the cursor jump — and [Invalid_argument] when [len] is
+    shorter than the pool's own length. *)
 
 val alloc_used : alloc -> t list
 (** All prefixes handed out so far, most recent first. *)

@@ -26,6 +26,61 @@ let c_fib_reuse = Telemetry.counter "engine.fib_reuse"
 let c_fib_build = Telemetry.counter "engine.fib_build"
 let c_edits = Telemetry.counter "engine.edits"
 
+(* Persistent-cache hits, one counter per entry kind. Each is the disk
+   sibling of an in-memory recompute counter: state_disk vs a whole
+   from-scratch build, spf_disk vs spf_full, dv_disk vs dv_recompute,
+   bgp_disk vs bgp_compute. *)
+let c_state_disk = Telemetry.counter "engine.state_disk"
+let c_spf_disk = Telemetry.counter "engine.spf_disk"
+let c_dv_disk = Telemetry.counter "engine.dv_disk"
+let c_bgp_disk = Telemetry.counter "engine.bgp_disk"
+
+(* ---- persistent cross-run cache ----
+
+   Content-addressed entries in a [Netcore.Diskcache] directory. Keys are
+   derived from the same structural fingerprints the in-memory reuse
+   gates compare, so an entry is valid whenever the gate would have
+   fired: a key collision implies input equality, which implies output
+   equality (every computation keyed here is a deterministic function of
+   the fingerprinted inputs). Four entry kinds, distinguished by a key
+   namespace tag so their [Marshal]ed payload types can never mix:
+
+   - ["state:"] — the whole engine state (domains, candidates, base and
+     final FIBs, BGP routes) of a from-scratch build, keyed by every
+     router's full fingerprint. Only written for [prev = None] builds:
+     keying one entry per fixpoint iteration would balloon the store
+     with megabyte-scale states that in-memory reuse already covers.
+   - ["spf:"] — one IGP domain's OSPF SPF state, keyed by the domain and
+     its members' spf fingerprints. Written once per full [Ospf.prepare];
+     restored states are {!Ospf.rescope}d because the stored adjacencies
+     embed interface fields the spf fingerprint deliberately excludes.
+   - ["dv:"] — one domain's RIP/EIGRP routes, keyed by the dv
+     fingerprints.
+   - ["bgp:"] — the global BGP fixpoint result, keyed like ["state:"]
+     (full fingerprints: BGP depends on the IGP-resolved base FIBs,
+     which equal fingerprints imply).
+
+   Bump [cache_version] whenever any marshaled type or fingerprint
+   definition changes — the versioned index then invalidates the whole
+   directory. *)
+
+let cache_version = "confmask-engine-1"
+let open_cache dir = Diskcache.open_dir ~version:cache_version dir
+
+let disk_get : type a. Diskcache.t option -> string -> a option =
+ fun cache key ->
+  match cache with
+  | None -> None
+  | Some c -> (
+      match Diskcache.find c key with
+      | None -> None
+      | Some s -> ( try Some (Marshal.from_string s 0 : a) with _ -> None))
+
+let disk_put cache key v =
+  match cache with
+  | None -> ()
+  | Some c -> Diskcache.add c ~key (Marshal.to_string v [])
+
 let full_fp (r : Device.router) = digest r
 
 (* What the SPF state of a domain depends on: presence of an OSPF process,
@@ -69,6 +124,7 @@ type dom_cache = {
 type t = {
   incremental : bool;
   pool : Pool.t option;
+  cache : Diskcache.t option;
   configs : Ast.config list;
   net : Device.network;
   fps : string Smap.t;  (* full fingerprint per router *)
@@ -84,10 +140,11 @@ let configs t = t.configs
 let network t = t.net
 let fibs t = t.fibs
 let is_incremental t = t.incremental
+let cache t = t.cache
 
 (* ---- per-domain computation with cache reuse ---- *)
 
-let compute_domain ?pool ~prev (net : Device.network)
+let compute_domain ?pool ?cache ~prev (net : Device.network)
     (d : Simulate.igp_domain) =
   let routers =
     List.filter_map
@@ -141,9 +198,19 @@ let compute_domain ?pool ~prev (net : Device.network)
         | None -> None
       in
       let full () =
-        Telemetry.incr c_spf_full;
-        let st = Ospf.prepare ~scope:d.dom_scope ?pool net in
-        (Some st, select st (fun _ _ _ _ -> None))
+        let key =
+          "spf:" ^ Digest.to_hex (digest (d.dom_key, d.dom_members, spf))
+        in
+        match (disk_get cache key : Ospf.state option) with
+        | Some st ->
+            Telemetry.incr c_spf_disk;
+            let st = Ospf.rescope ~scope:d.dom_scope net st in
+            (Some st, select st (fun _ _ _ _ -> None))
+        | None ->
+            Telemetry.incr c_spf_full;
+            let st = Ospf.prepare ~scope:d.dom_scope ?pool net in
+            disk_put cache key st;
+            (Some st, select st (fun _ _ _ _ -> None))
       in
       match prev with
       | Some c when String.equal c.dc_spf spf && c.dc_state <> None ->
@@ -167,14 +234,32 @@ let compute_domain ?pool ~prev (net : Device.network)
     match prev with
     | Some c when String.equal c.dc_dv dv -> (c.dc_rip, c.dc_eigrp)
     | _ ->
-        if has (fun r -> (r.Device.r_rip <> None) || r.r_eigrp <> None) then
-          Telemetry.incr c_dv_recompute;
-        ( (if has (fun r -> r.Device.r_rip <> None) then
-             Rip.compute ~scope:d.dom_scope net
-           else Smap.empty),
-          if has (fun r -> r.Device.r_eigrp <> None) then
-            Eigrp.compute ~scope:d.dom_scope net
-          else Smap.empty )
+        if not (has (fun r -> (r.Device.r_rip <> None) || r.r_eigrp <> None))
+        then (Smap.empty, Smap.empty)
+        else
+          let key =
+            "dv:" ^ Digest.to_hex (digest (d.dom_key, d.dom_members, dv))
+          in
+          let found :
+              (Fib.route list Smap.t * Fib.route list Smap.t) option =
+            disk_get cache key
+          in
+          (match found with
+          | Some pair ->
+              Telemetry.incr c_dv_disk;
+              pair
+          | None ->
+              Telemetry.incr c_dv_recompute;
+              let pair =
+                ( (if has (fun r -> r.Device.r_rip <> None) then
+                     Rip.compute ~scope:d.dom_scope net
+                   else Smap.empty),
+                  if has (fun r -> r.Device.r_eigrp <> None) then
+                    Eigrp.compute ~scope:d.dom_scope net
+                  else Smap.empty )
+              in
+              disk_put cache key pair;
+              pair)
   in
   {
     dc_members = d.dom_members;
@@ -201,13 +286,57 @@ let domain_cache_candidates dc =
       | routes -> Smap.add m routes acc)
     Smap.empty dc.dc_members
 
-let build ?(incremental = true) ?pool ?prev configs =
+(* The whole-state payload of a from-scratch build. [net] is recompiled
+   from the configs on restore (cheap, deterministic) and [fps] is what
+   the key was derived from, so neither is stored. *)
+type persisted_state = {
+  ps_doms : dom_cache Dmap.t;
+  ps_cands : Fib.route list Smap.t;
+  ps_base : Fib.t Smap.t;
+  ps_bgp : Fib.route list Smap.t;
+  ps_fibs : Fib.t Smap.t;
+}
+
+let state_key fps = "state:" ^ Digest.to_hex (digest (Smap.bindings fps))
+let bgp_key fps = "bgp:" ^ Digest.to_hex (digest (Smap.bindings fps))
+
+let build ?(incremental = true) ?pool ?cache ?prev configs =
   Telemetry.with_span "engine.build" @@ fun () ->
   match Device.compile configs with
   | Error m -> Error m
   | Ok net ->
       let prev = if incremental then prev else None in
+      (* [incremental:false] is the pre-engine cost model used as the
+         benchmark baseline; letting it hit the disk would corrupt that
+         baseline, so the cache is ignored along with [prev]. *)
+      let cache = if incremental then cache else None in
       let fps = Smap.map full_fp net.routers in
+      let restored =
+        (* Whole-state restore is only sound (and only worth storing) for
+           from-scratch builds: with a [prev] the in-memory deltas are
+           cheaper than deserializing megabytes of state. *)
+        match prev with
+        | None -> (disk_get cache (state_key fps) : persisted_state option)
+        | Some _ -> None
+      in
+      match restored with
+      | Some ps ->
+          Telemetry.incr c_state_disk;
+          Ok
+            {
+              incremental;
+              pool;
+              cache;
+              configs;
+              net;
+              fps;
+              doms = ps.ps_doms;
+              cands = ps.ps_cands;
+              base = ps.ps_base;
+              bgp = ps.ps_bgp;
+              fibs = ps.ps_fibs;
+            }
+      | None ->
       let unchanged =
         (* Routers whose whole config (hence statics, ACLs, everything
            entering a FIB) is identical to the previous engine state. *)
@@ -225,8 +354,9 @@ let build ?(incremental = true) ?pool ?prev configs =
         Pool.parallel_map ?pool
           (fun (d : Simulate.igp_domain) ->
             ( d.dom_key,
-              compute_domain ?pool ~prev:(Dmap.find_opt d.dom_key prev_doms) net
-                d ))
+              compute_domain ?pool ?cache
+                ~prev:(Dmap.find_opt d.dom_key prev_doms)
+                net d ))
           (Simulate.igp_domains net)
         |> List.fold_left (fun acc (k, v) -> Dmap.add k v acc) Dmap.empty
       in
@@ -294,10 +424,25 @@ let build ?(incremental = true) ?pool ?prev configs =
             | Some p when Smap.equal String.equal fps p.fps ->
                 Telemetry.incr c_bgp_skip;
                 p.bgp
-            | _ ->
-                Telemetry.incr c_bgp_compute;
-                Telemetry.with_span "engine.bgp" (fun () ->
-                    Bgp.compute net ~igp_fibs:base)
+            | _ -> (
+                (* Equal full fingerprints imply equal compiled routers,
+                   hence equal base FIBs — the same argument that makes the
+                   in-memory skip above sound makes [fps] a complete key
+                   for the persisted result. *)
+                match
+                  (disk_get cache (bgp_key fps) : Fib.route list Smap.t option)
+                with
+                | Some b ->
+                    Telemetry.incr c_bgp_disk;
+                    b
+                | None ->
+                    Telemetry.incr c_bgp_compute;
+                    let b =
+                      Telemetry.with_span "engine.bgp" (fun () ->
+                          Bgp.compute net ~igp_fibs:base)
+                    in
+                    disk_put cache (bgp_key fps) b;
+                    b)
           in
           let fibs =
             Smap.mapi
@@ -322,10 +467,21 @@ let build ?(incremental = true) ?pool ?prev configs =
           in
           (bgp, fibs)
       in
-      Ok { incremental; pool; configs; net; fps; doms; cands; base; bgp; fibs }
+      (match prev with
+      | None ->
+          disk_put cache (state_key fps)
+            {
+              ps_doms = doms;
+              ps_cands = cands;
+              ps_base = base;
+              ps_bgp = bgp;
+              ps_fibs = fibs;
+            }
+      | Some _ -> ());
+      Ok { incremental; pool; cache; configs; net; fps; doms; cands; base; bgp; fibs }
 
-let of_configs ?(incremental = true) ?pool configs =
-  build ~incremental ?pool configs
+let of_configs ?(incremental = true) ?pool ?cache configs =
+  build ~incremental ?pool ?cache configs
 
 (* ---- shadow self-check ---- *)
 
@@ -365,7 +521,9 @@ let selfcheck_divergence t =
 
 let apply_edit t configs =
   Telemetry.incr c_edits;
-  match build ~incremental:t.incremental ?pool:t.pool ~prev:t configs with
+  match
+    build ~incremental:t.incremental ?pool:t.pool ?cache:t.cache ~prev:t configs
+  with
   | Error _ as e -> e
   | Ok t' as ok ->
       let period = Telemetry.selfcheck_period () in
@@ -382,8 +540,8 @@ let apply_edit t configs =
                      seq msg));
       ok
 
-let of_configs_exn ?incremental ?pool configs =
-  match of_configs ?incremental ?pool configs with
+let of_configs_exn ?incremental ?pool ?cache configs =
+  match of_configs ?incremental ?pool ?cache configs with
   | Ok t -> t
   | Error m -> failwith m
 

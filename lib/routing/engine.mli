@@ -22,10 +22,23 @@
     property tests in [test/test_routing.ml] compare FIBs structurally
     after random edit sequences.
 
+    On top of the in-memory caches, an optional {e persistent} cache
+    (a {!Netcore.Diskcache.t}, see {!open_cache}) carries results across
+    processes: whole from-scratch builds, per-domain SPF states, per-domain
+    DV results and global BGP fixpoints are stored under keys derived from
+    the same structural fingerprints, so a warm rerun of an identical (or
+    partially identical) workload skips the matching recomputations
+    entirely. Disk reuse is correctness-neutral by the same argument as
+    in-memory reuse — every key covers every input of the computation it
+    stores — and is additionally guarded by the warm-equals-cold property
+    tests and the [--selfcheck] shadow path.
+
     Cache reuse is observable through [Netcore.Telemetry] counters
     ([engine.spf_reuse]/[engine.spf_full], [engine.sel_patch],
     [engine.dv_recompute], [engine.bgp_skip]/[engine.bgp_compute],
-    [engine.fib_reuse]/[engine.fib_build], [engine.edits]) and spans
+    [engine.fib_reuse]/[engine.fib_build], [engine.edits], and the disk
+    hits [engine.state_disk], [engine.spf_disk], [engine.dv_disk],
+    [engine.bgp_disk]) and spans
     ([engine.build], [engine.domains], [engine.bgp]). When the telemetry
     self-check period is positive ([CONFMASK_SELFCHECK], [--selfcheck]),
     every Nth {!apply_edit} additionally shadows the incremental result
@@ -36,25 +49,46 @@ module Smap = Device.Smap
 
 type t
 
+val cache_version : string
+(** Version tag of the engine's persistent-cache entry format. Bumped
+    whenever a marshaled type or a fingerprint definition changes, which
+    invalidates every existing cache directory wholesale (see
+    {!Netcore.Diskcache.open_dir}). *)
+
+val open_cache : string -> Netcore.Diskcache.t
+(** [open_cache dir] opens (creating if needed) a persistent simulation
+    cache at [dir], versioned with {!cache_version}. The handle is meant
+    to be passed to {!of_configs}; a corrupted or version-mismatched
+    directory is treated as empty, never trusted. *)
+
 val of_configs :
   ?incremental:bool ->
   ?pool:Netcore.Pool.t ->
+  ?cache:Netcore.Diskcache.t ->
   Configlang.Ast.config list ->
   (t, string) result
 (** Compile and simulate from scratch. [incremental:false] disables all
     cache reuse in subsequent {!apply_edit} calls — every edit then costs
     a full re-simulation, which is the pre-engine cost model used as the
-    benchmark baseline. Default [true]. *)
+    benchmark baseline; the persistent [cache] is ignored too, for the
+    same reason. Default [true].
+
+    [cache] plugs in a persistent cross-process cache (see {!open_cache}):
+    matching SPF / DV / BGP / whole-state entries are restored instead of
+    recomputed, and missing ones are stored after computation. The engine
+    result is bit-identical with and without it. *)
 
 val of_configs_exn :
   ?incremental:bool ->
   ?pool:Netcore.Pool.t ->
+  ?cache:Netcore.Diskcache.t ->
   Configlang.Ast.config list ->
   t
 
 val apply_edit : t -> Configlang.Ast.config list -> (t, string) result
 (** [apply_edit t configs] re-simulates under the (full) edited config
-    list, reusing every cache the edit does not invalidate. *)
+    list, reusing every cache the edit does not invalidate. A persistent
+    cache passed at {!of_configs} time is carried along. *)
 
 val apply_edit_exn : t -> Configlang.Ast.config list -> t
 
@@ -67,3 +101,6 @@ val network : t -> Device.network
 val fibs : t -> Fib.t Smap.t
 
 val is_incremental : t -> bool
+
+val cache : t -> Netcore.Diskcache.t option
+(** The persistent cache this engine reads and writes, if any. *)

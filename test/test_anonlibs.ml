@@ -16,8 +16,27 @@ let test_degree_anon_basic () =
     degrees targets
 
 let test_degree_anon_small_input () =
-  let targets = Graphanon.Degree_anon.anonymize_sequence ~k:5 [ 4; 2; 1 ] in
-  check Alcotest.(list int) "single group at max" [ 4; 4; 4 ] targets
+  (* 3 degrees can never be 5-anonymous; silently returning one group of
+     3 used to hide the broken guarantee from callers. *)
+  Alcotest.check_raises "rejected"
+    (Invalid_argument
+       "Degree_anon.anonymize_sequence: 3 degrees cannot be 5-anonymous")
+    (fun () ->
+      ignore (Graphanon.Degree_anon.anonymize_sequence ~k:5 [ 4; 2; 1 ]))
+
+let test_degree_anon_exactly_k () =
+  (* n = k is the smallest feasible input: one group at the maximum. *)
+  let targets = Graphanon.Degree_anon.anonymize_sequence ~k:3 [ 4; 2; 1 ] in
+  check Alcotest.(list int) "single group at max" [ 4; 4; 4 ] targets;
+  check Alcotest.bool "k-anonymous" true
+    (Graphanon.Degree_anon.is_k_anonymous ~k:3 targets)
+
+let test_degree_anon_k_plus_one () =
+  (* n = k + 1 still admits only one group (two groups would need 2k). *)
+  let targets = Graphanon.Degree_anon.anonymize_sequence ~k:3 [ 5; 4; 2; 1 ] in
+  check Alcotest.(list int) "single group at max" [ 5; 5; 5; 5 ] targets;
+  check Alcotest.bool "k-anonymous" true
+    (Graphanon.Degree_anon.is_k_anonymous ~k:3 targets)
 
 let test_degree_anon_already_anonymous () =
   let degrees = [ 3; 3; 3; 2; 2; 2 ] in
@@ -40,10 +59,16 @@ let prop_degree_anon =
     ~count:300
     QCheck2.Gen.(pair (int_range 1 6) (list_size (int_range 1 40) (int_bound 20)))
     (fun (k, degrees) ->
-      let targets = Graphanon.Degree_anon.anonymize_sequence ~k degrees in
-      List.length targets = List.length degrees
-      && List.for_all2 (fun o t -> t >= o) degrees targets
-      && (List.length degrees < k || Graphanon.Degree_anon.is_k_anonymous ~k targets))
+      if List.length degrees < k then
+        (* Infeasible inputs must be rejected, never silently under-grouped. *)
+        match Graphanon.Degree_anon.anonymize_sequence ~k degrees with
+        | _ -> false
+        | exception Invalid_argument _ -> true
+      else
+        let targets = Graphanon.Degree_anon.anonymize_sequence ~k degrees in
+        List.length targets = List.length degrees
+        && List.for_all2 (fun o t -> t >= o) degrees targets
+        && Graphanon.Degree_anon.is_k_anonymous ~k targets)
 
 (* -------------------- Realize -------------------- *)
 
@@ -438,6 +463,8 @@ let () =
         [
           Alcotest.test_case "basic" `Quick test_degree_anon_basic;
           Alcotest.test_case "input smaller than k" `Quick test_degree_anon_small_input;
+          Alcotest.test_case "input exactly k" `Quick test_degree_anon_exactly_k;
+          Alcotest.test_case "input of k+1" `Quick test_degree_anon_k_plus_one;
           Alcotest.test_case "already anonymous" `Quick test_degree_anon_already_anonymous;
           Alcotest.test_case "order preserved" `Quick test_degree_anon_order_preserved;
         ] );

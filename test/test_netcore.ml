@@ -97,8 +97,31 @@ let test_alloc_exhaustion () =
   let a = Prefix.alloc_create ~base ~avoid:[] () in
   let _ = Prefix.alloc_fresh a ~len:31 in
   let _ = Prefix.alloc_fresh a ~len:31 in
-  Alcotest.check_raises "exhausted" (Failure "Prefix.alloc_fresh: pool exhausted")
-    (fun () -> ignore (Prefix.alloc_fresh a ~len:31))
+  match Prefix.alloc_fresh a ~len:31 with
+  | p -> Alcotest.failf "expected exhaustion, got %s" (Prefix.to_string p)
+  | exception Prefix.Pool_exhausted e ->
+      check Alcotest.string "pool" "10.0.0.0/30" (Prefix.to_string e.pool);
+      check Alcotest.int "requested length" 31 e.requested_len;
+      check Alcotest.int "cursor at pool end" (Prefix.size base) e.cursor;
+      (* The diagnostic must render without an installed handler. *)
+      check Alcotest.bool "printable" true
+        (let s = Printexc.to_string (Prefix.Pool_exhausted e) in
+         String.length s > 0 && s.[0] = 'P')
+
+let test_alloc_exhaustion_probe_bound () =
+  (* An [avoid] range covering the whole pool: the cursor jumps over it
+     in one step, so exhaustion is detected in O(1) probes — not by
+     stepping through all 16k /30 slots of the /16. *)
+  let base = pfx "10.0.0.0/16" in
+  let a = Prefix.alloc_create ~base ~avoid:[ pfx "10.0.0.0/16" ] () in
+  match Prefix.alloc_fresh a ~len:30 with
+  | p -> Alcotest.failf "expected exhaustion, got %s" (Prefix.to_string p)
+  | exception Prefix.Pool_exhausted e ->
+      check Alcotest.int "one probe" 1 e.probes;
+      check Alcotest.bool "requested too large is a different error" true
+        (match Prefix.alloc_fresh a ~len:8 with
+        | _ -> false
+        | exception Invalid_argument _ -> true)
 
 let test_alloc_probe_bound () =
   (* A large avoided range in front of the pool: the cursor must jump past
@@ -121,6 +144,98 @@ let test_alloc_probe_bound () =
   let p_big = Prefix.alloc_fresh a ~len:24 in
   check Alcotest.bool "fresh /24 avoids all" false
     (List.exists (Prefix.overlaps p_big) (avoid @ List.tl (Prefix.alloc_used a)))
+
+(* -------------------- Diskcache -------------------- *)
+
+let temp_dir () =
+  let f = Filename.temp_file "confmask-diskcache" "" in
+  Sys.remove f;
+  Sys.mkdir f 0o700;
+  f
+
+let entry_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".v")
+  |> List.map (Filename.concat dir)
+
+let test_diskcache_roundtrip () =
+  let dir = temp_dir () in
+  let c = Diskcache.open_dir ~version:"t1" dir in
+  check Alcotest.(option string) "miss on empty" None (Diskcache.find c "k1");
+  Diskcache.add c ~key:"k1" "payload-one";
+  Diskcache.add c ~key:"k2" (String.make 4096 '\x00');
+  check Alcotest.(option string) "hit" (Some "payload-one")
+    (Diskcache.find c "k1");
+  check Alcotest.(option string) "binary payload survives"
+    (Some (String.make 4096 '\x00'))
+    (Diskcache.find c "k2");
+  check Alcotest.int "entries" 2 (Diskcache.entries c);
+  (* A second handle on the same directory sees the same entries: the
+     cross-process reuse the cache exists for. *)
+  let c2 = Diskcache.open_dir ~version:"t1" dir in
+  check Alcotest.(option string) "hit after reopen" (Some "payload-one")
+    (Diskcache.find c2 "k1")
+
+let test_diskcache_counters () =
+  let was = Telemetry.enabled () in
+  Telemetry.set_enabled true;
+  Fun.protect ~finally:(fun () -> Telemetry.set_enabled was) @@ fun () ->
+  let hit = Telemetry.counter "diskcache.hit"
+  and miss = Telemetry.counter "diskcache.miss"
+  and write = Telemetry.counter "diskcache.write" in
+  let h0 = Telemetry.value hit
+  and m0 = Telemetry.value miss
+  and w0 = Telemetry.value write in
+  let c = Diskcache.open_dir ~version:"t1" (temp_dir ()) in
+  ignore (Diskcache.find c "absent");
+  Diskcache.add c ~key:"k" "v";
+  ignore (Diskcache.find c "k");
+  check Alcotest.int "one hit" (h0 + 1) (Telemetry.value hit);
+  check Alcotest.int "one miss" (m0 + 1) (Telemetry.value miss);
+  check Alcotest.int "one write" (w0 + 1) (Telemetry.value write)
+
+let test_diskcache_corrupted_entry () =
+  let dir = temp_dir () in
+  let c = Diskcache.open_dir ~version:"t1" dir in
+  Diskcache.add c ~key:"k1" "payload";
+  List.iter
+    (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "not a marshaled entry";
+      close_out oc)
+    (entry_files dir);
+  check Alcotest.(option string) "corrupted entry is a miss" None
+    (Diskcache.find c "k1");
+  (* Still writable and readable after the corruption was detected. *)
+  Diskcache.add c ~key:"k1" "payload";
+  check Alcotest.(option string) "overwritten" (Some "payload")
+    (Diskcache.find c "k1")
+
+let test_diskcache_version_mismatch () =
+  let dir = temp_dir () in
+  let c = Diskcache.open_dir ~version:"t1" dir in
+  Diskcache.add c ~key:"k1" "payload";
+  (* A version bump invalidates the directory wholesale. *)
+  let c2 = Diskcache.open_dir ~version:"t2" dir in
+  check Alcotest.(option string) "old entries gone" None
+    (Diskcache.find c2 "k1");
+  check Alcotest.int "wiped on disk" 0 (List.length (entry_files dir));
+  Diskcache.add c2 ~key:"k1" "fresh";
+  check Alcotest.(option string) "new version usable" (Some "fresh")
+    (Diskcache.find c2 "k1")
+
+let test_diskcache_corrupted_index () =
+  let dir = temp_dir () in
+  let c = Diskcache.open_dir ~version:"t1" dir in
+  Diskcache.add c ~key:"k1" "payload";
+  let oc = open_out_bin (Filename.concat dir "INDEX") in
+  output_string oc "garbage\x00index";
+  close_out oc;
+  (* An unrecognizable index means the directory cannot be trusted:
+     reopen treats it as empty rather than serving stale entries. *)
+  let c2 = Diskcache.open_dir ~version:"t1" dir in
+  check Alcotest.(option string) "not trusted" None (Diskcache.find c2 "k1");
+  check Alcotest.int "entries dropped" 0 (Diskcache.entries c2)
 
 (* -------------------- Rng -------------------- *)
 
@@ -367,7 +482,20 @@ let () =
           Alcotest.test_case "host /32" `Quick test_prefix_32;
           Alcotest.test_case "allocator avoids collisions" `Quick test_alloc_avoids;
           Alcotest.test_case "allocator exhaustion" `Quick test_alloc_exhaustion;
+          Alcotest.test_case "allocator exhaustion probe bound" `Quick
+            test_alloc_exhaustion_probe_bound;
           Alcotest.test_case "allocator probe bound" `Quick test_alloc_probe_bound;
+        ] );
+      ( "diskcache",
+        [
+          Alcotest.test_case "roundtrip and reopen" `Quick test_diskcache_roundtrip;
+          Alcotest.test_case "telemetry counters" `Quick test_diskcache_counters;
+          Alcotest.test_case "corrupted entry is a miss" `Quick
+            test_diskcache_corrupted_entry;
+          Alcotest.test_case "version mismatch wipes" `Quick
+            test_diskcache_version_mismatch;
+          Alcotest.test_case "corrupted index distrusted" `Quick
+            test_diskcache_corrupted_index;
         ] );
       ( "rng",
         [

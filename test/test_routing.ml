@@ -953,10 +953,62 @@ let test_pool_exception () =
 
 (* ---------------- engine: incremental == from-scratch ---------------- *)
 
-(* Drive the incremental engine through a random edit sequence — deny
-   filters (the fixpoints' edit), their rollback, and structural
-   interface additions (fake hosts' edit) — asserting after every step
-   that its FIBs equal a from-scratch [Simulate.run]. *)
+(* One step of the random edit walk the engine tests drive: deny filters
+   (the fixpoints' edit), their rollback, and structural interface
+   additions (fake hosts' edit). Returns the edited config list; may
+   return the input unchanged when no edit point exists. *)
+let random_edit ~rng ~denies ~structurals (net : Device.network) configs =
+  let hps = List.map fst (Simulate.host_prefixes net) in
+  let adj_routers =
+    List.filter (fun (_, adjs) -> adjs <> []) (Device.Smap.bindings net.adjs)
+  in
+  let kind =
+    let k = Netcore.Rng.int rng 10 in
+    if k < 6 then `Deny
+    else if k < 8 then if !denies = [] then `Deny else `Undeny
+    else if !structurals >= 2 then `Deny
+    else `Structural
+  in
+  match kind with
+  | `Deny -> (
+      match (adj_routers, hps) with
+      | [], _ | _, [] -> configs
+      | _ -> (
+          let r, adjs = Netcore.Rng.pick rng adj_routers in
+          let a = Netcore.Rng.pick rng adjs in
+          let hp = Netcore.Rng.pick rng hps in
+          match Confmask.Attach.point net r a.Device.a_to with
+          | None -> configs
+          | Some at ->
+              denies := (r, at, hp) :: !denies;
+              Confmask.Edits.update configs r (fun c ->
+                  Confmask.Attach.deny_at c at hp)))
+  | `Undeny ->
+      let ((r, at, hp) as d) = Netcore.Rng.pick rng !denies in
+      denies := List.filter (fun x -> x <> d) !denies;
+      Confmask.Edits.update configs r (fun c ->
+          Confmask.Attach.undeny_at c at hp)
+  | `Structural ->
+      incr structurals;
+      let routers = List.map fst (Device.Smap.bindings net.routers) in
+      let r = Netcore.Rng.pick rng routers in
+      let alloc =
+        Netcore.Prefix.alloc_create
+          ~avoid:(Confmask.Edits.used_prefixes configs)
+          ()
+      in
+      let subnet = Netcore.Prefix.alloc_fresh alloc ~len:24 in
+      let addr = Netcore.Prefix.host subnet 1 in
+      Confmask.Edits.update configs r (fun c ->
+          let name = Confmask.Edits.fresh_iface_name c in
+          let c =
+            Confmask.Edits.add_interface c ~name ~addr ~plen:24
+              ~desc:"prop-test" ()
+          in
+          Confmask.Edits.add_igp_network c subnet)
+
+(* Drive the incremental engine through the random edit walk, asserting
+   after every step that its FIBs equal a from-scratch [Simulate.run]. *)
 let engine_equiv_case ~seed (entry : Netgen.Nets.entry) () =
   let rng = Netcore.Rng.create seed in
   let configs = ref (Netgen.Nets.configs entry) in
@@ -971,58 +1023,8 @@ let engine_equiv_case ~seed (entry : Netgen.Nets.entry) () =
   in
   agree 0;
   for step = 1 to 8 do
-    let net = Engine.network !eng in
-    let hps = List.map fst (Simulate.host_prefixes net) in
-    let adj_routers =
-      List.filter (fun (_, adjs) -> adjs <> []) (Device.Smap.bindings net.adjs)
-    in
-    let kind =
-      let k = Netcore.Rng.int rng 10 in
-      if k < 6 then `Deny
-      else if k < 8 then if !denies = [] then `Deny else `Undeny
-      else if !structurals >= 2 then `Deny
-      else `Structural
-    in
-    (match kind with
-    | `Deny -> (
-        match (adj_routers, hps) with
-        | [], _ | _, [] -> ()
-        | _ -> (
-            let r, adjs = Netcore.Rng.pick rng adj_routers in
-            let a = Netcore.Rng.pick rng adjs in
-            let hp = Netcore.Rng.pick rng hps in
-            match Confmask.Attach.point net r a.Device.a_to with
-            | None -> ()
-            | Some at ->
-                configs :=
-                  Confmask.Edits.update !configs r (fun c ->
-                      Confmask.Attach.deny_at c at hp);
-                denies := (r, at, hp) :: !denies))
-    | `Undeny ->
-        let ((r, at, hp) as d) = Netcore.Rng.pick rng !denies in
-        configs :=
-          Confmask.Edits.update !configs r (fun c ->
-              Confmask.Attach.undeny_at c at hp);
-        denies := List.filter (fun x -> x <> d) !denies
-    | `Structural ->
-        incr structurals;
-        let routers = List.map fst (Device.Smap.bindings net.routers) in
-        let r = Netcore.Rng.pick rng routers in
-        let alloc =
-          Netcore.Prefix.alloc_create
-            ~avoid:(Confmask.Edits.used_prefixes !configs)
-            ()
-        in
-        let subnet = Netcore.Prefix.alloc_fresh alloc ~len:24 in
-        let addr = Netcore.Prefix.host subnet 1 in
-        configs :=
-          Confmask.Edits.update !configs r (fun c ->
-              let name = Confmask.Edits.fresh_iface_name c in
-              let c =
-                Confmask.Edits.add_interface c ~name ~addr ~plen:24
-                  ~desc:"prop-test" ()
-              in
-              Confmask.Edits.add_igp_network c subnet));
+    configs :=
+      random_edit ~rng ~denies ~structurals (Engine.network !eng) !configs;
     eng := Engine.apply_edit_exn !eng !configs;
     agree step
   done
@@ -1051,6 +1053,113 @@ let test_engine_bgp_skip () =
     (Netcore.Telemetry.value compute);
   check Alcotest.bool "FIBs preserved" true
     (Device.Smap.equal ( = ) (Engine.fibs eng) (Engine.fibs eng'))
+
+(* ---------------- engine: persistent disk cache ---------------- *)
+
+let temp_cache_dir () =
+  let f = Filename.temp_file "confmask-engine-cache" "" in
+  Sys.remove f;
+  Sys.mkdir f 0o700;
+  f
+
+(* Record the random edit walk as a list of config states (initial state
+   first), so the exact same workload can be replayed under different
+   cache regimes. *)
+let record_walk ~seed ~steps (entry : Netgen.Nets.entry) =
+  let rng = Netcore.Rng.create seed in
+  let configs = ref (Netgen.Nets.configs entry) in
+  let eng = ref (Engine.of_configs_exn !configs) in
+  let denies = ref [] in
+  let structurals = ref 0 in
+  let states = ref [ !configs ] in
+  for _ = 1 to steps do
+    configs :=
+      random_edit ~rng ~denies ~structurals (Engine.network !eng) !configs;
+    eng := Engine.apply_edit_exn !eng !configs;
+    states := !configs :: !states
+  done;
+  List.rev !states
+
+let replay ?cache states =
+  match states with
+  | [] -> []
+  | first :: rest ->
+      let eng = ref (Engine.of_configs_exn ?cache first) in
+      let fibs = ref [ Engine.fibs !eng ] in
+      List.iter
+        (fun cfgs ->
+          eng := Engine.apply_edit_exn !eng cfgs;
+          fibs := Engine.fibs !eng :: !fibs)
+        rest;
+      List.rev !fibs
+
+let fibs_agree a b =
+  List.length a = List.length b
+  && List.for_all2 (Device.Smap.equal ( = )) a b
+
+let test_engine_disk_cache_warm_equals_cold () =
+  let states = record_walk ~seed:5 ~steps:6 (Netgen.Nets.find "A") in
+  let dir = temp_cache_dir () in
+  let cold = replay states in
+  let warm1 = replay ~cache:(Engine.open_cache dir) states in
+  check Alcotest.bool "populating run equals cold" true (fibs_agree cold warm1);
+  (* A fresh handle on the now-populated directory stands in for a new
+     process reusing the previous one's work. *)
+  Netcore.Telemetry.set_enabled true;
+  Fun.protect ~finally:(fun () -> Netcore.Telemetry.set_enabled false)
+  @@ fun () ->
+  let disk_counters =
+    List.map Netcore.Telemetry.counter
+      [ "engine.state_disk"; "engine.spf_disk"; "engine.dv_disk";
+        "engine.bgp_disk" ]
+  in
+  let disk_hits () =
+    List.fold_left (fun a c -> a + Netcore.Telemetry.value c) 0 disk_counters
+  in
+  let full = Netcore.Telemetry.counter "engine.spf_full" in
+  let h0 = disk_hits () in
+  let f0 = Netcore.Telemetry.value full in
+  let warm2 = replay ~cache:(Engine.open_cache dir) states in
+  check Alcotest.bool "warm run equals cold, bit for bit" true
+    (fibs_agree cold warm2);
+  check Alcotest.bool "warm run restored entries from disk" true
+    (disk_hits () > h0);
+  check Alcotest.int "warm run never ran a full SPF" f0
+    (Netcore.Telemetry.value full)
+
+let test_engine_disk_cache_corruption () =
+  let states = record_walk ~seed:11 ~steps:4 (Netgen.Nets.find "CCNP") in
+  let dir = temp_cache_dir () in
+  let cold = replay states in
+  let _populate = replay ~cache:(Engine.open_cache dir) states in
+  (* Smash every stored entry; a poisoned cache must degrade to cold,
+     never be trusted. *)
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".v" then begin
+        let oc = open_out_bin (Filename.concat dir f) in
+        output_string oc "\x84\x95\xa6not-an-entry";
+        close_out oc
+      end)
+    (Sys.readdir dir);
+  let warm = replay ~cache:(Engine.open_cache dir) states in
+  check Alcotest.bool "corrupted cache degrades to cold, same result" true
+    (fibs_agree cold warm)
+
+let prop_engine_disk_cache =
+  QCheck2.Test.make
+    ~name:"engine: warm disk-cache run = cold run, bit for bit" ~count:8
+    QCheck2.Gen.(
+      pair (int_bound 1000)
+        (int_bound (List.length (Netgen.Nets.small ()) - 1)))
+    (fun (seed, idx) ->
+      let entry = List.nth (Netgen.Nets.small ()) idx in
+      let states = record_walk ~seed ~steps:4 entry in
+      let dir = temp_cache_dir () in
+      let cold = replay states in
+      let warm1 = replay ~cache:(Engine.open_cache dir) states in
+      let warm2 = replay ~cache:(Engine.open_cache dir) states in
+      fibs_agree cold warm1 && fibs_agree cold warm2)
 
 let engine_suite =
   List.concat_map
@@ -1134,6 +1243,13 @@ let () =
         ] );
       ( "engine",
         engine_suite
-        @ [ Alcotest.test_case "no-op edit skips BGP" `Quick test_engine_bgp_skip ] );
-      ("properties", qsuite);
+        @ [
+            Alcotest.test_case "no-op edit skips BGP" `Quick test_engine_bgp_skip;
+            Alcotest.test_case "disk cache: warm equals cold" `Quick
+              test_engine_disk_cache_warm_equals_cold;
+            Alcotest.test_case "disk cache: corruption degrades to cold" `Quick
+              test_engine_disk_cache_corruption;
+          ] );
+      ( "properties",
+        qsuite @ [ QCheck_alcotest.to_alcotest prop_engine_disk_cache ] );
     ]
