@@ -11,7 +11,9 @@ test:
 # Fast end-to-end smoke: the small-network slice of every experiment,
 # then one self-checked anonymization run that must show engine cache
 # reuse in its telemetry (pool counters are 0 on single-core runners,
-# so the grep checks engine counters only).
+# so the grep checks engine counters only). The compiled.reuse grep
+# proves the compiled-network cache is live: filter-only edits must
+# reuse the compiled core instead of rebuilding it.
 bench-smoke:
 	dune exec bench/main.exe -- --fast --only table2 --only fig5 --only fig6
 	rm -rf /tmp/confmask-smoke && mkdir -p /tmp/confmask-smoke
@@ -20,6 +22,7 @@ bench-smoke:
 	  --out /tmp/confmask-smoke/anon --selfcheck --metrics-out /tmp/confmask-smoke/metrics.json
 	grep -Eq '"engine\.spf_reuse": *[1-9]' /tmp/confmask-smoke/metrics.json
 	grep -Eq '"engine\.fib_reuse": *[1-9]' /tmp/confmask-smoke/metrics.json
+	grep -Eq '"compiled\.reuse": *[1-9]' /tmp/confmask-smoke/metrics.json
 
 # Batch driver + persistent cache smoke: run a tiny grid with a job
 # limit (leaving one job pending), resume it to completion with warm

@@ -17,6 +17,60 @@ let fail fmt = Printf.ksprintf (fun m -> Fail m) fmt
 
 (* -------------------- differential FIB -------------------- *)
 
+let traces_equal a b =
+  Hashtbl.length a = Hashtbl.length b
+  && Hashtbl.fold
+       (fun k (t : Routing.Dataplane.trace) acc ->
+         acc && Hashtbl.find_opt b k = Some t)
+       a true
+
+(* Compare the compiled kernels (interned CSR Dijkstra, LPM trie,
+   table-driven traceroute) against the legacy map-based ones on one
+   config list: whole-simulation FIBs, per-router trie-vs-probe lookups
+   on every host address, and the full data plane, which must agree
+   trace-for-trace. [compiled] short-circuits the compiled-side
+   simulation when the caller already ran one. *)
+let kernel_divergence ?compiled configs =
+  let compiled_snap =
+    match compiled with
+    | Some s when Routing.Compiled.use_compiled () -> s
+    | _ ->
+        Routing.Compiled.with_kernels `Compiled (fun () ->
+            Routing.Simulate.run_exn configs)
+  in
+  let legacy_snap =
+    Routing.Compiled.with_kernels `Legacy (fun () ->
+        Routing.Simulate.run_exn configs)
+  in
+  if not (fibs_equal compiled_snap.fibs legacy_snap.fibs) then Some "FIBs"
+  else
+    let addrs =
+      Smap.fold
+        (fun _ (h : Routing.Device.host) acc -> h.h_addr :: acc)
+        compiled_snap.net.hosts []
+    in
+    let lpm_diverges =
+      Smap.exists
+        (fun _ fib ->
+          let lpm = Routing.Fib.compile fib in
+          List.exists
+            (fun a -> Routing.Fib.lookup fib a <> Routing.Fib.lookup_lpm lpm a)
+            addrs)
+        compiled_snap.fibs
+    in
+    if lpm_diverges then Some "LPM lookups"
+    else
+      let dp_compiled =
+        Routing.Compiled.with_kernels `Compiled (fun () ->
+            Routing.Simulate.dataplane compiled_snap)
+      in
+      let dp_legacy =
+        Routing.Compiled.with_kernels `Legacy (fun () ->
+            Routing.Simulate.dataplane legacy_snap)
+      in
+      if not (traces_equal dp_compiled dp_legacy) then Some "data-plane traces"
+      else None
+
 let diff_fib_check ~seed spec =
   let configs0 = Netgen.Emit.emit spec in
   (* Single- vs multi-domain pool: parallelism must not change results. *)
@@ -31,6 +85,10 @@ let diff_fib_check ~seed spec =
     if not (fibs_equal (Routing.Engine.fibs !eng) par.fibs) then
       Fail "engine initial build diverges from from-scratch simulation"
     else begin
+      match kernel_divergence ~compiled:par configs0 with
+      | Some what ->
+          fail "legacy vs compiled kernels diverge on %s (initial build)" what
+      | None ->
       (* Edit walk covering every edit family the anonymization pipeline
          issues — deny filters and their rollback (the fixpoints),
          interface additions (fake hosts and fake links), and link-cost
@@ -120,6 +178,14 @@ let diff_fib_check ~seed spec =
         let fresh = Routing.Simulate.run_exn !configs in
         if not (fibs_equal (Routing.Engine.fibs !eng) fresh.fibs) then
           verdict := fail "incremental engine diverges from scratch after edit %d" !step
+        else begin
+          match kernel_divergence ~compiled:fresh !configs with
+          | Some what ->
+              verdict :=
+                fail "legacy vs compiled kernels diverge on %s after edit %d"
+                  what !step
+          | None -> ()
+        end
       done;
       !verdict
     end
@@ -128,7 +194,9 @@ let diff_fib_check ~seed spec =
 let diff_fib =
   {
     name = "diff_fib";
-    doc = "engine vs from-scratch vs pool-parallel FIBs, with an edit walk";
+    doc =
+      "engine vs from-scratch vs pool-parallel vs legacy-kernel FIBs and \
+       traces, with an edit walk";
     check = diff_fib_check;
   }
 

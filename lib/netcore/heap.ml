@@ -1,0 +1,72 @@
+(* Entries are (priority, value) int pairs stored structure-of-arrays so
+   the sift loops touch unboxed int arrays only. *)
+type t = {
+  mutable prio : int array;
+  mutable value : int array;
+  mutable len : int;
+}
+
+let create ?(capacity = 16) () =
+  let capacity = max capacity 1 in
+  { prio = Array.make capacity 0; value = Array.make capacity 0; len = 0 }
+
+let is_empty t = t.len = 0
+let size t = t.len
+let clear t = t.len <- 0
+
+let grow t =
+  let cap = 2 * Array.length t.prio in
+  let prio = Array.make cap 0 and value = Array.make cap 0 in
+  Array.blit t.prio 0 prio 0 t.len;
+  Array.blit t.value 0 value 0 t.len;
+  t.prio <- prio;
+  t.value <- value
+
+let push t ~prio v =
+  if t.len = Array.length t.prio then grow t;
+  (* Sift the new entry up from the freshly opened slot. *)
+  let i = ref t.len in
+  t.len <- t.len + 1;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if t.prio.(parent) <= prio then continue := false
+    else begin
+      t.prio.(!i) <- t.prio.(parent);
+      t.value.(!i) <- t.value.(parent);
+      i := parent
+    end
+  done;
+  t.prio.(!i) <- prio;
+  t.value.(!i) <- v
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let prio = t.prio.(0) and value = t.value.(0) in
+    let last = t.len - 1 in
+    t.len <- last;
+    if last > 0 then begin
+      (* Sift the former last entry down from the root. *)
+      let p = t.prio.(last) and v = t.value.(last) in
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 in
+        if l >= last then continue := false
+        else begin
+          let r = l + 1 in
+          let c = if r < last && t.prio.(r) < t.prio.(l) then r else l in
+          if t.prio.(c) >= p then continue := false
+          else begin
+            t.prio.(!i) <- t.prio.(c);
+            t.value.(!i) <- t.value.(c);
+            i := c
+          end
+        end
+      done;
+      t.prio.(!i) <- p;
+      t.value.(!i) <- v
+    end;
+    Some (prio, value)
+  end

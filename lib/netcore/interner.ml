@@ -1,0 +1,39 @@
+type t = {
+  mutable names : string array;
+  mutable len : int;
+  ids : (string, int) Hashtbl.t;
+}
+
+let create ?(capacity = 64) () =
+  let capacity = max capacity 1 in
+  { names = Array.make capacity ""; len = 0; ids = Hashtbl.create capacity }
+
+let length t = t.len
+
+let intern t s =
+  match Hashtbl.find_opt t.ids s with
+  | Some id -> id
+  | None ->
+      let id = t.len in
+      if id = Array.length t.names then begin
+        let grown = Array.make (2 * id) "" in
+        Array.blit t.names 0 grown 0 id;
+        t.names <- grown
+      end;
+      t.names.(id) <- s;
+      t.len <- id + 1;
+      Hashtbl.add t.ids s id;
+      id
+
+let find t s = Hashtbl.find_opt t.ids s
+let find_exn t s = Hashtbl.find t.ids s
+
+let name t id =
+  if id < 0 || id >= t.len then
+    invalid_arg (Printf.sprintf "Interner.name: id %d out of range" id);
+  t.names.(id)
+
+let iter t f =
+  for id = 0 to t.len - 1 do
+    f id t.names.(id)
+  done

@@ -1,0 +1,33 @@
+(** Dense integer ids for strings.
+
+    Ids are assigned in insertion order starting at 0, so a given
+    insertion sequence always produces the same id assignment — outputs
+    derived from interned ids stay bit-identical across runs. Both
+    directions are O(1): [intern]/[find] hash once, [name] is an array
+    index.
+
+    Interning is not thread-safe; build the table fully before sharing
+    it. Concurrent {e reads} ([find], [name], [length]) of a fully built
+    table are safe. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val intern : t -> string -> int
+(** The id of the string, assigning the next dense id on first sight. *)
+
+val find : t -> string -> int option
+(** The id of an already-interned string. *)
+
+val find_exn : t -> string -> int
+(** @raise Not_found when the string was never interned. *)
+
+val name : t -> int -> string
+(** The string of an id. @raise Invalid_argument on an out-of-range id. *)
+
+val length : t -> int
+(** Number of interned strings; valid ids are [0 .. length - 1]. *)
+
+val iter : t -> (int -> string -> unit) -> unit
+(** [iter t f] applies [f id name] in ascending id (= insertion) order. *)

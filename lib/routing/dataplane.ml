@@ -18,8 +18,83 @@ let acl_permits acl ~src ~dst =
   | None -> true
   | Some a -> Configlang.Ast.acl_permits a ~src ~dst
 
-let traceroute ?(max_paths = max_paths_default) (net : Device.network) fibs ~src
-    ~dst =
+(* The per-hop lookups a walk runs on. Two implementations with
+   identical first-match semantics: [legacy_lookups] hashes the network
+   on the spot (replacing the per-hop list scans the walk used to do),
+   [compiled_lookups] reuses the tables of a [Compiled.t] and answers
+   route lookups from per-router LPM tries. *)
+type lookups = {
+  lk_iface : string -> string -> Device.iface option;
+      (* router -> out-interface name -> interface *)
+  lk_arrival : string -> string -> string -> Device.iface option;
+      (* router -> out-interface name -> next hop -> its arrival iface *)
+  lk_route : string -> Netcore.Ipv4.t -> Fib.route option;
+      (* router -> destination address -> FIB longest-prefix match *)
+}
+
+let add_if_absent tbl key v =
+  if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key v
+
+let legacy_lookups (net : Device.network) fibs =
+  let ifaces = Hashtbl.create 256 in
+  Smap.iter
+    (fun name (r : Device.router) ->
+      List.iter
+        (fun (i : Device.iface) -> add_if_absent ifaces (name, i.ifc_name) i)
+        r.r_ifaces)
+    net.routers;
+  let arrivals = Hashtbl.create 256 in
+  Smap.iter
+    (fun name adjs ->
+      List.iter
+        (fun (a : Device.adj) ->
+          add_if_absent arrivals
+            (name, a.a_out_iface.ifc_name, a.a_to)
+            a.a_in_iface)
+        adjs)
+    net.adjs;
+  {
+    lk_iface = (fun r n -> Hashtbl.find_opt ifaces (r, n));
+    lk_arrival = (fun r o nh -> Hashtbl.find_opt arrivals (r, o, nh));
+    lk_route =
+      (fun r addr ->
+        match Smap.find_opt r fibs with
+        | None -> None
+        | Some fib -> Fib.lookup fib addr);
+  }
+
+let compiled_lookups c fibs =
+  let fib_tbl = Hashtbl.create 256 in
+  Smap.iter (fun name fib -> Hashtbl.replace fib_tbl name fib) fibs;
+  (* One trie per router, compiled on first lookup and shared by every
+     later packet of this extraction. *)
+  let lpms = Hashtbl.create 256 in
+  let lk_route r addr =
+    match Hashtbl.find_opt fib_tbl r with
+    | None -> None
+    | Some fib ->
+        let lpm =
+          match Hashtbl.find_opt lpms r with
+          | Some l -> l
+          | None ->
+              let l = Fib.compile fib in
+              Hashtbl.add lpms r l;
+              l
+        in
+        Fib.lookup_lpm lpm addr
+  in
+  {
+    lk_iface = Compiled.find_iface c;
+    lk_arrival = Compiled.arrival_iface c;
+    lk_route;
+  }
+
+(* The walk itself, identical on both lookup implementations: a DFS over
+   the ECMP branching in next-hop list order, so truncation at
+   [max_paths] cuts the same paths either way. [lk] is lazy so the
+   same-subnet short-circuit never pays for table construction. *)
+let trace_core ?(max_paths = max_paths_default) (lk : lookups Lazy.t)
+    (net : Device.network) ~src ~dst =
   let src_host =
     match Smap.find_opt src net.hosts with
     | Some h -> h
@@ -32,81 +107,9 @@ let traceroute ?(max_paths = max_paths_default) (net : Device.network) fibs ~src
   in
   let src_addr = src_host.h_addr and dst_addr = dst_host.h_addr in
   let permits acl = acl_permits acl ~src:src_addr ~dst:dst_addr in
-  let dst_attachments =
-    Option.value ~default:[] (Smap.find_opt dst net.attachments)
-  in
-  let dst_routers = List.map fst dst_attachments in
-  let delivered = ref [] and dropped = ref [] and filtered = ref [] in
-  let looped = ref [] in
-  let count = ref 0 in
-  let truncated = ref false in
-  let find_iface router name =
-    match Smap.find_opt router net.routers with
-    | None -> None
-    | Some r ->
-        List.find_opt (fun i -> String.equal i.Device.ifc_name name) r.r_ifaces
-  in
-  (* The interface the packet enters [a.a_to] on, when [a.a_from] forwards
-     out of interface [out_name]. *)
-  let arrival_iface router out_name nh_router =
-    match Smap.find_opt router net.adjs with
-    | None -> None
-    | Some adjs ->
-        List.find_opt
-          (fun (a : Device.adj) ->
-            String.equal a.a_to nh_router
-            && String.equal a.a_out_iface.ifc_name out_name)
-          adjs
-        |> Option.map (fun (a : Device.adj) -> a.a_in_iface)
-  in
-  (* DFS over the ECMP branching; [rev] accumulates routers in reverse.
-     [arrival] is the interface the packet arrived on at [router]. *)
-  let rec walk router arrival visited rev =
-    if !count >= max_paths then truncated := true
-    else if
-      not
-        (permits (Option.bind arrival (fun i -> i.Device.ifc_acl_in)))
-    then filtered := (src :: List.rev (router :: rev)) :: !filtered
-    else if List.mem router dst_routers then begin
-      (* Delivery: the outbound filter of the host-facing interface. *)
-      let out_acl =
-        List.assoc_opt router dst_attachments
-        |> fun o -> Option.bind o (fun i -> i.Device.ifc_acl_out)
-      in
-      if permits out_acl then begin
-        incr count;
-        delivered := ((src :: List.rev (router :: rev)) @ [ dst ]) :: !delivered
-      end
-      else filtered := (src :: List.rev (router :: rev)) :: !filtered
-    end
-    else if Sset.mem router visited then
-      looped := (src :: List.rev (router :: rev)) :: !looped
-    else
-      let visited = Sset.add router visited in
-      let rev = router :: rev in
-      match Smap.find_opt router fibs with
-      | None -> dropped := (src :: List.rev rev) :: !dropped
-      | Some fib -> (
-          match Fib.lookup fib dst_addr with
-          | None -> dropped := (src :: List.rev rev) :: !dropped
-          | Some route when route.rt_nexthops = [] ->
-              (* Connected route but the destination host is not attached
-                 here: the address does not answer. *)
-              dropped := (src :: List.rev rev) :: !dropped
-          | Some route ->
-              List.iter
-                (fun (nh : Fib.nexthop) ->
-                  match find_iface router nh.nh_iface with
-                  | Some out_iface when not (permits out_iface.ifc_acl_out) ->
-                      filtered := (src :: List.rev rev) :: !filtered
-                  | out ->
-                      ignore out;
-                      walk nh.nh_router
-                        (arrival_iface router nh.nh_iface nh.nh_router)
-                        visited rev)
-                route.rt_nexthops)
-  in
-  if Netcore.Prefix.equal (Device.host_prefix src_host) (Device.host_prefix dst_host)
+  if
+    Netcore.Prefix.equal (Device.host_prefix src_host)
+      (Device.host_prefix dst_host)
   then
     {
       delivered = [ [ src; dst ] ];
@@ -116,6 +119,59 @@ let traceroute ?(max_paths = max_paths_default) (net : Device.network) fibs ~src
       truncated = false;
     }
   else begin
+    let lk = Lazy.force lk in
+    let dst_attachments =
+      Option.value ~default:[] (Smap.find_opt dst net.attachments)
+    in
+    let dst_routers = List.map fst dst_attachments in
+    let delivered = ref [] and dropped = ref [] and filtered = ref [] in
+    let looped = ref [] in
+    let count = ref 0 in
+    let truncated = ref false in
+    (* DFS over the ECMP branching; [rev] accumulates routers in reverse.
+       [arrival] is the interface the packet arrived on at [router]. *)
+    let rec walk router arrival visited rev =
+      if !count >= max_paths then truncated := true
+      else if
+        not (permits (Option.bind arrival (fun i -> i.Device.ifc_acl_in)))
+      then filtered := (src :: List.rev (router :: rev)) :: !filtered
+      else if List.mem router dst_routers then begin
+        (* Delivery: the outbound filter of the host-facing interface. *)
+        let out_acl =
+          List.assoc_opt router dst_attachments
+          |> fun o -> Option.bind o (fun i -> i.Device.ifc_acl_out)
+        in
+        if permits out_acl then begin
+          incr count;
+          delivered :=
+            ((src :: List.rev (router :: rev)) @ [ dst ]) :: !delivered
+        end
+        else filtered := (src :: List.rev (router :: rev)) :: !filtered
+      end
+      else if Sset.mem router visited then
+        looped := (src :: List.rev (router :: rev)) :: !looped
+      else
+        let visited = Sset.add router visited in
+        let rev = router :: rev in
+        match lk.lk_route router dst_addr with
+        | None -> dropped := (src :: List.rev rev) :: !dropped
+        | Some route when route.rt_nexthops = [] ->
+            (* Connected route but the destination host is not attached
+               here: the address does not answer. *)
+            dropped := (src :: List.rev rev) :: !dropped
+        | Some route ->
+            List.iter
+              (fun (nh : Fib.nexthop) ->
+                match lk.lk_iface router nh.nh_iface with
+                | Some out_iface when not (permits out_iface.ifc_acl_out) ->
+                    filtered := (src :: List.rev rev) :: !filtered
+                | out ->
+                    ignore out;
+                    walk nh.nh_router
+                      (lk.lk_arrival router nh.nh_iface nh.nh_router)
+                      visited rev)
+              route.rt_nexthops
+    in
     let start_attachments =
       Option.value ~default:[] (Smap.find_opt src net.attachments)
     in
@@ -131,9 +187,18 @@ let traceroute ?(max_paths = max_paths_default) (net : Device.network) fibs ~src
     }
   end
 
+let traceroute ?max_paths (net : Device.network) fibs ~src ~dst =
+  trace_core ?max_paths (lazy (legacy_lookups net fibs)) net ~src ~dst
+
 type t = (string * string, trace) Hashtbl.t
 
-let extract ?max_paths (net : Device.network) fibs =
+let extract ?max_paths ?compiled (net : Device.network) fibs =
+  let lk =
+    match compiled with
+    | Some c when Compiled.use_compiled () ->
+        lazy (compiled_lookups c fibs)
+    | _ -> lazy (legacy_lookups net fibs)
+  in
   let hosts = List.map fst (Smap.bindings net.hosts) in
   let dp = Hashtbl.create (List.length hosts * List.length hosts) in
   List.iter
@@ -141,7 +206,8 @@ let extract ?max_paths (net : Device.network) fibs =
       List.iter
         (fun dst ->
           if not (String.equal src dst) then
-            Hashtbl.replace dp (src, dst) (traceroute ?max_paths net fibs ~src ~dst))
+            Hashtbl.replace dp (src, dst)
+              (trace_core ?max_paths lk net ~src ~dst))
         hosts)
     hosts;
   dp

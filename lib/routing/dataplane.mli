@@ -31,13 +31,21 @@ val traceroute :
   trace
 (** All forwarding paths from host [src] to host [dst], for packets with
     the hosts' addresses. Raises [Invalid_argument] if either host is
-    unknown. *)
+    unknown. Builds its per-router interface/adjacency index once per
+    call; callers tracing many pairs should use {!extract}, which shares
+    the index (and, given [?compiled], the compiled tables and
+    per-router LPM tries) across all pairs. *)
 
 type t = (string * string, trace) Hashtbl.t
 (** The full data plane, keyed by (source host, destination host). *)
 
-val extract : ?max_paths:int -> Device.network -> Fib.t Smap.t -> t
-(** Traces for every ordered pair of distinct hosts. *)
+val extract :
+  ?max_paths:int -> ?compiled:Compiled.t -> Device.network -> Fib.t Smap.t -> t
+(** Traces for every ordered pair of distinct hosts. When [compiled] is
+    given and the compiled kernels are enabled
+    ({!Compiled.use_compiled}), hops run on the precompiled
+    interface/arrival tables and per-router LPM tries; traces are
+    identical either way. *)
 
 val paths : t -> src:string -> dst:string -> path list
 

@@ -127,6 +127,7 @@ type t = {
   cache : Diskcache.t option;
   configs : Ast.config list;
   net : Device.network;
+  compiled : Compiled.t;  (* reused across topology-preserving edits *)
   fps : string Smap.t;  (* full fingerprint per router *)
   doms : dom_cache Dmap.t;
   cands : Fib.route list Smap.t;  (* per-router non-BGP candidates *)
@@ -135,9 +136,10 @@ type t = {
   fibs : Fib.t Smap.t;
 }
 
-let snapshot t = { Simulate.net = t.net; fibs = t.fibs }
+let snapshot t = { Simulate.net = t.net; fibs = t.fibs; compiled = t.compiled }
 let configs t = t.configs
 let network t = t.net
+let compiled t = t.compiled
 let fibs t = t.fibs
 let is_incremental t = t.incremental
 let cache t = t.cache
@@ -310,6 +312,13 @@ let build ?(incremental = true) ?pool ?cache ?prev configs =
          benchmark baseline; letting it hit the disk would corrupt that
          baseline, so the cache is ignored along with [prev]. *)
       let cache = if incremental then cache else None in
+      (* The compiled form depends on interface-level topology only, so
+         the filter edits the fixpoints issue reuse it wholesale; it is
+         never persisted (cheap to rebuild, and full of closures-free but
+         large hash tables the structural caches don't need). *)
+      let compiled =
+        Compiled.get ?prev:(Option.map (fun p -> p.compiled) prev) net
+      in
       let fps = Smap.map full_fp net.routers in
       let restored =
         (* Whole-state restore is only sound (and only worth storing) for
@@ -329,6 +338,7 @@ let build ?(incremental = true) ?pool ?cache ?prev configs =
               cache;
               configs;
               net;
+              compiled;
               fps;
               doms = ps.ps_doms;
               cands = ps.ps_cands;
@@ -478,7 +488,21 @@ let build ?(incremental = true) ?pool ?cache ?prev configs =
               ps_fibs = fibs;
             }
       | Some _ -> ());
-      Ok { incremental; pool; cache; configs; net; fps; doms; cands; base; bgp; fibs }
+      Ok
+        {
+          incremental;
+          pool;
+          cache;
+          configs;
+          net;
+          compiled;
+          fps;
+          doms;
+          cands;
+          base;
+          bgp;
+          fibs;
+        }
 
 let of_configs ?(incremental = true) ?pool ?cache configs =
   build ~incremental ?pool ?cache configs

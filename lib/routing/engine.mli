@@ -98,6 +98,12 @@ val configs : t -> Configlang.Ast.config list
 
 val network : t -> Device.network
 
+val compiled : t -> Compiled.t
+(** The network's compiled form (interned ids, CSR adjacency, interface
+    tables). Cached alongside the fingerprints: {!apply_edit} reuses it
+    whenever the edit preserves interface-level topology — observable as
+    [compiled.reuse] vs [compiled.build] telemetry. *)
+
 val fibs : t -> Fib.t Smap.t
 
 val is_incremental : t -> bool

@@ -39,7 +39,18 @@ val find : t -> Prefix.t -> route option
 (** Exact-prefix lookup. *)
 
 val lookup : t -> Ipv4.t -> route option
-(** Longest-prefix-match lookup. *)
+(** Longest-prefix-match lookup by direct probing: one map probe per
+    prefix length, 33 in the worst case. *)
+
+type lpm
+(** A FIB compiled into a path-compressed binary trie: one root-to-leaf
+    walk per lookup. Purely an acceleration structure — [t] itself is
+    unchanged (it is marshaled and compared structurally elsewhere). *)
+
+val compile : t -> lpm
+
+val lookup_lpm : lpm -> Ipv4.t -> route option
+(** Same result as {!lookup} on the FIB the trie was compiled from. *)
 
 val routes : t -> route list
 (** All routes, sorted by prefix. *)

@@ -67,6 +67,81 @@ let distances_to ~rev seeds =
   in
   loop Smap.empty pq
 
+(* ---- compiled Dijkstra kernel ----
+
+   The scoped subgraph re-expressed on dense int ids: vertices are the
+   keys of an [ospf_adjs] map (every scoped OSPF router — adjacency
+   targets are always keys too, since [ospf_adjs] only keeps an edge
+   when its peer is a scoped OSPF router), edges a CSR built once per
+   [prepare] and shared by every per-prefix Dijkstra, including the
+   parallel ones: after construction the interner and CSR are only ever
+   read. *)
+
+let scoped_interner adjs =
+  let it = Interner.create ~capacity:(Smap.cardinal adjs + 1) () in
+  Smap.iter (fun name _ -> ignore (Interner.intern it name)) adjs;
+  it
+
+let scoped_csr ~rev it adjs =
+  let edges =
+    Smap.fold
+      (fun name outs acc ->
+        let u = Interner.intern it name in
+        List.fold_left
+          (fun acc (a : Device.adj) ->
+            let v = Interner.intern it a.a_to in
+            let c = a.a_out_iface.ifc_cost in
+            (if rev then (v, u, c) else (u, v, c)) :: acc)
+          acc outs)
+      adjs []
+  in
+  Compiled.Csr.of_edges ~n:(Interner.length it) edges
+
+(* Fold a distance array back into the canonical [Smap] the callers (and
+   the disk-cached [state] type) expect — same keys, same values as the
+   legacy [distances_to], whatever order either side visited them in. *)
+let distances_of_array it dist =
+  let out = ref Smap.empty in
+  for i = 0 to Interner.length it - 1 do
+    if dist.(i) < max_int then out := Smap.add (Interner.name it i) dist.(i) !out
+  done;
+  !out
+
+(* Compiled replacement for [distances_to]. A seed outside the scoped
+   graph has no incident edges, so its distance is its least seed cost —
+   exactly what the legacy queue produces for it. *)
+let distances_csr it csr seeds =
+  let ids, extras =
+    List.partition_map
+      (fun (r, c) ->
+        match Interner.find it r with
+        | Some v -> Either.Left (v, c)
+        | None -> Either.Right (r, c))
+      seeds
+  in
+  let out = distances_of_array it (Compiled.Csr.dijkstra csr ~seeds:ids) in
+  List.fold_left
+    (fun out (r, c) ->
+      Smap.update r
+        (function Some d -> Some (min d c) | None -> Some c)
+        out)
+    out extras
+
+(* The per-seed-set distance function of one prepared scope: compiled
+   (interner + reverse CSR, array Dijkstra) or legacy (reverse index,
+   pairing heap), selected by the global kernel switch. *)
+let distances_fn adjs =
+  if Compiled.use_compiled () then begin
+    let it = scoped_interner adjs in
+    let rcsr = scoped_csr ~rev:true it adjs in
+    fun seeds ->
+      Telemetry.incr c_dijkstras;
+      distances_csr it rcsr seeds
+  end
+  else
+    let rev = reverse_index adjs in
+    fun seeds -> distances_to ~rev seeds
+
 let advertised_prefixes ?(scope = all) (net : Device.network) =
   Smap.fold
     (fun name (r : Device.router) acc ->
@@ -99,12 +174,12 @@ type state = {
 let prepare ?(scope = all) ?pool (net : Device.network) =
   Telemetry.with_span "ospf.prepare" @@ fun () ->
   let adjs = ospf_adjs ~scope net in
-  let rev = reverse_index adjs in
+  let distances = distances_fn adjs in
   let prefixes = advertised_prefixes ~scope net in
   (* One reverse Dijkstra per advertised prefix, embarrassingly parallel. *)
   let dists =
     Pool.parallel_map ?pool
-      (fun (p, seeds) -> (p, (seeds, distances_to ~rev seeds)))
+      (fun (p, seeds) -> (p, (seeds, distances seeds)))
       (Prefix.Map.bindings prefixes)
   in
   {
@@ -127,7 +202,6 @@ let prepare_update ?(scope = all) ?pool ~(prev : state) (net : Device.network) =
   let adjs = ospf_adjs ~scope net in
   if not (Smap.equal ( = ) adjs prev.st_adjs) then None
   else
-    let rev = reverse_index adjs in
     let prefixes = advertised_prefixes ~scope net in
     let fresh =
       Prefix.Map.fold
@@ -143,9 +217,15 @@ let prepare_update ?(scope = all) ?pool ~(prev : state) (net : Device.network) =
         prev.st_dists []
     in
     let recomputed =
-      Pool.parallel_map ?pool
-        (fun (p, seeds) -> (p, (seeds, distances_to ~rev seeds)))
-        fresh
+      match fresh with
+      | [] -> []
+      | _ ->
+          (* The scoped graph is only compiled when something actually
+             needs a new Dijkstra. *)
+          let distances = distances_fn adjs in
+          Pool.parallel_map ?pool
+            (fun (p, seeds) -> (p, (seeds, distances seeds)))
+            fresh
     in
     let dists =
       List.fold_left
@@ -331,6 +411,11 @@ let compute ?(scope = all) ?pool (net : Device.network) =
 let min_cost ?(scope = all) (net : Device.network) u =
   (* Distance from [u] to each router v: Dijkstra on forward adjacencies. *)
   let adjs = ospf_adjs ~scope net in
+  if Compiled.use_compiled () then
+    let it = scoped_interner adjs in
+    let fcsr = scoped_csr ~rev:false it adjs in
+    distances_csr it fcsr [ (u, 0) ]
+  else
   let rec loop dist pq =
     match Pqueue.pop pq with
     | None -> dist

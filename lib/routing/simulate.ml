@@ -5,6 +5,7 @@ module Imap = Map.Make (Int)
 type snapshot = {
   net : Device.network;
   fibs : Fib.t Smap.t;
+  compiled : Compiled.t;
 }
 
 (* A static route is usable when its next hop lies on one of the router's
@@ -169,12 +170,13 @@ let run_net ?pool (net : Device.network) =
 let run ?pool configs =
   match Device.compile configs with
   | Error _ as e -> e
-  | Ok net -> Ok { net; fibs = run_net ?pool net }
+  | Ok net -> Ok { net; fibs = run_net ?pool net; compiled = Compiled.build net }
 
 let run_exn ?pool configs =
   match run ?pool configs with Ok s -> s | Error m -> failwith m
 
-let dataplane ?max_paths s = Dataplane.extract ?max_paths s.net s.fibs
+let dataplane ?max_paths s =
+  Dataplane.extract ?max_paths ~compiled:s.compiled s.net s.fibs
 
 let host_prefixes (net : Device.network) =
   Smap.fold

@@ -16,6 +16,8 @@ module Smap = Device.Smap
 type snapshot = {
   net : Device.network;
   fibs : Fib.t Smap.t;
+  compiled : Compiled.t;
+      (** the network's compiled form, shared with data-plane extraction *)
 }
 
 val run :

@@ -418,6 +418,38 @@ let test_pearson () =
   check Alcotest.bool "constant is nan" true
     (Float.is_nan (Gmetrics.pearson [ (1.0, 1.0); (2.0, 1.0) ]))
 
+(* -------------------- interner & heap -------------------- *)
+
+let test_interner_basic () =
+  let it = Interner.create ~capacity:1 () in
+  check Alcotest.int "first id" 0 (Interner.intern it "a");
+  check Alcotest.int "second id" 1 (Interner.intern it "b");
+  check Alcotest.int "repeat keeps id" 0 (Interner.intern it "a");
+  check Alcotest.int "length" 2 (Interner.length it);
+  check Alcotest.(option int) "find" (Some 1) (Interner.find it "b");
+  check Alcotest.(option int) "find missing" None (Interner.find it "c");
+  check Alcotest.string "name" "b" (Interner.name it 1);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Interner.name: id 2 out of range") (fun () ->
+      ignore (Interner.name it 2))
+
+let test_heap_basic () =
+  let h = Heap.create ~capacity:1 () in
+  check Alcotest.bool "starts empty" true (Heap.is_empty h);
+  List.iter
+    (fun (p, v) -> Heap.push h ~prio:p v)
+    [ (5, 50); (1, 10); (3, 30); (1, 11) ];
+  check Alcotest.int "size" 4 (Heap.size h);
+  (match (Heap.pop h, Heap.pop h) with
+  | Some (1, _), Some (1, _) -> ()
+  | _ -> Alcotest.fail "minimum-priority entries must pop first");
+  check Alcotest.(option (pair int int)) "third" (Some (3, 30)) (Heap.pop h);
+  check Alcotest.(option (pair int int)) "fourth" (Some (5, 50)) (Heap.pop h);
+  check Alcotest.(option (pair int int)) "drained" None (Heap.pop h);
+  Heap.push h ~prio:2 20;
+  Heap.clear h;
+  check Alcotest.bool "clear empties" true (Heap.is_empty h)
+
 (* -------------------- qcheck properties -------------------- *)
 
 let prefix_gen =
@@ -458,9 +490,64 @@ let prop_clustering_range =
       let cc = Gmetrics.clustering_coefficient (Graph.of_edges edges) in
       cc >= 0.0 && cc <= 1.0)
 
+let prop_interner_bijection =
+  (* Ids are dense, assigned by first occurrence, and invert exactly:
+     the same insertion sequence always yields the same table. *)
+  QCheck2.Test.make ~name:"interner bijection and insertion-order ids"
+    ~count:300
+    QCheck2.Gen.(small_list (string_size (int_bound 6)))
+    (fun names ->
+      let it = Interner.create () in
+      let ids = List.map (Interner.intern it) names in
+      let firsts =
+        List.fold_left
+          (fun acc n -> if List.mem n acc then acc else acc @ [ n ])
+          [] names
+      in
+      Interner.length it = List.length firsts
+      && List.for_all2
+           (fun n id ->
+             Interner.name it id = n && Interner.find it n = Some id)
+           names ids
+      && List.for_all2
+           (fun n id -> Interner.find_exn it n = id)
+           firsts
+           (List.init (List.length firsts) Fun.id))
+
+let prop_heap_pqueue_agree =
+  (* The mutable heap drains in the same priority order as the
+     persistent pairing-heap facade and preserves the pushed multiset. *)
+  QCheck2.Test.make ~name:"heap pops sorted, agreeing with Pqueue" ~count:300
+    QCheck2.Gen.(small_list (pair (int_bound 1000) (int_bound 1000)))
+    (fun entries ->
+      let h = Heap.create () in
+      List.iter (fun (p, v) -> Heap.push h ~prio:p v) entries;
+      let rec drain acc =
+        match Heap.pop h with
+        | None -> List.rev acc
+        | Some pv -> drain (pv :: acc)
+      in
+      let popped = drain [] in
+      let prios = List.map fst popped in
+      List.sort compare popped = List.sort compare entries
+      && prios = List.sort compare prios
+      &&
+      let pq =
+        List.fold_left
+          (fun pq (p, v) -> Pqueue.insert p v pq)
+          Pqueue.empty entries
+      in
+      let rec pdrain acc pq =
+        match Pqueue.pop pq with
+        | None -> List.rev acc
+        | Some (p, _, pq) -> pdrain (p :: acc) pq
+      in
+      pdrain [] pq = prios)
+
 let qsuite = List.map QCheck_alcotest.to_alcotest
     [ prop_prefix_roundtrip; prop_prefix_mem_network; prop_shuffle_preserves;
-      prop_graph_degree_sum; prop_clustering_range ]
+      prop_graph_degree_sum; prop_clustering_range;
+      prop_interner_bijection; prop_heap_pqueue_agree ]
 
 let () =
   Alcotest.run "netcore"
@@ -496,6 +583,11 @@ let () =
             test_diskcache_version_mismatch;
           Alcotest.test_case "corrupted index distrusted" `Quick
             test_diskcache_corrupted_index;
+        ] );
+      ( "compiled-core",
+        [
+          Alcotest.test_case "interner basics" `Quick test_interner_basic;
+          Alcotest.test_case "heap basics" `Quick test_heap_basic;
         ] );
       ( "rng",
         [

@@ -882,9 +882,125 @@ let prop_all_pairs_routable =
             hosts)
         hosts)
 
+(* A 32-bit address with live high bits (int_bound alone never sets them). *)
+let addr_gen =
+  QCheck2.Gen.(
+    map2 (fun hi lo -> (hi lsl 16) lxor lo) (int_bound 0xFFFF) (int_bound 0xFFFF))
+
+let prop_lpm_equiv =
+  (* The compiled trie must answer exactly like the 33-probe map lookup,
+     including on prefix network addresses (match boundaries) and the
+     empty-FIB / default-route corners small_list covers. *)
+  QCheck2.Test.make ~name:"LPM trie = 33-probe lookup" ~count:300
+    QCheck2.Gen.(
+      pair (small_list (pair addr_gen (int_bound 32))) (small_list addr_gen))
+    (fun (pres, addrs) ->
+      let fib =
+        List.fold_left
+          (fun fib (a, len) ->
+            let p = Netcore.Prefix.v (Netcore.Ipv4.of_int a) len in
+            Fib.add_candidate
+              {
+                Fib.rt_prefix = p;
+                rt_proto = Fib.Ospf;
+                rt_metric = len;
+                rt_nexthops =
+                  [ { Fib.nh_router = Netcore.Prefix.to_string p; nh_iface = "e0" } ];
+              }
+              fib)
+          Fib.empty pres
+      in
+      let lpm = Fib.compile fib in
+      let probes =
+        List.map (fun a -> Netcore.Ipv4.of_int a) addrs
+        @ List.concat_map
+            (fun (a, len) ->
+              let p = Netcore.Prefix.v (Netcore.Ipv4.of_int a) len in
+              [ Netcore.Ipv4.of_int a; Netcore.Prefix.network p ])
+            pres
+      in
+      List.for_all (fun a -> Fib.lookup fib a = Fib.lookup_lpm lpm a) probes)
+
+let prop_csr_dijkstra_equiv =
+  (* The array Dijkstra on an interned CSR graph must produce the same
+     distance map as the legacy persistent-queue Dijkstra over string
+     maps, on arbitrary weighted digraphs and multi-source seeds. *)
+  QCheck2.Test.make ~name:"compiled Dijkstra = Smap Dijkstra" ~count:300
+    QCheck2.Gen.(
+      pair
+        (small_list (pair (pair (int_bound 15) (int_bound 15)) (int_range 1 20)))
+        (small_list (pair (int_bound 15) (int_bound 10))))
+    (fun (edges, seeds) ->
+      let name i = "r" ^ string_of_int i in
+      let adj =
+        List.fold_left
+          (fun m ((u, v), c) ->
+            Device.Smap.update (name u)
+              (function
+                | None -> Some [ (name v, c) ] | Some l -> Some ((name v, c) :: l))
+              m)
+          Device.Smap.empty edges
+      in
+      let reference =
+        let rec loop dist pq =
+          match Netcore.Pqueue.pop pq with
+          | None -> dist
+          | Some (d, v, pq) ->
+              if Device.Smap.mem v dist then loop dist pq
+              else
+                let dist = Device.Smap.add v d dist in
+                let pq =
+                  List.fold_left
+                    (fun pq (u, c) ->
+                      if Device.Smap.mem u dist then pq
+                      else Netcore.Pqueue.insert (d + c) u pq)
+                    pq
+                    (Option.value ~default:[] (Device.Smap.find_opt v adj))
+                in
+                loop dist pq
+        in
+        loop Device.Smap.empty
+          (List.fold_left
+             (fun pq (s, c) -> Netcore.Pqueue.insert c (name s) pq)
+             Netcore.Pqueue.empty seeds)
+      in
+      let it = Netcore.Interner.create () in
+      let id i = Netcore.Interner.intern it (name i) in
+      let iedges = List.map (fun ((u, v), c) -> (id u, id v, c)) edges in
+      let iseeds = List.map (fun (s, c) -> (id s, c)) seeds in
+      let csr = Compiled.Csr.of_edges ~n:(Netcore.Interner.length it) iedges in
+      let dist = Compiled.Csr.dijkstra csr ~seeds:iseeds in
+      let from_array = ref Device.Smap.empty in
+      Netcore.Interner.iter it (fun i n ->
+          if dist.(i) < max_int then
+            from_array := Device.Smap.add n dist.(i) !from_array);
+      Device.Smap.equal Int.equal reference !from_array)
+
+let prop_kernels_equiv =
+  QCheck2.Test.make ~name:"legacy and compiled kernels agree end to end"
+    ~count:20 gen_wan (fun spec ->
+      let configs = Netgen.Emit.emit spec in
+      let sc = Compiled.with_kernels `Compiled (fun () -> Simulate.run_exn configs) in
+      let sl = Compiled.with_kernels `Legacy (fun () -> Simulate.run_exn configs) in
+      Device.Smap.equal ( = ) sc.fibs sl.fibs
+      &&
+      let dc = Compiled.with_kernels `Compiled (fun () -> Simulate.dataplane sc) in
+      let dl = Compiled.with_kernels `Legacy (fun () -> Simulate.dataplane sl) in
+      Hashtbl.length dc = Hashtbl.length dl
+      && Hashtbl.fold
+           (fun k (t : Dataplane.trace) acc ->
+             acc && Hashtbl.find_opt dl k = Some t)
+           dc true)
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_metric_decreases; prop_all_pairs_routable ]
+    [
+      prop_metric_decreases;
+      prop_all_pairs_routable;
+      prop_lpm_equiv;
+      prop_csr_dijkstra_equiv;
+      prop_kernels_equiv;
+    ]
 
 (* ---------------- worker pool ---------------- *)
 
