@@ -23,6 +23,11 @@ bench-smoke:
 	grep -Eq '"engine\.spf_reuse": *[1-9]' /tmp/confmask-smoke/metrics.json
 	grep -Eq '"engine\.fib_reuse": *[1-9]' /tmp/confmask-smoke/metrics.json
 	grep -Eq '"compiled\.reuse": *[1-9]' /tmp/confmask-smoke/metrics.json
+	# Scale slice (F, H, FatTree16 under --fast): the FEC collapse must
+	# actually collapse — at least one network with a nonzero
+	# fec_collapsed in BENCH_PR6.json — and finish inside the timeout.
+	timeout 600 dune exec bench/main.exe -- --fast --only scale --jobs 4 --repeat 1
+	grep -Eq '"fec_collapsed": *[1-9]' BENCH_PR6.json
 
 # Batch driver + persistent cache smoke: run a tiny grid with a job
 # limit (leaving one job pending), resume it to completion with warm

@@ -6,6 +6,7 @@
      dune exec bench/main.exe -- --only fig5  -- run one experiment
      dune exec bench/main.exe -- --fast       -- small networks only
      dune exec bench/main.exe -- --jobs 4     -- size of the worker pool
+     dune exec bench/main.exe -- --repeat 5   -- timing samples per point
      dune exec bench/main.exe -- --list       -- list experiment ids
 
    Absolute numbers differ from the paper (our substrate is a native
@@ -13,8 +14,21 @@
    shapes being checked are stated in each header. *)
 
 let fast = ref false
+let repeat = ref 3
 
 let ids () = if !fast then Runs.fast_ids else Runs.all_ids
+
+(* Sub-millisecond measurements are dominated by scheduler and GC noise:
+   the timing experiments take the median of [!repeat] samples, with each
+   sample's [Gc.minor_words] delta recorded per iteration rather than
+   once around the whole batch (which rounded small nets down to 0). *)
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else if n mod 2 = 1 then a.(n / 2)
+  else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
 
 let header title expectation =
   Printf.printf "\n==================================================================\n";
@@ -668,25 +682,25 @@ let kernels () =
     "legacy" "compiled" "speedup" "minor-Mw(l)" "minor-Mw(c)" "major(l/c)";
   let measure mode configs =
     Routing.Compiled.with_kernels mode (fun () ->
-        (* Best of three: wall clock is noisy, the GC deltas of the
-           fastest run are the least perturbed by compaction timing. *)
-        let best = ref infinity and minor = ref infinity and major = ref 0 in
-        for _ = 1 to 3 do
-          Gc.full_major ();
-          let g0 = Gc.quick_stat () in
-          let t0 = Unix.gettimeofday () in
-          let snap = Routing.Simulate.run_exn configs in
-          let dp = Routing.Simulate.dataplane snap in
-          ignore (Sys.opaque_identity dp);
-          let dt = Unix.gettimeofday () -. t0 in
-          let g1 = Gc.quick_stat () in
-          if dt < !best then begin
-            best := dt;
-            minor := g1.minor_words -. g0.minor_words;
-            major := g1.major_collections - g0.major_collections
-          end
-        done;
-        (!best, !minor, !major))
+        (* Median of [!repeat] samples; each sample gets its own GC delta
+           so even sub-millisecond nets report nonzero minor words. *)
+        let samples =
+          List.init (max 1 !repeat) (fun _ ->
+              Gc.full_major ();
+              let g0 = Gc.quick_stat () in
+              let t0 = Unix.gettimeofday () in
+              let snap = Routing.Simulate.run_exn configs in
+              let dp = Routing.Simulate.dataplane snap in
+              ignore (Sys.opaque_identity dp);
+              let dt = Unix.gettimeofday () -. t0 in
+              let g1 = Gc.quick_stat () in
+              ( dt,
+                g1.minor_words -. g0.minor_words,
+                g1.major_collections - g0.major_collections ))
+        in
+        ( median (List.map (fun (d, _, _) -> d) samples),
+          median (List.map (fun (_, m, _) -> m) samples),
+          List.fold_left (fun a (_, _, c) -> max a c) 0 samples ))
   in
   let rows =
     List.map
@@ -725,6 +739,120 @@ let kernels () =
   Printf.fprintf out "  ]\n}\n";
   close_out out;
   Printf.printf "[wrote BENCH_PR5.json]\n"
+
+(* ---------------- Scale: 10x-size nets, FEC + batched SPF ------------- *)
+
+let scale_bench () =
+  header
+    "Scale: cold full simulation + data-plane extraction, FEC collapse + \
+     batched SPF selection on (default) vs off (the PR 5 per-pair / \
+     per-router path, CONFMASK_FEC=off)"
+    "the collapsed pipeline holds >= 3x on the largest Table 2 nets (F, H) \
+     and completes the 10x presets (FatTree16, Waxman500/1000) that the \
+     per-pair path cannot touch interactively. Results land in \
+     BENCH_PR6.json.";
+  let entries =
+    [ Netgen.Nets.find "F"; Netgen.Nets.find "H" ]
+    @ (if !fast then [ Netgen.Nets.find "FT16" ] else Netgen.Nets.scale ())
+  in
+  let measure mode configs =
+    Routing.Fec.with_mode mode (fun () ->
+        let samples =
+          List.init (max 1 !repeat) (fun _ ->
+              Gc.full_major ();
+              let c0 = Netcore.Telemetry.counters () in
+              let g0 = Gc.quick_stat () in
+              let t0 = Unix.gettimeofday () in
+              let snap = Routing.Simulate.run_exn configs in
+              let dp = Routing.Simulate.dataplane snap in
+              ignore (Sys.opaque_identity dp);
+              let dt = Unix.gettimeofday () -. t0 in
+              let g1 = Gc.quick_stat () in
+              let stats =
+                Runs.counter_delta c0 (Netcore.Telemetry.counters ())
+              in
+              (dt, g1.minor_words -. g0.minor_words, stats))
+        in
+        let stats = (fun (_, _, s) -> s) (List.hd samples) in
+        ( median (List.map (fun (d, _, _) -> d) samples),
+          median (List.map (fun (_, m, _) -> m) samples),
+          stats ))
+  in
+  Printf.printf "%-5s %-11s %5s %5s %11s %11s %8s %8s %10s %8s\n" "ID"
+    "Network" "|R|" "|H|" "full" "fec" "speedup" "classes" "collapsed"
+    "traced";
+  let rows =
+    List.map
+      (fun (e : Netgen.Nets.entry) ->
+        let configs = Netgen.Nets.configs e in
+        let g = Netgen.Netspec.router_graph e.spec in
+        let routers = Netcore.Graph.num_nodes g in
+        let hosts = List.length e.spec.Netgen.Netspec.hosts in
+        let seq_s, seq_mw, _ = measure `Off configs in
+        let par_s, par_mw, stats = measure `On configs in
+        let classes = Runs.stat stats "fec.classes" in
+        let collapsed = Runs.stat stats "fec.collapsed" in
+        let traced = Runs.stat stats "fec.traced" in
+        Printf.printf
+          "%-5s %-11s %5d %5d %10.3fs %10.3fs %7.1fx %8d %10d %8d\n%!" e.id
+          e.label routers hosts seq_s par_s (seq_s /. par_s) classes collapsed
+          traced;
+        ( e.id, e.label, routers, hosts, seq_s, par_s, seq_mw, par_mw, classes,
+          collapsed, traced ))
+      entries
+  in
+  (* The acceptance gate of ROADMAP open item 2: the fig5-9 pipeline must
+     complete on the 10x fat-tree, not just a single simulation. One full
+     ConfMask run (k_R = 6, k_H = 2) plus the fig5 anonymity metric stands
+     in for the figure loop; [--fast] skips it. *)
+  let ft16 =
+    if !fast then None
+    else begin
+      Printf.printf "FatTree16 fig5-9 pipeline (k_R = 6, k_H = 2): %!";
+      let r = Runs.get ~k_r:6 ~k_h:2 "FT16" in
+      let n0 = Confmask.Metrics.route_anonymity (Runs.orig_dp r) in
+      let n1 = Confmask.Metrics.route_anonymity (Runs.anon_dp r) in
+      let t1 = Confmask.Metrics.topology_of_snapshot r.anon_snapshot in
+      Printf.printf "%.1fs, N_r %.2f -> %.2f, anon k = %d\n%!" r.seconds
+        n0.nr_avg n1.nr_avg t1.min_degree_group;
+      Some (r.seconds, n0.nr_avg, n1.nr_avg, t1.min_degree_group)
+    end
+  in
+  let out = open_out "BENCH_PR6.json" in
+  Printf.fprintf out
+    "{\n  \"experiment\": \"cold full simulation + data-plane extraction at \
+     10x scale, FEC collapse + batched SPF selection vs the per-pair \
+     baseline (median wall seconds, per-iteration minor words, fec \
+     counters)\",\n\
+    \  \"seed\": %d,\n  \"jobs\": %d,\n  \"repeat\": %d,\n\
+    \  \"networks\": [\n"
+    Runs.seed
+    (Netcore.Pool.jobs (Netcore.Pool.default ()))
+    (max 1 !repeat);
+  List.iteri
+    (fun i
+         ( id, label, routers, hosts, seq_s, par_s, seq_mw, par_mw, classes,
+           collapsed, traced ) ->
+      Printf.fprintf out
+        "    {\"id\": \"%s\", \"label\": \"%s\", \"routers\": %d, \
+         \"hosts\": %d, \"full_seconds\": %.3f, \"fec_seconds\": %.3f, \
+         \"speedup\": %.2f, \"full_minor_words\": %.0f, \
+         \"fec_minor_words\": %.0f, \"fec_classes\": %d, \
+         \"fec_collapsed\": %d, \"fec_traced\": %d}%s\n"
+        (json_escape id) (json_escape label) routers hosts seq_s par_s
+        (seq_s /. par_s) seq_mw par_mw classes collapsed traced
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  (match ft16 with
+  | None -> Printf.fprintf out "  ]\n}\n"
+  | Some (secs, nr0, nr1, k) ->
+      Printf.fprintf out
+        "  ],\n  \"fattree16_fig59\": {\"k_r\": 6, \"k_h\": 2, \
+         \"pipeline_seconds\": %.1f, \"nr_avg_orig\": %.3f, \
+         \"nr_avg_anon\": %.3f, \"anon_min_degree_group\": %d}\n}\n"
+        secs nr0 nr1 k);
+  close_out out;
+  Printf.printf "[wrote BENCH_PR6.json]\n"
 
 (* ---------------- Bechamel microbenchmarks ---------------- *)
 
@@ -806,6 +934,7 @@ let experiments =
     ("timing", timing);
     ("batch", batch_bench);
     ("kernels", kernels);
+    ("scale", scale_bench);
     ("bechamel", bechamel);
   ]
 
@@ -830,6 +959,13 @@ let () =
         | Some n when n >= 1 -> Netcore.Pool.set_default_jobs n
         | _ ->
             Printf.eprintf "--jobs expects a positive integer\n";
+            exit 1);
+        parse rest
+    | "--repeat" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 1 -> repeat := n
+        | _ ->
+            Printf.eprintf "--repeat expects a positive integer\n";
             exit 1);
         parse rest
     | _ :: rest -> parse rest

@@ -69,7 +69,20 @@ let kernel_divergence ?compiled configs =
             Routing.Simulate.dataplane legacy_snap)
       in
       if not (traces_equal dp_compiled dp_legacy) then Some "data-plane traces"
-      else None
+      else
+        (* FEC collapse must be invisible: the collapsed extraction
+           (classify, trace representatives, fan out) and the plain
+           per-pair extraction must agree trace for trace. When the
+           process already runs with CONFMASK_FEC=off both sides take
+           the full path and the check is vacuous. *)
+        let dp_full =
+          Routing.Fec.with_mode `Off (fun () ->
+              Routing.Compiled.with_kernels `Compiled (fun () ->
+                  Routing.Simulate.dataplane compiled_snap))
+        in
+        if not (traces_equal dp_compiled dp_full) then
+          Some "FEC-collapsed vs full extraction"
+        else None
 
 let diff_fib_check ~seed spec =
   let configs0 = Netgen.Emit.emit spec in
@@ -80,7 +93,19 @@ let diff_fib_check ~seed spec =
   let par = Routing.Simulate.run_exn configs0 in
   if not (fibs_equal seq.fibs par.fibs) then
     Fail "sequential and parallel simulation disagree"
-  else begin
+  else
+    (* Sharded SPF selection folds per-worker chunks back in a fixed
+       order; an explicit oversubscribed pool must still be
+       bit-identical to the single-job run. *)
+    let par4 =
+      let pool4 = Pool.create ~jobs:4 () in
+      let s = Routing.Simulate.run_exn ~pool:pool4 configs0 in
+      Pool.shutdown pool4;
+      s
+    in
+    if not (fibs_equal seq.fibs par4.fibs) then
+      Fail "jobs-4 sharded simulation diverges from sequential"
+    else begin
     let eng = ref (Routing.Engine.of_configs_exn configs0) in
     if not (fibs_equal (Routing.Engine.fibs !eng) par.fibs) then
       Fail "engine initial build diverges from from-scratch simulation"
@@ -195,8 +220,9 @@ let diff_fib =
   {
     name = "diff_fib";
     doc =
-      "engine vs from-scratch vs pool-parallel vs legacy-kernel FIBs and \
-       traces, with an edit walk";
+      "engine vs from-scratch vs pool-parallel (jobs 1 and 4) vs \
+       legacy-kernel FIBs and traces, FEC-collapsed vs full extraction, \
+       with an edit walk";
     check = diff_fib_check;
   }
 

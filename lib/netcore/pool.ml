@@ -9,6 +9,18 @@ type job = unit -> unit
 let c_batches = Telemetry.counter "pool.batches"
 let c_tasks = Telemetry.counter "pool.tasks"
 let c_steals = Telemetry.counter "pool.steals"
+let c_nested = Telemetry.counter "pool.nested_seq"
+
+(* Whether the current domain is executing a task of a [map] batch.
+   Tracked per domain so a task can detect that it is already running
+   under the pool and keep its own fan-out sequential instead of
+   flooding the queue it is being served from (the batch driver or a
+   BGP multi-domain simulation already hold the pool). Single-item
+   batches and sequential fallbacks do not mark: they add no
+   parallelism, so fan-out below them is still free to use the pool. *)
+let task_depth = Domain.DLS.new_key (fun () -> ref 0)
+
+let in_worker () = !(Domain.DLS.get task_depth) > 0
 
 type t = {
   jobs : int;
@@ -81,6 +93,12 @@ let map t f xs =
   | [] -> []
   | [ x ] -> [ f x ]
   | _ when t.jobs <= 1 || t.stopped -> List.map f xs
+  | _ when in_worker () ->
+      (* Nested fan-out from inside a pool task: the pool is already
+         busy with the enclosing batch, so run in place. Results are
+         identical either way. *)
+      Telemetry.incr c_nested;
+      List.map f xs
   | _ ->
       let items = Array.of_list xs in
       let n = Array.length items in
@@ -107,10 +125,13 @@ let map t f xs =
           let i = Atomic.fetch_and_add next 1 in
           if i < n then begin
             if stolen then Telemetry.incr c_steals;
+            let depth = Domain.DLS.get task_depth in
+            incr depth;
             (try results.(i) <- Some (f items.(i))
              with e ->
                let bt = Printexc.get_raw_backtrace () in
                ignore (Atomic.compare_and_set error None (Some (e, bt))));
+            decr depth;
             finish_one ();
             go ()
           end
@@ -181,3 +202,43 @@ let default () =
 let parallel_map ?pool f xs =
   let t = match pool with Some t -> t | None -> default () in
   map t f xs
+
+let effective_jobs ?pool () =
+  if in_worker () then 1
+  else match pool with Some t -> t.jobs | None -> jobs (default ())
+
+(* Split [xs] into at most [into] contiguous runs of near-equal length.
+   Concatenating the result always gives back [xs]; the boundaries only
+   affect scheduling, never results. *)
+let chunks ~into xs =
+  let n = List.length xs in
+  if into <= 1 || n <= 1 then [ xs ]
+  else begin
+    let into = min into n in
+    let q = n / into and r = n mod into in
+    let rec take k xs acc =
+      if k = 0 then (List.rev acc, xs)
+      else
+        match xs with
+        | [] -> (List.rev acc, [])
+        | x :: tl -> take (k - 1) tl (x :: acc)
+    in
+    let rec go i xs acc =
+      if i = into then List.rev acc
+      else
+        let size = q + if i < r then 1 else 0 in
+        let c, rest = take size xs [] in
+        go (i + 1) rest (c :: acc)
+    in
+    go 0 xs []
+  end
+
+let chunked_map ?pool f xs =
+  match xs with
+  | [] | [ _ ] -> List.map f xs
+  | _ ->
+      let t = match pool with Some t -> t | None -> default () in
+      (* A few chunks per worker so a straggling chunk does not idle the
+         rest of the pool. *)
+      let into = effective_jobs ~pool:t () * 4 in
+      List.concat (map t (List.map f) (chunks ~into xs))

@@ -38,3 +38,28 @@ val default : unit -> t
 
 val parallel_map : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map] over [pool], defaulting to the shared pool. *)
+
+val in_worker : unit -> bool
+(** Whether the calling domain is currently executing a task of a {!map}
+    batch (including the submitter while it helps with its own batch).
+    Callers about to fan out use this to detect nested parallelism: a
+    [map] issued from inside a pool task runs sequentially in place —
+    the pool is already saturated by the enclosing batch, so queueing
+    more tasks to it would only add scheduling churn. Single-item
+    batches and sequential pools do not count as being in a worker. *)
+
+val effective_jobs : ?pool:t -> unit -> int
+(** The parallelism a fan-out issued here will actually get: 1 when
+    {!in_worker} (nested maps run sequentially), otherwise the job count
+    of [pool] (default: the shared pool). Use it to size work chunks. *)
+
+val chunks : into:int -> 'a list -> 'a list list
+(** Split a list into at most [into] contiguous runs of near-equal
+    length; concatenating them restores the input. [into <= 1] yields a
+    single chunk. *)
+
+val chunked_map : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list
+(** Like {!parallel_map} but batches the items into a few contiguous
+    chunks per worker instead of one task per item — the right shape for
+    many small items (per-prefix Dijkstras, per-pair traces). Equal to
+    [List.map f xs] whatever the chunking. *)

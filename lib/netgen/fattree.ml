@@ -44,3 +44,7 @@ let fattree04 () =
 let fattree08 () =
   make ~pods:8 ~core:8 ~agg_per_pod:4 ~edge_per_pod:4 ~hosts_per_edge:2
     ~core_per_agg:4
+
+let fattree16 () =
+  make ~pods:16 ~core:16 ~agg_per_pod:8 ~edge_per_pod:8 ~hosts_per_edge:2
+    ~core_per_agg:4

@@ -19,3 +19,8 @@ val make :
 
 val fattree04 : unit -> Netspec.t
 val fattree08 : unit -> Netspec.t
+
+val fattree16 : unit -> Netspec.t
+(** Scale-benchmark topology, roughly 10x FatTree-04 by router count:
+    16 pods of 8 + 8 give R = 272, H = 256, E = 1536. Not part of the
+    paper's Table 2; used by the [scale] bench experiment. *)

@@ -35,6 +35,30 @@ let all () =
     { id = "H"; label = "FatTree08"; spec = Fattree.fattree08 (); network_type = "OSPF" };
   ]
 
+(* Scale-benchmark networks, roughly 10x the Table 2 sizes. Kept out of
+   [all ()] so the paper-faithful A-H catalog (and everything keyed to
+   it, like figure pipelines iterating the catalog) is unchanged. *)
+let scale () =
+  [
+    { id = "FT16"; label = "FatTree16"; spec = Fattree.fattree16 (); network_type = "OSPF" };
+    {
+      id = "W500";
+      label = "Waxman500";
+      spec =
+        Wan.waxman ~seed:20260807 ~name:"waxman500" ~routers:500
+          ~router_links:650 ~hosts:96;
+      network_type = "OSPF";
+    };
+    {
+      id = "W1000";
+      label = "Waxman1000";
+      spec =
+        Wan.waxman ~seed:20260808 ~name:"waxman1000" ~routers:1000
+          ~router_links:1300 ~hosts:128;
+      network_type = "OSPF";
+    };
+  ]
+
 let ccnp_entry () =
   { id = "CCNP"; label = "CCNP"; spec = Smallnets.ccnp (); network_type = "BGP+OSPF" }
 
@@ -43,9 +67,18 @@ let find key =
   let matches e =
     String.lowercase_ascii e.id = k || String.lowercase_ascii e.label = k
   in
-  match List.find_opt matches (all () @ [ ccnp_entry () ]) with
-  | Some e -> e
-  | None -> raise Not_found
+  (* Catalogs are generated on demand, cheapest first: building the
+     scale presets means running the 1000-router Waxman generator, far
+     too slow to pay on a lookup for net "A". *)
+  let catalogs = [ all; (fun () -> [ ccnp_entry () ]); scale ] in
+  let rec search = function
+    | [] -> raise Not_found
+    | c :: rest -> (
+        match List.find_opt matches (c ()) with
+        | Some e -> e
+        | None -> search rest)
+  in
+  search catalogs
 
 let configs e = Emit.emit e.spec
 

@@ -10,6 +10,10 @@ type entry = {
 val all : unit -> entry list
 (** A-H in Table 2 order. Deterministic (fixed generator seeds). *)
 
+val scale : unit -> entry list
+(** Scale-benchmark networks (FT16, W500, W1000), roughly 10x the
+    Table 2 sizes. Deterministic; not included in [all]. *)
+
 val find : string -> entry
 (** Lookup by [id] or by [label] (case-insensitive). Raises [Not_found]. *)
 

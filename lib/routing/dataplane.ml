@@ -13,6 +13,10 @@ type trace = {
 
 let max_paths_default = 4096
 
+let c_classes = Netcore.Telemetry.counter "fec.classes"
+let c_collapsed = Netcore.Telemetry.counter "fec.collapsed"
+let c_traced = Netcore.Telemetry.counter "fec.traced"
+
 let acl_permits acl ~src ~dst =
   match acl with
   | None -> true
@@ -89,28 +93,93 @@ let compiled_lookups c fibs =
     lk_route;
   }
 
+(* Compiled interface/arrival tables with direct (un-compiled) FIB
+   probing. The FEC + suffix-memo extraction performs O(routers) route
+   lookups per destination instead of O(pairs × hops), too few to
+   amortize compiling a trie per router; [Fib.lookup] answers the same
+   longest-prefix match from the maps. *)
+(* Probe keys per address, cached: the extractor asks about the same few
+   host addresses thousands of times. *)
+let prefix_probes () =
+  let pfx_cache : (int, Netcore.Prefix.t array) Hashtbl.t = Hashtbl.create 64 in
+  fun addr ->
+    let key = Netcore.Ipv4.to_int addr in
+    match Hashtbl.find_opt pfx_cache key with
+    | Some a -> a
+    | None ->
+        let a = Array.init 33 (Netcore.Prefix.v addr) in
+        Hashtbl.add pfx_cache key a;
+        a
+
+(* Longest-prefix match against one probed FIB: try only the prefix
+   lengths the FIB actually contains (usually two or three), most
+   specific first — same result as [Fib.lookup]'s 33-length sweep. *)
+let probe_lpm pb pa =
+  let rec go = function
+    | [] -> None
+    | l :: tl -> (
+        match Fib.probe_find pb (Array.unsafe_get pa l) with
+        | Some r -> Some r
+        | None -> go tl)
+  in
+  go (Fib.probe_lens pb)
+
+let probe_table fibs =
+  let fib_tbl = Hashtbl.create 256 in
+  Smap.iter (fun name fib -> Hashtbl.replace fib_tbl name (Fib.probe fib)) fibs;
+  fib_tbl
+
+let probe_lookups c fib_tbl =
+  let probes = prefix_probes () in
+  {
+    lk_iface = Compiled.find_iface c;
+    lk_arrival = Compiled.arrival_iface c;
+    lk_route =
+      (fun r addr ->
+        match Hashtbl.find_opt fib_tbl r with
+        | None -> None
+        | Some pb -> probe_lpm pb (probes addr));
+  }
+
+(* Per-host walk inputs, hoisted so an extraction resolves each host's
+   maps once instead of once per pair. [hi_starts] carries the exact
+   sorted order the walk visits attachments in; [hi_datts] keeps the raw
+   attachment order the delivery check scans. *)
+type host_info = {
+  hi_name : string;
+  hi_host : Device.host;
+  hi_prefix : Netcore.Prefix.t;
+  hi_starts : (string * Device.iface) list;
+  hi_datts : (string * Device.iface) list;
+  hi_drouters : string list;
+}
+
+let host_info (net : Device.network) name =
+  match Smap.find_opt name net.hosts with
+  | None -> invalid_arg ("Dataplane.traceroute: unknown host " ^ name)
+  | Some h ->
+      let atts =
+        Option.value ~default:[] (Smap.find_opt name net.attachments)
+      in
+      {
+        hi_name = name;
+        hi_host = h;
+        hi_prefix = Device.host_prefix h;
+        hi_starts = List.sort_uniq compare atts;
+        hi_datts = atts;
+        hi_drouters = List.map fst atts;
+      }
+
 (* The walk itself, identical on both lookup implementations: a DFS over
    the ECMP branching in next-hop list order, so truncation at
    [max_paths] cuts the same paths either way. [lk] is lazy so the
    same-subnet short-circuit never pays for table construction. *)
-let trace_core ?(max_paths = max_paths_default) (lk : lookups Lazy.t)
-    (net : Device.network) ~src ~dst =
-  let src_host =
-    match Smap.find_opt src net.hosts with
-    | Some h -> h
-    | None -> invalid_arg ("Dataplane.traceroute: unknown host " ^ src)
-  in
-  let dst_host =
-    match Smap.find_opt dst net.hosts with
-    | Some h -> h
-    | None -> invalid_arg ("Dataplane.traceroute: unknown host " ^ dst)
-  in
-  let src_addr = src_host.h_addr and dst_addr = dst_host.h_addr in
+let trace_hosts ?(max_paths = max_paths_default) (lk : lookups Lazy.t)
+    ~(si : host_info) ~(di : host_info) =
+  let src = si.hi_name and dst = di.hi_name in
+  let src_addr = si.hi_host.h_addr and dst_addr = di.hi_host.h_addr in
   let permits acl = acl_permits acl ~src:src_addr ~dst:dst_addr in
-  if
-    Netcore.Prefix.equal (Device.host_prefix src_host)
-      (Device.host_prefix dst_host)
-  then
+  if Netcore.Prefix.equal si.hi_prefix di.hi_prefix then
     {
       delivered = [ [ src; dst ] ];
       dropped = [];
@@ -120,10 +189,8 @@ let trace_core ?(max_paths = max_paths_default) (lk : lookups Lazy.t)
     }
   else begin
     let lk = Lazy.force lk in
-    let dst_attachments =
-      Option.value ~default:[] (Smap.find_opt dst net.attachments)
-    in
-    let dst_routers = List.map fst dst_attachments in
+    let dst_attachments = di.hi_datts in
+    let dst_routers = di.hi_drouters in
     let delivered = ref [] and dropped = ref [] and filtered = ref [] in
     let looped = ref [] in
     let count = ref 0 in
@@ -172,12 +239,7 @@ let trace_core ?(max_paths = max_paths_default) (lk : lookups Lazy.t)
                       visited rev)
               route.rt_nexthops
     in
-    let start_attachments =
-      Option.value ~default:[] (Smap.find_opt src net.attachments)
-    in
-    List.iter
-      (fun (r, iface) -> walk r (Some iface) Sset.empty [])
-      (List.sort_uniq compare start_attachments);
+    List.iter (fun (r, iface) -> walk r (Some iface) Sset.empty []) si.hi_starts;
     {
       delivered = List.sort_uniq compare !delivered;
       dropped = List.sort_uniq compare !dropped;
@@ -187,30 +249,525 @@ let trace_core ?(max_paths = max_paths_default) (lk : lookups Lazy.t)
     }
   end
 
+let trace_core ?max_paths lk (net : Device.network) ~src ~dst =
+  trace_hosts ?max_paths lk ~si:(host_info net src) ~di:(host_info net dst)
+
 let traceroute ?max_paths (net : Device.network) fibs ~src ~dst =
   trace_core ?max_paths (lazy (legacy_lookups net fibs)) net ~src ~dst
 
 type t = (string * string, trace) Hashtbl.t
 
-let extract ?max_paths ?compiled (net : Device.network) fibs =
-  let lk =
-    match compiled with
-    | Some c when Compiled.use_compiled () ->
-        lazy (compiled_lookups c fibs)
-    | _ -> lazy (legacy_lookups net fibs)
+(* ---- forwarding-equivalence classes ----
+
+   Two hosts are forwarding-equivalent when every walk either of them
+   takes part in — as source or destination, against any fixed other
+   endpoint — behaves identically hop for hop. The walk consults a host
+   only through:
+
+   - its sorted start attachments, and of each start interface only the
+     inbound ACL (projected per rule to how it treats this host's
+     address as source);
+   - its raw destination attachments — the delivery routers and each
+     interface's outbound ACL projected per rule against this host's
+     address as destination;
+   - per-rule membership of the host's address in every ACL the network
+     can evaluate mid-path (source- and destination-side);
+   - the FIB answer of every router for the host's address, projected to
+     the next-hop list (prefix and metric are never read by a walk).
+
+   Hosts with equal signatures are interchangeable modulo the host names
+   at a path's endpoints, so one representative trace per ordered class
+   pair plus head/tail renaming reproduces the full extraction exactly.
+   The host's own prefix is deliberately not part of the signature: the
+   same-subnet short-circuit is evaluated per pair, and representatives
+   are chosen among pairs that do not short-circuit. *)
+
+let proj_acl addr side (acl : Configlang.Ast.acl option) =
+  Option.map
+    (fun (a : Configlang.Ast.acl) ->
+      List.map
+        (fun (r : Configlang.Ast.acl_rule) ->
+          let mem p =
+            match p with
+            | None -> true
+            | Some p -> Netcore.Prefix.mem addr p
+          in
+          match side with
+          | `Src -> (mem r.acl_src, r.acl_dst, r.acl_action)
+          | `Dst -> (mem r.acl_dst, r.acl_src, r.acl_action))
+        a.acl_rules)
+    acl
+
+(* Every ACL the walks can evaluate, in a canonical order (router ifaces
+   in map order, inbound then outbound, then attachment ifaces). *)
+let enumerate_acls (net : Device.network) =
+  let of_iface (i : Device.iface) acc =
+    let acc = match i.ifc_acl_out with Some a -> a :: acc | None -> acc in
+    match i.ifc_acl_in with Some a -> a :: acc | None -> acc
   in
-  let hosts = List.map fst (Smap.bindings net.hosts) in
-  let dp = Hashtbl.create (List.length hosts * List.length hosts) in
+  let acc =
+    Smap.fold
+      (fun _ (r : Device.router) acc ->
+        List.fold_left (fun acc i -> of_iface i acc) acc r.r_ifaces)
+      net.routers []
+  in
+  Smap.fold
+    (fun _ atts acc ->
+      List.fold_left (fun acc (_, i) -> of_iface i acc) acc atts)
+    net.attachments acc
+  |> List.rev
+
+(* Signatures are compared structurally as hash-table keys; the
+   per-router route projections are interned to small ints first (shared
+   across the extraction's hosts), so comparing and hashing a signature
+   never walks next-hop records. *)
+let route_interner () =
+  let tbl : (Fib.nexthop list option, int) Hashtbl.t = Hashtbl.create 256 in
+  fun proj ->
+    match Hashtbl.find_opt tbl proj with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length tbl in
+        Hashtbl.add tbl proj i;
+        i
+
+let host_signature acls ~routes (hi : host_info) =
+  let addr = hi.hi_host.h_addr in
+  let starts =
+    List.map (fun (r, i) -> (r, proj_acl addr `Src i.Device.ifc_acl_in)) hi.hi_starts
+  in
+  let datts =
+    List.map (fun (r, i) -> (r, proj_acl addr `Dst i.Device.ifc_acl_out)) hi.hi_datts
+  in
+  let memberships =
+    List.map
+      (fun (a : Configlang.Ast.acl) ->
+        List.map
+          (fun (r : Configlang.Ast.acl_rule) ->
+            ( (match r.acl_src with
+              | None -> true
+              | Some p -> Netcore.Prefix.mem addr p),
+              match r.acl_dst with
+              | None -> true
+              | Some p -> Netcore.Prefix.mem addr p ))
+          a.acl_rules)
+      acls
+  in
+  (starts, datts, memberships, routes)
+
+(* ---- per-destination memoized suffix walks ----
+
+   When the network carries no packet filters at all, every [permits]
+   check of a walk is vacuous and the walk's behavior below a router
+   depends only on the destination: the trace from a start router is the
+   set of forwarding paths of the destination's FIB DAG. Those suffixes
+   are computed once per destination and shared by every source — tail
+   sharing included, which is safe because traces are only ever read
+   structurally. A FIB cycle or a path count at the truncation limit
+   makes the memo unusable for that destination or pair; callers fall
+   back to the exact DFS. *)
+
+let no_acls (net : Device.network) =
+  let iface_clear (i : Device.iface) =
+    i.ifc_acl_in = None && i.ifc_acl_out = None
+  in
+  Smap.for_all
+    (fun _ (r : Device.router) -> List.for_all iface_clear r.r_ifaces)
+    net.routers
+  && Smap.for_all
+       (fun _ atts -> List.for_all (fun (_, i) -> iface_clear i) atts)
+       net.attachments
+
+exception Cyclic
+
+type memo_node = {
+  mn_deliv : int;  (* delivered-path count, saturated at cap + 1 *)
+  mn_drop : int;   (* dropped-path count, saturated at cap + 1 *)
+  mn_deliv_paths : path list Lazy.t;
+      (* sorted, deduplicated suffixes ending in the dst host *)
+  mn_drop_paths : path list Lazy.t;  (* sorted, deduplicated *)
+}
+
+(* Merge two sorted duplicate-free lists, dropping duplicates — the same
+   order [List.sort_uniq compare] produces. *)
+let rec merge_uniq a b =
+  match (a, b) with
+  | [], l | l, [] -> l
+  | x :: xs, y :: ys ->
+      let c = compare x y in
+      if c < 0 then x :: merge_uniq xs b
+      else if c > 0 then y :: merge_uniq a ys
+      else x :: merge_uniq xs ys
+
+(* Balanced pairwise merging — a left fold over high-ECMP fan-in is
+   quadratic. [merge_uniq] is associative and commutative up to the
+   dedup, so the pairing order cannot change the result. *)
+let merge_lists ls =
+  let rec pairs = function
+    | a :: b :: tl -> merge_uniq a b :: pairs tl
+    | l -> l
+  in
+  let rec go = function [] -> [] | [ x ] -> x | ls -> go (pairs ls) in
+  go ls
+
+(* Lazy per-router suffix table toward one destination. The counts are
+   computed eagerly on first touch (detecting cycles on the way); the
+   path lists only materialize for routers whose counts stay under the
+   cap, so ECMP blow-ups cost integers, not lists. Each list is kept
+   sorted and duplicate-free: merging children preserves that, and so
+   does prepending the router (or later the source host) to every
+   element, so assembling a pair's trace needs no sorting at all. *)
+let dest_memo (lk : lookups) (di : host_info) ~cap =
+  let dst = di.hi_name and dst_addr = di.hi_host.h_addr in
+  let tbl : (string, memo_node) Hashtbl.t = Hashtbl.create 64 in
+  let visiting : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let sat a b = if a + b > cap then cap + 1 else a + b in
+  let rec node r =
+    match Hashtbl.find_opt tbl r with
+    | Some n -> n
+    | None ->
+        if Hashtbl.mem visiting r then raise Cyclic;
+        Hashtbl.add visiting r ();
+        let n =
+          if List.mem r di.hi_drouters then
+            {
+              mn_deliv = 1;
+              mn_drop = 0;
+              mn_deliv_paths = lazy [ [ r; dst ] ];
+              mn_drop_paths = lazy [];
+            }
+          else
+            match lk.lk_route r dst_addr with
+            | None | Some { Fib.rt_nexthops = []; _ } ->
+                {
+                  mn_deliv = 0;
+                  mn_drop = 1;
+                  mn_deliv_paths = lazy [];
+                  mn_drop_paths = lazy [ [ r ] ];
+                }
+            | Some route ->
+                let children =
+                  List.map
+                    (fun (nh : Fib.nexthop) -> node nh.nh_router)
+                    route.rt_nexthops
+                in
+                let extend f =
+                  lazy
+                    (List.map
+                       (fun p -> r :: p)
+                       (merge_lists
+                          (List.map (fun c -> Lazy.force (f c)) children)))
+                in
+                {
+                  mn_deliv =
+                    List.fold_left (fun a c -> sat a c.mn_deliv) 0 children;
+                  mn_drop =
+                    List.fold_left (fun a c -> sat a c.mn_drop) 0 children;
+                  mn_deliv_paths = extend (fun c -> c.mn_deliv_paths);
+                  mn_drop_paths = extend (fun c -> c.mn_drop_paths);
+                }
+        in
+        Hashtbl.remove visiting r;
+        Hashtbl.add tbl r n;
+        n
+  in
+  node
+
+(* Assemble one pair's trace from the destination memo, or [None] when
+   the DFS must run instead (cycle below a start router, or enough paths
+   that the DFS would truncate). Exactness: with no filters, [filtered]
+   and (acyclic) [looped] are empty, the DFS never truncates below the
+   cap, and its final [sort_uniq] makes traversal order irrelevant. *)
+let memo_trace node ~cap ~(si : host_info) =
+  match
+    List.fold_left
+      (fun acc (r, _) ->
+        match acc with
+        | None -> None
+        | Some (nodes, d, x) ->
+            let n = node r in
+            Some (n :: nodes, d + n.mn_deliv, x + n.mn_drop))
+      (Some ([], 0, 0))
+      si.hi_starts
+  with
+  | exception Cyclic -> None
+  | None -> None
+  | Some (_, deliv, _) when deliv >= cap -> None
+  | Some (nodes, _, _) ->
+      let src = si.hi_name in
+      let assemble f =
+        List.map
+          (fun sfx -> src :: sfx)
+          (merge_lists (List.map (fun n -> Lazy.force (f n)) nodes))
+      in
+      Some
+        {
+          delivered = assemble (fun n -> n.mn_deliv_paths);
+          dropped = assemble (fun n -> n.mn_drop_paths);
+          filtered = [];
+          looped = [];
+          truncated = false;
+        }
+
+(* Rename a representative trace onto another member pair of the same
+   ordered class pair: heads become the new source, and delivered paths
+   additionally end in the new destination. Renaming can reorder a
+   sorted list (paths differ only past the renamed cells), hence the
+   re-[sort_uniq]; it cannot merge two paths, since equal renamed paths
+   would already have been equal. *)
+let rename_trace ~src ~dst (t : trace) =
+  let head = function [] -> [] | _ :: tl -> src :: tl in
+  let rec tail = function
+    | [] -> []
+    | [ _ ] -> [ dst ]
+    | x :: tl -> x :: tail tl
+  in
+  let both = function [] -> [] | _ :: tl -> src :: tail tl in
+  {
+    delivered = List.sort_uniq compare (List.map both t.delivered);
+    dropped = List.sort_uniq compare (List.map head t.dropped);
+    filtered = List.sort_uniq compare (List.map head t.filtered);
+    looped = List.sort_uniq compare (List.map head t.looped);
+    truncated = t.truncated;
+  }
+
+let shortcut_trace src dst =
+  {
+    delivered = [ [ src; dst ] ];
+    dropped = [];
+    filtered = [];
+    looped = [];
+    truncated = false;
+  }
+
+(* FEC-collapsed extraction: classify hosts, trace one representative
+   member pair per ordered class pair, rename onto the other members.
+   The table is populated in the same source-major canonical order as
+   the full extraction, with the same keys, so every [Hashtbl.fold]
+   consumer sees an identical iteration sequence. *)
+let extract_fec ~max_paths c (net : Device.network) fibs =
+  let memo_ok = no_acls net in
+  (* One probe accelerator per FIB, shared by classification and (on
+     filter-free networks) the walks: with the suffix memo in play route
+     lookups are scarce, so probing the FIB arrays directly beats
+     compiling tries. ACL-bearing networks walk pair by pair and
+     amortize per-router tries instead. *)
+  let probe_tbl = probe_table fibs in
+  let lk =
+    lazy
+      (if memo_ok then probe_lookups c probe_tbl else compiled_lookups c fibs)
+  in
+  let infos = List.map (fun (n, _) -> host_info net n) (Smap.bindings net.hosts) in
+  let lkf = Lazy.force lk in
+  let acls = enumerate_acls net in
+  (* Class index per host, in first-seen (canonical host) order. *)
+  let class_of = Hashtbl.create 64 in
+  let sig_class = Hashtbl.create 64 in
+  let n_classes = ref 0 in
+  let route_id = route_interner () in
+  (* The per-router FIB projections of every host, computed
+     router-outer so each FIB is resolved and probed once for all
+     hosts (instead of one string-keyed lookup per (host, router)
+     cell). Consing in ascending router order leaves each host's
+     list in descending order — any fixed order works, signatures
+     are only compared against each other. *)
+  let infos_arr = Array.of_list infos in
+  let nh = Array.length infos_arr in
+  let pfx = prefix_probes () in
+  let host_pfx = Array.map (fun hi -> pfx hi.hi_host.h_addr) infos_arr in
+  let route_lists = Array.make nh [] in
+  Smap.iter
+    (fun name _ ->
+      let pb = Hashtbl.find_opt probe_tbl name in
+      for h = 0 to nh - 1 do
+        let proj =
+          match pb with
+          | None -> None
+          | Some pb -> (
+              match probe_lpm pb host_pfx.(h) with
+              | None -> None
+              | Some route -> Some route.Fib.rt_nexthops)
+        in
+        route_lists.(h) <- route_id proj :: route_lists.(h)
+      done)
+    net.routers;
+  Array.iteri
+    (fun h hi ->
+      let s = host_signature acls ~routes:route_lists.(h) hi in
+      let cls =
+        match Hashtbl.find_opt sig_class s with
+        | Some i -> i
+        | None ->
+            let i = !n_classes in
+            incr n_classes;
+            Hashtbl.add sig_class s i;
+            i
+      in
+      Hashtbl.replace class_of hi.hi_name cls)
+    infos_arr;
+  Netcore.Telemetry.add c_classes !n_classes;
+  (* One representative member pair per ordered class pair: the first
+     pair in canonical order that does not same-subnet short-circuit. *)
+  let reps = Hashtbl.create 64 in
+  let rep_order = ref [] in
+  let differing = ref 0 in
   List.iter
-    (fun src ->
+    (fun si ->
       List.iter
-        (fun dst ->
-          if not (String.equal src dst) then
-            Hashtbl.replace dp (src, dst)
-              (trace_core ?max_paths lk net ~src ~dst))
-        hosts)
-    hosts;
+        (fun di ->
+          if
+            (not (String.equal si.hi_name di.hi_name))
+            && not (Netcore.Prefix.equal si.hi_prefix di.hi_prefix)
+          then begin
+            incr differing;
+            let key =
+              (Hashtbl.find class_of si.hi_name, Hashtbl.find class_of di.hi_name)
+            in
+            if not (Hashtbl.mem reps key) then begin
+              Hashtbl.add reps key (si, di);
+              rep_order := (key, si, di) :: !rep_order
+            end
+          end)
+        infos)
+    infos;
+  let rep_list = List.rev !rep_order in
+  Netcore.Telemetry.add c_traced (List.length rep_list);
+  Netcore.Telemetry.add c_collapsed (!differing - List.length rep_list);
+  (* Trace the representatives destination-major so each destination's
+     suffix memo (when eligible) is built once and shared. *)
+  let by_dst = Hashtbl.create 64 in
+  let dst_order = ref [] in
+  List.iter
+    (fun (key, si, di) ->
+      match Hashtbl.find_opt by_dst di.hi_name with
+      | Some l -> l := (key, si, di) :: !l
+      | None ->
+          let l = ref [ (key, si, di) ] in
+          Hashtbl.add by_dst di.hi_name l;
+          dst_order := di.hi_name :: !dst_order)
+    rep_list;
+  let groups =
+    List.rev_map (fun d -> List.rev !(Hashtbl.find by_dst d)) !dst_order
+  in
+  (* Per-destination suffix memos, shared between representative tracing
+     and pair population. Creating a memo only allocates its tables —
+     the suffix walk happens on use — so pre-creating one per group
+     destination here keeps the parallel phase read-only on [memos]
+     (each destination belongs to exactly one group, so its node table
+     is touched by one worker only). *)
+  let memos : (string, string -> memo_node) Hashtbl.t = Hashtbl.create 64 in
+  let memo_for di =
+    match Hashtbl.find_opt memos di.hi_name with
+    | Some m -> m
+    | None ->
+        let m = dest_memo lkf di ~cap:max_paths in
+        Hashtbl.add memos di.hi_name m;
+        m
+  in
+  if memo_ok then
+    List.iter (fun group ->
+        match group with
+        | (_, _, di) :: _ ->
+            let (_ : string -> memo_node) = memo_for di in
+            ()
+        | [] -> ())
+      groups;
+  let traced_groups =
+    Netcore.Pool.chunked_map
+      (fun group ->
+        let memo =
+          match group with
+          | (_, _, di) :: _ when memo_ok ->
+              Some (Hashtbl.find memos di.hi_name)
+          | _ -> None
+        in
+        List.map
+          (fun (key, si, di) ->
+            let t =
+              match
+                Option.bind memo (fun node ->
+                    memo_trace node ~cap:max_paths ~si)
+              with
+              | Some t -> t
+              | None -> trace_hosts ~max_paths lk ~si ~di
+            in
+            (key, t))
+          group)
+      groups
+  in
+  let rep_traces = Hashtbl.create 256 in
+  List.iter
+    (List.iter (fun (key, t) -> Hashtbl.replace rep_traces key t))
+    traced_groups;
+  (* Canonical source-major population, byte-compatible with the full
+     double loop. *)
+  let n = List.length infos in
+  let dp = Hashtbl.create (n * n) in
+  List.iter
+    (fun si ->
+      List.iter
+        (fun di ->
+          if not (String.equal si.hi_name di.hi_name) then
+            let t =
+              if Netcore.Prefix.equal si.hi_prefix di.hi_prefix then
+                shortcut_trace si.hi_name di.hi_name
+              else
+                let key =
+                  ( Hashtbl.find class_of si.hi_name,
+                    Hashtbl.find class_of di.hi_name )
+                in
+                let rsi, rdi = Hashtbl.find reps key in
+                if
+                  String.equal rsi.hi_name si.hi_name
+                  && String.equal rdi.hi_name di.hi_name
+                then Hashtbl.find rep_traces key
+                else
+                  let direct =
+                    (* Non-representative memo-eligible pairs assemble
+                       their own trace from the destination's shared
+                       suffix lists — one cons per path, no sorting —
+                       instead of renaming the representative's. Both
+                       routes produce the exact trace the full DFS
+                       would. *)
+                    if memo_ok then
+                      memo_trace (memo_for di) ~cap:max_paths ~si
+                    else None
+                  in
+                  match direct with
+                  | Some t -> t
+                  | None ->
+                      rename_trace ~src:si.hi_name ~dst:di.hi_name
+                        (Hashtbl.find rep_traces key)
+            in
+            Hashtbl.replace dp (si.hi_name, di.hi_name) t)
+        infos)
+    infos;
   dp
+
+let extract ?(max_paths = max_paths_default) ?compiled (net : Device.network)
+    fibs =
+  match compiled with
+  | Some c when Compiled.use_compiled () && Fec.on () ->
+      extract_fec ~max_paths c net fibs
+  | _ ->
+      let lk =
+        match compiled with
+        | Some c when Compiled.use_compiled () ->
+            lazy (compiled_lookups c fibs)
+        | _ -> lazy (legacy_lookups net fibs)
+      in
+      let hosts = List.map fst (Smap.bindings net.hosts) in
+      let dp = Hashtbl.create (List.length hosts * List.length hosts) in
+      List.iter
+        (fun src ->
+          List.iter
+            (fun dst ->
+              if not (String.equal src dst) then
+                Hashtbl.replace dp (src, dst)
+                  (trace_core ~max_paths lk net ~src ~dst))
+            hosts)
+        hosts;
+      dp
 
 let paths dp ~src ~dst =
   match Hashtbl.find_opt dp (src, dst) with

@@ -64,7 +64,7 @@ let c_bgp_disk = Telemetry.counter "engine.bgp_disk"
    definition changes — the versioned index then invalidates the whole
    directory. *)
 
-let cache_version = "confmask-engine-1"
+let cache_version = "confmask-engine-2"
 let open_cache dir = Diskcache.open_dir ~version:cache_version dir
 
 let disk_get : type a. Diskcache.t option -> string -> a option =
@@ -169,14 +169,50 @@ let compute_domain ?pool ?cache ~prev (net : Device.network)
       in
       let select st reuse =
         (* Recompute selection only for members whose filters changed. *)
-        Pool.parallel_map ?pool
-          (fun (m, r) ->
-            let fp = sel_fp r in
-            match reuse st m r fp with
-            | Some routes -> (m, (fp, filters_of r, routes))
-            | None -> (m, (fp, filters_of r, Ospf.routes_for st net m)))
-          routers
-        |> List.fold_left (fun acc (m, v) -> Smap.add m v acc) Smap.empty
+        let pre =
+          Pool.parallel_map ?pool
+            (fun (m, r) ->
+              let fp = sel_fp r in
+              (m, r, fp, reuse st m r fp))
+            routers
+        in
+        let misses =
+          List.fold_left
+            (fun n (_, _, _, o) -> if o = None then n + 1 else n)
+            0 pre
+        in
+        if
+          Fec.on ()
+          && Compiled.use_compiled ()
+          && 4 * misses > List.length routers
+        then
+          (* Most members need full selection (a cold run): one dense
+             [select_all] sweep answers every miss at once, far cheaper
+             than a per-router [routes_for] probe each. Scattered misses
+             — the incremental-edit case — stay on the per-router path
+             below; the sweep's cost is all-prefix × all-router no
+             matter how few routers ask. The batch is exact —
+             [Smap.find_opt m batch] with a [[]] default equals
+             [routes_for st net m] for every scoped member, so the
+             threshold cannot change results. *)
+          let batch = Ospf.select_all ?pool st net in
+          List.fold_left
+            (fun acc (m, r, fp, o) ->
+              let routes =
+                match o with
+                | Some routes -> routes
+                | None -> Option.value ~default:[] (Smap.find_opt m batch)
+              in
+              Smap.add m (fp, filters_of r, routes) acc)
+            Smap.empty pre
+        else
+          Pool.parallel_map ?pool
+            (fun (m, r, fp, o) ->
+              match o with
+              | Some routes -> (m, (fp, filters_of r, routes))
+              | None -> (m, (fp, filters_of r, Ospf.routes_for st net m)))
+            pre
+          |> List.fold_left (fun acc (m, v) -> Smap.add m v acc) Smap.empty
       in
       (* Patch one member's previous selection given the prefixes whose
          SPF distances changed; gives up (full recompute) when the
@@ -400,15 +436,15 @@ let build ?(incremental = true) ?pool ?cache ?prev configs =
                 fib
             | None ->
                 Telemetry.incr c_fib_build;
-                List.fold_left (fun fib r -> Fib.add_candidate r fib) Fib.empty c)
+                Fib.of_candidates c)
           cands
       in
       (* A router's base FIB equals the previous engine's, physically (the
-         reuse above) or structurally (rebuilt from equal candidates in
-         the same order, so equal tree shape). Both gates below reduce to
-         this one predicate — the old physical-only [==] test silently
-         degraded to a recompute whenever a structurally identical FIB
-         arrived through a fresh build. *)
+         reuse above) or structurally (the FIB representation is
+         canonical, so equal candidates give equal values). Both gates
+         below reduce to this one predicate — the old physical-only [==]
+         test silently degraded to a recompute whenever a structurally
+         identical FIB arrived through a fresh build. *)
       let base_same =
         match prev with
         | None -> fun _ _ -> false
@@ -516,8 +552,7 @@ let edit_seq = Atomic.make 0
 
 (* Compare semantically, not structurally: an incrementally patched route
    selection may list equal routes in a different order than the scratch
-   path, and [Fib.t] trees built from differently ordered candidates can
-   differ in shape while holding the same routes. *)
+   path, and merged next-hop sets can arrive in different orders. *)
 let canon_fib fib =
   List.map
     (fun (r : Fib.route) ->

@@ -1,0 +1,18 @@
+(* The process-wide switch for the scale fast paths introduced together
+   with forwarding-equivalence-class collapse: FEC data-plane extraction
+   (Dataplane), per-advertiser Dijkstra dedup and batched route selection
+   (Ospf), and the chunk-sharded parallel folds built on them. One switch
+   governs them all so that turning it off reproduces the previous
+   sequential per-pair / per-prefix execution exactly — the lever the
+   differential fuzz oracles and the scale benchmark's baseline use,
+   mirroring CONFMASK_KERNELS for the compiled kernels. *)
+
+let enabled = Atomic.make (Sys.getenv_opt "CONFMASK_FEC" <> Some "off")
+
+let on () = Atomic.get enabled
+let set_enabled b = Atomic.set enabled b
+
+let with_mode m f =
+  let saved = Atomic.get enabled in
+  Atomic.set enabled (m = `On);
+  Fun.protect ~finally:(fun () -> Atomic.set enabled saved) f

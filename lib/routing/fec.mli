@@ -1,0 +1,20 @@
+(** Switch for the forwarding-equivalence-class fast paths.
+
+    Governs the FEC data-plane collapse ({!Dataplane.extract}), the
+    per-advertiser Dijkstra dedup and batched selection ({!Ospf}), and
+    their sharded parallel folds. All of them produce results identical
+    to the baseline execution; the switch exists so differential tests
+    and benchmarks can run both sides of that claim in one process.
+
+    Defaults to on; the environment variable [CONFMASK_FEC=off] disables
+    it process-wide (the escape hatch mirroring [CONFMASK_KERNELS]). *)
+
+val on : unit -> bool
+
+val set_enabled : bool -> unit
+
+val with_mode : [ `On | `Off ] -> (unit -> 'a) -> 'a
+(** Runs the thunk with the switch forced to the given mode, restoring
+    the previous setting afterwards (also on exceptions). Affects the
+    whole process, not just the calling domain — like
+    {!Compiled.with_kernels}, callers serialize differential runs. *)

@@ -29,9 +29,16 @@ type route = {
   rt_nexthops : nexthop list;
 }
 
-type t = route Prefix.Map.t
+(* A FIB is a sorted, duplicate-free array of routes, ordered by prefix.
+   The representation is canonical: equal route contents give equal
+   values under polymorphic comparison no matter how the FIB was built —
+   unlike a balanced tree, whose shape remembers insertion order. The
+   engine's structural reuse gates, the crucible's [fibs_equal] oracle
+   and the disk cache's marshaled states all lean on that. Updates are
+   persistent (copy-on-write), matching the map they replaced. *)
+type t = route array
 
-let empty = Prefix.Map.empty
+let empty = [||]
 
 let merge_nexthops a b =
   List.sort_uniq
@@ -47,41 +54,265 @@ let better a b =
   | 0 -> Int.compare a.rt_metric b.rt_metric
   | c -> c
 
-let add_candidate r t =
-  Prefix.Map.update r.rt_prefix
-    (function
-      | None -> Some r
-      | Some existing -> (
-          match better r existing with
-          | c when c < 0 -> Some r
-          | 0 ->
-              Some
-                { existing with rt_nexthops = merge_nexthops existing.rt_nexthops r.rt_nexthops }
-          | _ -> Some existing))
-    t
+(* [merge_into existing r] is the installed result of offering candidate
+   [r] while [existing] holds the slot — the single merge rule every
+   construction path below shares. *)
+let merge_into existing r =
+  match better r existing with
+  | c when c < 0 -> r
+  | 0 ->
+      {
+        existing with
+        rt_nexthops = merge_nexthops existing.rt_nexthops r.rt_nexthops;
+      }
+  | _ -> existing
 
-let find t p = Prefix.Map.find_opt p t
+let add_candidate r t =
+  let n = Array.length t in
+  let rec go lo hi =
+    if lo >= hi then begin
+      let out = Array.make (n + 1) r in
+      Array.blit t 0 out 0 lo;
+      Array.blit t lo out (lo + 1) (n - lo);
+      out
+    end
+    else
+      let mid = (lo + hi) / 2 in
+      let c = Prefix.compare r.rt_prefix t.(mid).rt_prefix in
+      if c = 0 then begin
+        let out = Array.copy t in
+        out.(mid) <- merge_into t.(mid) r;
+        out
+      end
+      else if c < 0 then go lo mid
+      else go (mid + 1) hi
+  in
+  go 0 n
+
+(* Bulk construction: exactly [List.fold_left (fun t r -> add_candidate
+   r t) empty cs], but one sort and a linear merge instead of a
+   persistent insert per candidate. Sorting boxed routes spends its time
+   on cache misses, so each candidate is condensed to one int —
+   [network * 33 + len] orders prefixes exactly like [Prefix.compare],
+   and the arrival index in the low bits makes the sort stable, keeping
+   same-prefix candidates in arrival order for [merge_into] just as the
+   incremental adds would. *)
+let idx_bits = 24
+
+(* Monomorphic in-place int sort (middle-pivot quicksort with insertion
+   sort below 16): the comparator indirection of [Array.sort] costs more
+   than the comparisons themselves on int keys. *)
+let sort_ints (a : int array) =
+  let swap i j =
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  in
+  let rec qsort lo hi =
+    if hi - lo > 16 then begin
+      let p = a.((lo + hi) / 2) in
+      let i = ref lo and j = ref (hi - 1) in
+      while !i <= !j do
+        while a.(!i) < p do
+          incr i
+        done;
+        while a.(!j) > p do
+          decr j
+        done;
+        if !i <= !j then begin
+          swap !i !j;
+          incr i;
+          decr j
+        end
+      done;
+      qsort lo (!j + 1);
+      qsort !i hi
+    end
+    else
+      for i = lo + 1 to hi - 1 do
+        let v = a.(i) in
+        let j = ref (i - 1) in
+        while !j >= lo && a.(!j) > v do
+          a.(!j + 1) <- a.(!j);
+          decr j
+        done;
+        a.(!j + 1) <- v
+      done
+  in
+  qsort 0 (Array.length a)
+
+let of_candidates cs =
+  match cs with
+  | [] -> empty
+  | first :: _ ->
+      let arr = Array.of_list cs in
+      let n = Array.length arr in
+      if n >= 1 lsl idx_bits then
+        (* Unreachably many candidates for one router; stay correct. *)
+        List.fold_left (fun t r -> add_candidate r t) empty cs
+      else begin
+        let keys = Array.make n 0 in
+        for i = 0 to n - 1 do
+          let p = arr.(i).rt_prefix in
+          keys.(i) <-
+            (((Ipv4.to_int (Prefix.network p) * 33) + Prefix.length p)
+            lsl idx_bits)
+            lor i
+        done;
+        sort_ints keys;
+        let mask = (1 lsl idx_bits) - 1 in
+        let distinct = ref 1 in
+        for i = 1 to n - 1 do
+          if keys.(i) lsr idx_bits <> keys.(i - 1) lsr idx_bits then
+            incr distinct
+        done;
+        let out = Array.make !distinct first in
+        let j = ref 0 in
+        let cur = ref arr.(keys.(0) land mask) in
+        for i = 1 to n - 1 do
+          let r = arr.(keys.(i) land mask) in
+          if keys.(i) lsr idx_bits = keys.(i - 1) lsr idx_bits then
+            cur := merge_into !cur r
+          else begin
+            out.(!j) <- !cur;
+            incr j;
+            cur := r
+          end
+        done;
+        out.(!j) <- !cur;
+        out
+      end
+
+(* [add_sorted_desc t cs]: exactly [List.fold_left (fun t r ->
+   add_candidate r t) t cs] when [cs] is strictly descending by prefix
+   (the order batched OSPF selection emits) — one linear merge instead of
+   a persistent insert per candidate. Any order violation falls back to
+   the fold, so the equation holds unconditionally. *)
+let add_sorted_desc t cs =
+  match cs with
+  | [] -> t
+  | _ ->
+      let m = List.length cs in
+      let arr = Array.make m (List.hd cs) in
+      (* Reverse the descending list into ascending order, verifying
+         strictness on the way. *)
+      let sorted = ref true in
+      let i = ref (m - 1) in
+      List.iter
+        (fun r ->
+          arr.(!i) <- r;
+          if
+            !i < m - 1
+            && Prefix.compare r.rt_prefix arr.(!i + 1).rt_prefix >= 0
+          then sorted := false;
+          decr i)
+        cs;
+      if not !sorted then List.fold_left (fun t r -> add_candidate r t) t cs
+      else begin
+        let n = Array.length t in
+        let out = Array.make (n + m) arr.(0) in
+        let i = ref 0 and j = ref 0 and k = ref 0 in
+        while !i < n && !j < m do
+          let c = Prefix.compare t.(!i).rt_prefix arr.(!j).rt_prefix in
+          if c < 0 then begin
+            out.(!k) <- t.(!i);
+            incr i
+          end
+          else if c > 0 then begin
+            out.(!k) <- arr.(!j);
+            incr j
+          end
+          else begin
+            out.(!k) <- merge_into t.(!i) arr.(!j);
+            incr i;
+            incr j
+          end;
+          incr k
+        done;
+        while !i < n do
+          out.(!k) <- t.(!i);
+          incr i;
+          incr k
+        done;
+        while !j < m do
+          out.(!k) <- arr.(!j);
+          incr j;
+          incr k
+        done;
+        if !k = n + m then out else Array.sub out 0 !k
+      end
+
+let find t p =
+  let rec go lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let c = Prefix.compare p t.(mid).rt_prefix in
+      if c = 0 then Some t.(mid) else if c < 0 then go lo mid else go (mid + 1) hi
+  in
+  go 0 (Array.length t)
 
 let lookup t addr =
   (* Longest-prefix match by direct probing: the /len prefix containing
      [addr] is a single canonical key, so try each length from most to
-     least specific. 33 logarithmic lookups beat a linear scan on any
+     least specific. 33 logarithmic probes beat a linear scan on any
      realistically sized FIB. *)
   let rec go len =
     if len < 0 then None
     else
-      match Prefix.Map.find_opt (Prefix.v addr len) t with
+      match find t (Prefix.v addr len) with
       | Some r -> Some r
       | None -> go (len - 1)
   in
   go 32
 
+(* ---- probe accelerator ----
+
+   Hot extraction paths answer thousands of point lookups against the
+   same FIB. A probe condenses each slot's prefix to the same int key
+   [of_candidates] sorts by, so a probe search is a binary search over
+   unboxed ints — no [Prefix.compare] calls — and [probe_lens] restricts
+   the LPM sweep to the lengths actually present. *)
+type probe = { pb_keys : int array; pb_routes : t; pb_lens : int list }
+
+let probe t =
+  let n = Array.length t in
+  let keys = Array.make n 0 in
+  let seen = Array.make 33 false in
+  for i = 0 to n - 1 do
+    let p = t.(i).rt_prefix in
+    let len = Prefix.length p in
+    keys.(i) <- (Ipv4.to_int (Prefix.network p) * 33) + len;
+    seen.(len) <- true
+  done;
+  let lens = ref [] in
+  for l = 0 to 32 do
+    if seen.(l) then lens := l :: !lens
+  done;
+  { pb_keys = keys; pb_routes = t; pb_lens = !lens }
+
+let probe_lens pb = pb.pb_lens
+
+let probe_find pb p =
+  let k = (Ipv4.to_int (Prefix.network p) * 33) + Prefix.length p in
+  let keys = pb.pb_keys in
+  let rec go lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let km = Array.unsafe_get keys mid in
+      if km = k then Some pb.pb_routes.(mid)
+      else if k < km then go lo mid
+      else go (mid + 1) hi
+  in
+  go 0 (Array.length keys)
+
 (* ---- compiled longest-prefix match ----
 
    A path-compressed binary trie over destination-address bits: one
-   root-to-leaf walk per lookup instead of the 33 map probes above. The
-   trie is a separate compiled artifact — [t] itself stays a plain
-   [Prefix.Map], which the engine marshals to its disk cache and
+   root-to-leaf walk per lookup instead of the 33 probes above. The
+   trie is a separate compiled artifact — [t] itself stays the plain
+   sorted array, which the engine marshals to its disk cache and
    compares structurally — built per FIB by the data-plane extractor and
    shared across every lookup against it. *)
 
@@ -199,7 +430,8 @@ let compile t =
         in
         go n0 0
   in
-  Prefix.Map.iter insert t;
+  (* Ascending prefix order, same as the map iteration it replaced. *)
+  Array.iter (fun r -> insert r.rt_prefix r) t;
   let rec conv n =
     Lnode
       {
@@ -234,7 +466,7 @@ let lookup_lpm lpm addr =
   in
   go lpm 0 None
 
-let routes t = List.map snd (Prefix.Map.bindings t)
+let routes t = Array.to_list t
 
 let nexthop_names r =
   List.sort_uniq String.compare (List.map (fun nh -> nh.nh_router) r.rt_nexthops)

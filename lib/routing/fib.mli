@@ -28,15 +28,46 @@ type route = {
 }
 
 type t
+(** A FIB, represented canonically: two FIBs holding the same routes are
+    structurally equal (and hash, marshal and compare identically) no
+    matter what sequence of operations built them. *)
 
 val empty : t
 
 val add_candidate : route -> t -> t
 (** Inserts a candidate route, resolving conflicts for the same prefix by
-    administrative distance and metric; exact ties merge next hops. *)
+    administrative distance and metric; exact ties merge next hops.
+    Persistent: the argument FIB is unchanged. *)
+
+val of_candidates : route list -> t
+(** Bulk construction:
+    [of_candidates cs = List.fold_left (fun t r -> add_candidate r t) empty cs],
+    in one sort-and-merge pass instead of a persistent insert per
+    candidate. *)
+
+val add_sorted_desc : t -> route list -> t
+(** [add_sorted_desc t cs] equals
+    [List.fold_left (fun t r -> add_candidate r t) t cs] for any [cs].
+    When [cs] is strictly descending by prefix — the order batched OSPF
+    selection emits per router — it runs as one linear merge; any other
+    order falls back to the fold. *)
 
 val find : t -> Prefix.t -> route option
 (** Exact-prefix lookup. *)
+
+type probe
+(** A point-lookup accelerator over one FIB: prefixes condensed to int
+    keys so searches compare unboxed ints. Like {!lpm}, purely an
+    acceleration structure — the FIB itself is unchanged. *)
+
+val probe : t -> probe
+
+val probe_find : probe -> Prefix.t -> route option
+(** Same result as {!find} on the probed FIB. *)
+
+val probe_lens : probe -> int list
+(** The distinct prefix lengths present, most specific first — the only
+    lengths a longest-prefix-match sweep needs to try. *)
 
 val lookup : t -> Ipv4.t -> route option
 (** Longest-prefix-match lookup by direct probing: one map probe per

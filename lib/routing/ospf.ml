@@ -5,6 +5,7 @@ module Ast = Configlang.Ast
 let all _ = true
 
 let c_dijkstras = Telemetry.counter "ospf.dijkstras"
+let c_sssp_saved = Telemetry.counter "ospf.sssp_saved"
 
 (* Directed adjacencies usable by OSPF: both interface ends enabled and
    both routers in scope. *)
@@ -142,6 +143,122 @@ let distances_fn adjs =
     let rev = reverse_index adjs in
     fun seeds -> distances_to ~rev seeds
 
+(* ---- sharded SPF with per-advertiser dedup ----
+
+   The per-prefix reverse Dijkstras of a scope overlap heavily: many
+   prefixes are advertised by the same routers (every router contributes
+   one prefix per OSPF interface). The multi-source distance field of a
+   prefix seeded at [(s1,c1); ...; (sk,ck)] is exactly the pointwise
+   minimum over i of [c_i + dist(s_i, -)] — so one single-source Dijkstra
+   per *distinct advertising router* suffices, and each per-prefix field
+   is a cheap min-combine of the shared per-advertiser fields. Integer
+   arithmetic throughout: the combine is exact, not an approximation.
+
+   Both the per-advertiser Dijkstras and the per-prefix combines are
+   sharded across the pool in contiguous chunks ([Pool.chunked_map]),
+   whose boundaries cannot affect results. *)
+
+(* Distinct advertising router ids, in first-appearance order over the
+   ascending-prefix bindings. *)
+let distinct_seed_ids it bindings =
+  let seen = Array.make (max 1 (Interner.length it)) false in
+  let order = ref [] in
+  List.iter
+    (fun (_, seeds) ->
+      List.iter
+        (fun (r, _) ->
+          match Interner.find it r with
+          | Some v when not seen.(v) ->
+              seen.(v) <- true;
+              order := v :: !order
+          | Some _ | None -> ())
+        seeds)
+    bindings;
+  List.rev !order
+
+(* Per-prefix distance arrays over the interner ids (non-interned seeds
+   are not represented — [materialize_dists] folds them back in). Uses
+   the per-advertiser dedup unless the scope has more distinct
+   advertisers than prefixes, where per-prefix multi-source runs are
+   strictly fewer Dijkstras. *)
+let dist_arrays ?pool it rcsr bindings =
+  let seed_ids = distinct_seed_ids it bindings in
+  if List.length seed_ids <= List.length bindings then begin
+    let dist_of = Array.make (max 1 (Interner.length it)) [||] in
+    List.iter
+      (fun (v, d) -> dist_of.(v) <- d)
+      (Pool.chunked_map ?pool
+         (fun v ->
+           Telemetry.incr c_dijkstras;
+           (v, Compiled.Csr.dijkstra rcsr ~seeds:[ (v, 0) ]))
+         seed_ids);
+    Telemetry.add c_sssp_saved
+      (max 0 (List.length bindings - List.length seed_ids));
+    let n = Interner.length it in
+    Pool.chunked_map ?pool
+      (fun (p, seeds) ->
+        let dist = Array.make (max 1 n) max_int in
+        List.iter
+          (fun (r, c) ->
+            match Interner.find it r with
+            | None -> ()
+            | Some v ->
+                let dv = dist_of.(v) in
+                for i = 0 to n - 1 do
+                  let d = Array.unsafe_get dv i in
+                  if d < max_int && d + c < Array.unsafe_get dist i then
+                    Array.unsafe_set dist i (d + c)
+                done)
+          seeds;
+        (p, seeds, dist))
+      bindings
+  end
+  else
+    Pool.chunked_map ?pool
+      (fun (p, seeds) ->
+        Telemetry.incr c_dijkstras;
+        let ids =
+          List.filter_map
+            (fun (r, c) -> Option.map (fun v -> (v, c)) (Interner.find it r))
+            seeds
+        in
+        (p, seeds, Compiled.Csr.dijkstra rcsr ~seeds:ids))
+      bindings
+
+(* Fold one per-prefix array back into the canonical Smap binding the
+   [state] type stores — the same keys, values and insertion sequence as
+   [distances_csr], so marshalled states stay byte-identical. *)
+let materialize_dists it (p, seeds, dist) =
+  let out = distances_of_array it dist in
+  let out =
+    List.fold_left
+      (fun out (r, c) ->
+        if Interner.find it r <> None then out
+        else
+          Smap.update r
+            (function Some d -> Some (min d c) | None -> Some c)
+            out)
+      out seeds
+  in
+  (p, (seeds, out))
+
+(* The per-prefix distance bindings of a scope, through whichever path
+   the switches select: sharded compiled arrays, plain compiled, or the
+   legacy pairing heap. All three produce identical bindings. *)
+let scope_dists ?pool adjs bindings =
+  match bindings with
+  | [] -> []
+  | _ when Fec.on () && Compiled.use_compiled () ->
+      let it = scoped_interner adjs in
+      let rcsr = scoped_csr ~rev:true it adjs in
+      Pool.chunked_map ?pool (materialize_dists it)
+        (dist_arrays ?pool it rcsr bindings)
+  | _ ->
+      let distances = distances_fn adjs in
+      Pool.parallel_map ?pool
+        (fun (p, seeds) -> (p, (seeds, distances seeds)))
+        bindings
+
 let advertised_prefixes ?(scope = all) (net : Device.network) =
   Smap.fold
     (fun name (r : Device.router) acc ->
@@ -174,14 +291,10 @@ type state = {
 let prepare ?(scope = all) ?pool (net : Device.network) =
   Telemetry.with_span "ospf.prepare" @@ fun () ->
   let adjs = ospf_adjs ~scope net in
-  let distances = distances_fn adjs in
   let prefixes = advertised_prefixes ~scope net in
-  (* One reverse Dijkstra per advertised prefix, embarrassingly parallel. *)
-  let dists =
-    Pool.parallel_map ?pool
-      (fun (p, seeds) -> (p, (seeds, distances seeds)))
-      (Prefix.Map.bindings prefixes)
-  in
+  (* One reverse Dijkstra per advertised prefix (deduped per advertiser
+     on the sharded path), embarrassingly parallel. *)
+  let dists = scope_dists ?pool adjs (Prefix.Map.bindings prefixes) in
   {
     st_adjs = adjs;
     st_dists =
@@ -216,17 +329,9 @@ let prepare_update ?(scope = all) ?pool ~(prev : state) (net : Device.network) =
         (fun p _ acc -> if Prefix.Map.mem p prefixes then acc else p :: acc)
         prev.st_dists []
     in
-    let recomputed =
-      match fresh with
-      | [] -> []
-      | _ ->
-          (* The scoped graph is only compiled when something actually
-             needs a new Dijkstra. *)
-          let distances = distances_fn adjs in
-          Pool.parallel_map ?pool
-            (fun (p, seeds) -> (p, (seeds, distances seeds)))
-            fresh
-    in
+    (* The scoped graph is only compiled when something actually needs a
+       new Dijkstra ([scope_dists] short-circuits on []). *)
+    let recomputed = scope_dists ?pool adjs fresh in
     let dists =
       List.fold_left
         (fun m (p, v) -> Prefix.Map.add p v m)
@@ -397,16 +502,192 @@ let routes_for_update st (net : Device.network) r ~prev ~affected =
   in
   merge prev news
 
+(* ---- batched selection ----
+
+   Route selection for every scoped router in one sweep. [routes_for]
+   performs P×V [Smap.find_opt] probes (one per (router, prefix) pair,
+   plus one per adjacency); here each per-prefix distance field is
+   splatted into a dense array once and every router's pre-resolved
+   adjacency row is scanned against it. Produces, per router, exactly
+   the route list [routes_for] builds — same routes, same
+   descending-prefix order, same nexthop order — because per prefix it
+   evaluates the very conditions of [select_one] on the same adjacency
+   sequence.
+
+   The per-prefix sweeps are sharded in contiguous ascending-prefix
+   chunks; each chunk accumulates per-router route lists, and chunks are
+   stitched as [later @ earlier] so the final per-router list is the
+   descending-prefix order of the sequential fold. *)
+let select_core ?pool it (net : Device.network) adjs dists =
+  let n = Interner.length it in
+  (* Flattened adjacency in CSR form with one prebuilt next-hop record
+     per edge: next hops are identical for every prefix the edge serves,
+     so sharing the records saves an allocation per (router, prefix,
+     edge) hit without changing anything structural equality sees. *)
+  let filt_rows = Array.make (max 1 n) [] in
+  let rows = Array.make (max 1 n) [] in
+  let n_edges = ref 0 in
+  Interner.iter it (fun v name ->
+      let row = Option.value ~default:[] (Smap.find_opt name adjs) in
+      rows.(v) <- row;
+      n_edges := !n_edges + List.length row;
+      filt_rows.(v) <- router_filters net name);
+  let off = Array.make (max 1 (n + 1)) 0 in
+  let e_to = Array.make (max 1 !n_edges) 0 in
+  let e_cost = Array.make (max 1 !n_edges) 0 in
+  let e_iface = Array.make (max 1 !n_edges) "" in
+  let e_nh =
+    Array.make (max 1 !n_edges) { Fib.nh_router = ""; nh_iface = "" }
+  in
+  let e_nh1 : Fib.nexthop list array = Array.make (max 1 !n_edges) [] in
+  let pos = ref 0 in
+  for v = 0 to n - 1 do
+    off.(v) <- !pos;
+    List.iter
+      (fun (a : Device.adj) ->
+        let e = !pos in
+        incr pos;
+        e_to.(e) <- Interner.find_exn it a.a_to;
+        e_cost.(e) <- a.a_out_iface.ifc_cost;
+        e_iface.(e) <- a.a_out_iface.ifc_name;
+        e_nh.(e) <-
+          { Fib.nh_router = a.a_to; nh_iface = a.a_out_iface.ifc_name };
+        e_nh1.(e) <- [ e_nh.(e) ])
+      rows.(v)
+  done;
+  off.(n) <- !pos;
+  let process chunk =
+    let acc = Array.make (max 1 n) [] in
+    (* Seed membership per prefix, generation-stamped to avoid clearing. *)
+    let seedgen = Array.make (max 1 n) (-1) in
+    let gen = ref (-1) in
+    List.iter
+      (fun (p, seeds, dist) ->
+        incr gen;
+        List.iter
+          (fun (r, _) ->
+            match Interner.find it r with
+            | Some v -> seedgen.(v) <- !gen
+            | None -> ())
+          seeds;
+        for v = 0 to n - 1 do
+          let dr = Array.unsafe_get dist v in
+          if dr < max_int && seedgen.(v) <> !gen then begin
+            let filters = filt_rows.(v) in
+            let no_filters = filters == [] in
+            (* The hit test appears twice, hand-inlined: a [hit e]
+               closure here costs an allocation per (prefix, router). *)
+            (* Count first: a single next hop — the common case — reuses
+               the edge's preallocated singleton list. *)
+            let count = ref 0 and last = ref 0 in
+            for e = off.(v) to off.(v + 1) - 1 do
+              let dn = Array.unsafe_get dist (Array.unsafe_get e_to e) in
+              if
+                dn < max_int
+                && Array.unsafe_get e_cost e + dn = dr
+                && (no_filters
+                   || not
+                        (Device.iface_filter_denies filters
+                           (Array.unsafe_get e_iface e) p))
+              then begin
+                incr count;
+                last := e
+              end
+            done;
+            if !count > 0 then begin
+              let nexthops =
+                if !count = 1 then Array.unsafe_get e_nh1 !last
+                else begin
+                  let nhs = ref [] in
+                  for e = off.(v + 1) - 1 downto off.(v) do
+                    let dn = Array.unsafe_get dist (Array.unsafe_get e_to e) in
+                    if
+                      dn < max_int
+                      && Array.unsafe_get e_cost e + dn = dr
+                      && (no_filters
+                         || not
+                              (Device.iface_filter_denies filters
+                                 (Array.unsafe_get e_iface e) p))
+                    then nhs := Array.unsafe_get e_nh e :: !nhs
+                  done;
+                  !nhs
+                end
+              in
+              acc.(v) <-
+                {
+                  Fib.rt_prefix = p;
+                  rt_proto = Fib.Ospf;
+                  rt_metric = dr;
+                  rt_nexthops = nexthops;
+                }
+                :: acc.(v)
+            end
+          end
+        done)
+      chunk;
+    acc
+  in
+  let into = Pool.effective_jobs ?pool () * 4 in
+  let accs = Pool.parallel_map ?pool process (Pool.chunks ~into dists) in
+  let result = Array.make (max 1 n) [] in
+  List.iter
+    (fun acc ->
+      for v = 0 to n - 1 do
+        if acc.(v) <> [] then result.(v) <- acc.(v) @ result.(v)
+      done)
+    accs;
+  let out = ref Smap.empty in
+  Interner.iter it (fun v name ->
+      if result.(v) <> [] then out := Smap.add name result.(v) !out);
+  !out
+
+(* [routes_for] over every scoped router at once, from a prepared state:
+   [Smap.find_opt m (select_all st net) |> Option.value ~default:[]]
+   equals [routes_for st net m] for every scoped router [m]. *)
+let select_all ?pool (st : state) (net : Device.network) =
+  Telemetry.with_span "ospf.select_all" @@ fun () ->
+  let it = scoped_interner st.st_adjs in
+  let n = Interner.length it in
+  let dists =
+    Pool.chunked_map ?pool
+      (fun (p, (seeds, dmap)) ->
+        let dist = Array.make (max 1 n) max_int in
+        Smap.iter
+          (fun r d ->
+            match Interner.find it r with
+            | Some v -> dist.(v) <- d
+            | None -> ())
+          dmap;
+        (p, seeds, dist))
+      (Prefix.Map.bindings st.st_dists)
+  in
+  select_core ?pool it net st.st_adjs dists
+
 let compute ?(scope = all) ?pool (net : Device.network) =
-  let st = prepare ~scope ?pool net in
-  Smap.fold
-    (fun name _ acc ->
-      if not (scope name) then acc
-      else
-        match routes_for st net name with
-        | [] -> acc
-        | routes -> Smap.add name routes acc)
-    net.routers Smap.empty
+  if Fec.on () && Compiled.use_compiled () then
+    (* Scratch fast path: the per-prefix distance arrays feed batched
+       selection directly — the canonical per-prefix [Smap]s of a
+       [state] are never materialized here (only [prepare], whose states
+       the engine caches and persists to disk, pays for them). Routers
+       outside the scoped OSPF graph select no routes on either path, so
+       sweeping interner ids instead of [net.routers] yields the same
+       map. *)
+    let adjs = ospf_adjs ~scope net in
+    let bindings = Prefix.Map.bindings (advertised_prefixes ~scope net) in
+    let it = scoped_interner adjs in
+    let rcsr = scoped_csr ~rev:true it adjs in
+    let da = dist_arrays ?pool it rcsr bindings in
+    select_core ?pool it net adjs da
+  else
+    let st = prepare ~scope ?pool net in
+    Smap.fold
+      (fun name _ acc ->
+        if not (scope name) then acc
+        else
+          match routes_for st net name with
+          | [] -> acc
+          | routes -> Smap.add name routes acc)
+      net.routers Smap.empty
 
 let min_cost ?(scope = all) (net : Device.network) u =
   (* Distance from [u] to each router v: Dijkstra on forward adjacencies. *)

@@ -55,6 +55,15 @@ val routes_for : state -> Device.network -> string -> Fib.route list
 (** [routes_for st net r] is router [r]'s OSPF candidate routes under
     state [st]. *)
 
+val select_all :
+  ?pool:Netcore.Pool.t -> state -> Device.network -> Fib.route list Smap.t
+(** Batched {!routes_for} over every scoped router at once:
+    [Smap.find_opt r (select_all st net) |> Option.value ~default:[]]
+    equals [routes_for st net r] for every router [r] in the state's
+    scope (routers with no routes have no binding). One dense sweep per
+    prefix, sharded across [pool] — much cheaper than per-router map
+    probing when most routers need selection. *)
+
 val changed_filter_prefixes :
   (string * Configlang.Ast.prefix_list) list ->
   (string * Configlang.Ast.prefix_list) list ->

@@ -137,11 +137,13 @@ let domain_candidates ?pool (net : Device.network) d =
 let base_fibs_of_candidates (net : Device.network) igp_candidates =
   Smap.mapi
     (fun name (r : Device.router) ->
-      let candidates =
-        connected_routes r @ static_routes net r
-        @ Option.value ~default:[] (Smap.find_opt name igp_candidates)
-      in
-      List.fold_left (fun fib c -> Fib.add_candidate c fib) Fib.empty candidates)
+      (* IGP candidates arrive in the descending-prefix order batched
+         selection emits, so after the handful of connected and static
+         routes they merge in linearly; [add_sorted_desc] falls back to
+         per-candidate inserts if a protocol mix breaks the order. *)
+      Fib.add_sorted_desc
+        (Fib.of_candidates (connected_routes r @ static_routes net r))
+        (Option.value ~default:[] (Smap.find_opt name igp_candidates)))
     net.routers
 
 let run_net ?pool (net : Device.network) =

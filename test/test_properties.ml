@@ -242,7 +242,57 @@ let prop_b7_random =
                ~orig:(Routing.Simulate.dataplane r.orig_snapshot)
                ~anon:(Routing.Simulate.dataplane r.anon_snapshot)))
 
-let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_b7_random ]
+(* qcheck: the FEC-collapsed data-plane extraction (trace one representative
+   per ordered class pair, fan out to the whole class) must agree with the
+   full H^2 extraction trace for trace. Two hosts per router so that host
+   equivalence classes are nontrivial and the fan-out path actually runs. *)
+let traces_equal a b =
+  Hashtbl.length a = Hashtbl.length b
+  && Hashtbl.fold
+       (fun k (t : Dataplane.trace) acc -> acc && Hashtbl.find_opt b k = Some t)
+       a true
+
+let prop_fec_extraction =
+  QCheck2.Test.make ~name:"FEC-collapsed extraction equals full extraction"
+    ~count:12
+    QCheck2.Gen.(tup3 (int_range 4 10) (int_range 0 4) (int_bound 50000))
+    (fun (n, extra, seed) ->
+      let spec =
+        Netgen.Wan.waxman ~seed ~name:"fq" ~routers:n
+          ~router_links:(n - 1 + extra) ~hosts:(2 * n)
+      in
+      let s = Simulate.run_exn (Netgen.Emit.emit spec) in
+      let dp_fec = Fec.with_mode `On (fun () -> Simulate.dataplane s) in
+      let dp_full = Fec.with_mode `Off (fun () -> Simulate.dataplane s) in
+      traces_equal dp_fec dp_full)
+
+(* qcheck: sharding the per-prefix reverse Dijkstras across a pool must be
+   invisible — the FIBs are bit-identical to the sequential fold at every
+   job count, not merely route-set equal. Marshal digests catch any
+   representation drift that structural equality would mask. *)
+let prop_sharded_spf =
+  QCheck2.Test.make ~name:"sharded SPF bit-identical at jobs 1/2/4" ~count:8
+    QCheck2.Gen.(tup3 (int_range 5 12) (int_range 0 6) (int_bound 50000))
+    (fun (n, extra, seed) ->
+      let spec =
+        Netgen.Wan.waxman ~seed ~name:"sq" ~routers:n
+          ~router_links:(n - 1 + extra) ~hosts:(min n 5)
+      in
+      let configs = Netgen.Emit.emit spec in
+      let digest fibs = Digest.string (Marshal.to_string fibs []) in
+      let seq = (Simulate.run_exn configs).fibs in
+      List.for_all
+        (fun jobs ->
+          let pool = Netcore.Pool.create ~jobs () in
+          let sharded = (Simulate.run_exn ~pool configs).fibs in
+          Netcore.Pool.shutdown pool;
+          Device.Smap.equal ( = ) seq sharded
+          && Digest.equal (digest seq) (digest sharded))
+        [ 1; 2; 4 ])
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_b7_random; prop_fec_extraction; prop_sharded_spf ]
 
 let () =
   Alcotest.run "properties"
