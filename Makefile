@@ -1,4 +1,5 @@
-.PHONY: all build test bench-smoke batch-smoke fuzz-smoke check clean
+.PHONY: all build test bench-smoke batch-smoke serve-smoke cache-upgrade-smoke \
+  fuzz-smoke check clean
 
 all: build
 
@@ -48,6 +49,70 @@ batch-smoke:
 	  --resume --out /tmp/confmask-batch-smoke
 	cmp /tmp/confmask-batch-smoke/manifest.first.json /tmp/confmask-batch-smoke/manifest.json
 
+# Resident daemon smoke: a warm `confmask serve` answering the batch
+# grid through the client driver must produce byte-identical anonymized
+# configurations and result digests to the one-shot path, show
+# persistent-cache hits and zero fresh SPF computations on a second
+# pass, and drain cleanly on shutdown.
+SERVE_SMOKE := /tmp/confmask-serve-smoke
+serve-smoke:
+	rm -rf $(SERVE_SMOKE) && mkdir -p $(SERVE_SMOKE)
+	dune build bin/confmask_cli.exe
+	./_build/default/bin/confmask_cli.exe serve --listen unix:$(SERVE_SMOKE)/s.sock \
+	  --cache $(SERVE_SMOKE)/cache > $(SERVE_SMOKE)/serve.log 2>&1 & echo $$! > $(SERVE_SMOKE)/pid
+	for i in $$(seq 1 50); do test -S $(SERVE_SMOKE)/s.sock && break; sleep 0.2; done
+	./_build/default/bin/confmask_cli.exe batch --nets A,B --kr 2,6 --kh 2 \
+	  --out $(SERVE_SMOKE)/served --server unix:$(SERVE_SMOKE)/s.sock
+	./_build/default/bin/confmask_cli.exe batch --nets A,B --kr 2,6 --kh 2 \
+	  --out $(SERVE_SMOKE)/oneshot --no-cache
+	# Byte-identical anonymized configurations, job by job.
+	for d in $(SERVE_SMOKE)/served/*/configs; do \
+	  diff -r $$d $(SERVE_SMOKE)/oneshot/$$(basename $$(dirname $$d))/configs || exit 1; done
+	# Identical result digests, in job order.
+	grep -o '"digest": "[0-9a-f]*"' $(SERVE_SMOKE)/served/manifest.json > $(SERVE_SMOKE)/served.digests
+	grep -o '"digest": "[0-9a-f]*"' $(SERVE_SMOKE)/oneshot/manifest.json > $(SERVE_SMOKE)/oneshot.digests
+	test -s $(SERVE_SMOKE)/served.digests
+	cmp $(SERVE_SMOKE)/served.digests $(SERVE_SMOKE)/oneshot.digests
+	# Second served pass: every simulation must come from the resident
+	# caches — the daemon's spf_full counter must not move, and the disk
+	# cache must report hits.
+	./_build/default/bin/confmask_cli.exe call --connect unix:$(SERVE_SMOKE)/s.sock \
+	  '{"op": "stats"}' | grep -o '"engine.spf_full":[0-9]*' > $(SERVE_SMOKE)/spf.before
+	./_build/default/bin/confmask_cli.exe batch --nets A,B --kr 2,6 --kh 2 \
+	  --out $(SERVE_SMOKE)/served2 --server unix:$(SERVE_SMOKE)/s.sock
+	./_build/default/bin/confmask_cli.exe call --connect unix:$(SERVE_SMOKE)/s.sock \
+	  '{"op": "stats"}' > $(SERVE_SMOKE)/stats.json
+	grep -o '"engine.spf_full":[0-9]*' $(SERVE_SMOKE)/stats.json > $(SERVE_SMOKE)/spf.after
+	cmp $(SERVE_SMOKE)/spf.before $(SERVE_SMOKE)/spf.after
+	grep -Eq '"diskcache.hit":[1-9]' $(SERVE_SMOKE)/stats.json
+	# Graceful shutdown: drain, then exit.
+	./_build/default/bin/confmask_cli.exe call --connect unix:$(SERVE_SMOKE)/s.sock '{"op": "shutdown"}'
+	for i in $$(seq 1 50); do kill -0 $$(cat $(SERVE_SMOKE)/pid) 2>/dev/null || break; sleep 0.2; done
+	! kill -0 $$(cat $(SERVE_SMOKE)/pid) 2>/dev/null
+	grep -q 'drained, exiting' $(SERVE_SMOKE)/serve.log
+
+# Cache-format upgrade: a directory written by the pre-codec
+# (Marshal-envelope) disk cache must be detected by its INDEX magic and
+# wiped wholesale — never read — and the run must still succeed and
+# leave a usable new-format cache behind.
+CACHE_UPGRADE := /tmp/confmask-cache-upgrade
+cache-upgrade-smoke:
+	rm -rf $(CACHE_UPGRADE) && mkdir -p $(CACHE_UPGRADE)/cache
+	printf 'confmask-diskcache 1\nconfmask-1/ocaml-5.1.1\n' > $(CACHE_UPGRADE)/cache/INDEX
+	printf 'stale marshal bytes' > $(CACHE_UPGRADE)/cache/00deadbeef00.v
+	printf 'half-written entry' > $(CACHE_UPGRADE)/cache/.tmp-1234-leftover.v
+	dune exec bin/confmask_cli.exe -- generate --net A --out $(CACHE_UPGRADE)/orig
+	dune exec bin/confmask_cli.exe -- anonymize --in $(CACHE_UPGRADE)/orig \
+	  --out $(CACHE_UPGRADE)/anon --cache $(CACHE_UPGRADE)/cache
+	test ! -f $(CACHE_UPGRADE)/cache/00deadbeef00.v
+	test ! -f $(CACHE_UPGRADE)/cache/.tmp-1234-leftover.v
+	grep -q 'confmask-diskcache 2' $(CACHE_UPGRADE)/cache/INDEX
+	# The wiped directory is live again: a second run hits it.
+	dune exec bin/confmask_cli.exe -- anonymize --in $(CACHE_UPGRADE)/orig \
+	  --out $(CACHE_UPGRADE)/anon2 --cache $(CACHE_UPGRADE)/cache \
+	  --metrics-out $(CACHE_UPGRADE)/metrics.json
+	grep -Eq '"diskcache\.hit": *[1-9]' $(CACHE_UPGRADE)/metrics.json
+
 # Randomized differential/metamorphic fuzz of the whole pipeline: 200
 # generated networks against every crucible oracle; failures are shrunk
 # and written to crucible-failures/ for adoption into test/corpus/.
@@ -55,7 +120,7 @@ fuzz-smoke:
 	dune exec bin/crucible_cli.exe -- --seed 0 --cases 200 \
 	  --minimize --corpus-dir crucible-failures
 
-check: build test bench-smoke batch-smoke fuzz-smoke
+check: build test bench-smoke batch-smoke serve-smoke cache-upgrade-smoke fuzz-smoke
 
 clean:
 	dune clean

@@ -116,7 +116,9 @@ let anonymize in_dir out_dir format k_r k_h noise seed pii fake_routers jobs
   setup_telemetry ~trace ~metrics_out ~selfcheck;
   let cache = Option.map Routing.Engine.open_cache cache_dir in
   let configs = read_dir in_dir in
-  let params = { Confmask.Workflow.k_r; k_h; noise; seed; pii; fake_routers } in
+  let params =
+    { Confmask.Workflow.k_r; k_h; noise; seed; pii; pii_key = None; fake_routers }
+  in
   match Confmask.Workflow.run ~params ?cache configs with
   | Error m ->
       Printf.eprintf "anonymization failed: %s\n" m;
@@ -346,8 +348,13 @@ let diff_cmd =
 
 (* ---- batch ---- *)
 
+let parse_addr s =
+  match Netcore.Server.addr_of_string s with
+  | Ok a -> a
+  | Error m -> Confmask.Batch.input_error "%s" m
+
 let batch nets in_dirs k_rs k_hs out format seed noise resume limit cache_dir
-    no_cache jobs trace metrics_out =
+    no_cache jobs server tenant trace metrics_out =
   guard @@ fun () ->
   set_jobs jobs;
   setup_telemetry ~trace ~metrics_out ~selfcheck:false;
@@ -357,14 +364,19 @@ let batch nets in_dirs k_rs k_hs out format seed noise resume limit cache_dir
     Confmask.Batch.grid_jobs ~seed ~noise ~nets ~k_rs ~k_hs ()
     @ Confmask.Batch.dir_jobs ~seed ~noise ~dirs:in_dirs ~k_rs ~k_hs ()
   in
+  let server = Option.map parse_addr server in
   let cache =
-    if no_cache then None
+    (* In client mode the daemon's resident cache does the caching. *)
+    if no_cache || server <> None then None
     else
       Some
         (Routing.Engine.open_cache
            (Option.value cache_dir ~default:(Filename.concat out "cache")))
   in
-  let o = Confmask.Batch.run ?cache ~resume ?limit ~format ~out job_list in
+  let o =
+    Confmask.Batch.run ?cache ?server ?tenant ~resume ?limit ~format ~out
+      job_list
+  in
   emit_telemetry ~trace ~metrics_out;
   Printf.printf "jobs: %d ok (%d reused), %d errors, %d pending\nmanifest: %s\n"
     o.ok o.reused o.errors o.pending
@@ -408,6 +420,20 @@ let no_cache_arg =
   Arg.(value & flag & info [ "no-cache" ]
          ~doc:"Disable the persistent simulation cache (force cold runs).")
 
+let server_arg =
+  Arg.(value & opt (some string) None & info [ "server" ] ~docv:"ADDR"
+         ~doc:"Run as a client of a live $(b,confmask serve) daemon at \
+               $(docv) ('unix:PATH', 'tcp:HOST:PORT', or a bare port): each \
+               job becomes one request, the daemon executes it with its \
+               resident caches and writes the per-job outputs, and the \
+               manifest is assembled locally. Queue-full rejections are \
+               retried with backoff.")
+
+let batch_tenant_arg =
+  Arg.(value & opt (some string) None & info [ "tenant" ] ~docv:"NAME"
+         ~doc:"With $(b,--server): scrub PII under the daemon-configured key \
+               of tenant $(docv).")
+
 let batch_cmd =
   let info =
     Cmd.info "batch"
@@ -418,8 +444,127 @@ let batch_cmd =
   Cmd.v info
     Term.(const batch $ nets_arg $ in_dirs_arg $ krs_arg $ khs_arg $ out_arg
           $ format_arg $ seed_arg $ noise_arg $ resume_arg $ limit_arg
-          $ batch_cache_arg $ no_cache_arg $ jobs_arg $ trace_arg
-          $ metrics_out_arg)
+          $ batch_cache_arg $ no_cache_arg $ jobs_arg $ server_arg
+          $ batch_tenant_arg $ trace_arg $ metrics_out_arg)
+
+(* ---- serve ---- *)
+
+let parse_tenant s =
+  match String.index_opt s '=' with
+  | Some i -> (
+      let name = String.sub s 0 i in
+      let key = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt key with
+      | Some k when name <> "" -> (name, k)
+      | _ -> Confmask.Batch.input_error "bad --tenant '%s' (want NAME=KEY)" s)
+  | None -> Confmask.Batch.input_error "bad --tenant '%s' (want NAME=KEY)" s
+
+let serve listen queue_cap workers cache_dir jobs tenants trace =
+  guard @@ fun () ->
+  set_jobs jobs;
+  let addr = parse_addr listen in
+  let tenants = List.map parse_tenant tenants in
+  let cache = Option.map Routing.Engine.open_cache cache_dir in
+  let t =
+    Confmask.Serve.create
+      { Confmask.Serve.addr; queue_cap; workers; cache; tenants }
+  in
+  (* initiate_shutdown only flips an atomic, so it is safe here. *)
+  let stop _ = Netcore.Server.initiate_shutdown t in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+  Printf.printf
+    "confmask serve: listening on %s (queue %d, workers %d, cache %s)\n%!"
+    (Netcore.Server.addr_to_string addr)
+    queue_cap workers
+    (Option.value cache_dir ~default:"off");
+  Netcore.Server.run t;
+  if trace then Netcore.Telemetry.pp_report Format.err_formatter ();
+  Printf.printf "confmask serve: drained, exiting\n%!";
+  0
+
+let listen_arg =
+  Arg.(value & opt string "unix:confmask.sock"
+       & info [ "listen" ] ~docv:"ADDR"
+           ~doc:"Address to serve on: 'unix:PATH', 'tcp:HOST:PORT', or a bare \
+                 port number (TCP on 127.0.0.1).")
+
+let queue_arg =
+  Arg.(value & opt int Confmask.Serve.default_queue_cap
+       & info [ "queue" ] ~docv:"N"
+           ~doc:"Admission-control bound: requests beyond $(docv) already \
+                 queued are rejected immediately with a 'queue_full' error.")
+
+let workers_arg =
+  Arg.(value & opt int Confmask.Serve.default_workers
+       & info [ "workers" ] ~docv:"N"
+           ~doc:"Concurrent request executors. Each job parallelizes its \
+                 simulations internally across the domain pool, so 1 is \
+                 usually right; raise it to overlap small jobs.")
+
+let tenants_arg =
+  Arg.(value & opt_all string [] & info [ "tenant" ] ~docv:"NAME=KEY"
+         ~doc:"Register a tenant whose requests scrub PII under the integer \
+               key $(i,KEY) (repeatable). Requests naming an unregistered \
+               tenant are rejected.")
+
+let serve_cmd =
+  let info =
+    Cmd.info "serve"
+      ~doc:"Run the resident anonymization daemon: the worker pool, compiled \
+            networks and the persistent simulation cache stay warm across \
+            requests arriving as JSON lines over a Unix or TCP socket, with \
+            a bounded queue, typed overload rejections and graceful \
+            drain-on-shutdown"
+  in
+  Cmd.v info
+    Term.(const serve $ listen_arg $ queue_arg $ workers_arg $ cache_arg
+          $ jobs_arg $ tenants_arg $ trace_arg)
+
+(* ---- call ---- *)
+
+let call connect request =
+  guard @@ fun () ->
+  let addr = parse_addr connect in
+  let req =
+    match request with
+    | Some r -> r
+    | None -> ( try input_line stdin with End_of_file -> "")
+  in
+  match Netcore.Server.request addr req with
+  | exception (Unix.Unix_error _ | Sys_error _ | End_of_file) ->
+      Confmask.Batch.input_error "no confmask serve daemon reachable at %s"
+        (Netcore.Server.addr_to_string addr)
+  | resp ->
+      print_endline resp;
+      let ok =
+        match Netcore.Json.parse resp with
+        | Ok j -> Option.bind (Netcore.Json.member "ok" j) Netcore.Json.bool
+                  = Some true
+        | Error _ -> false
+      in
+      if ok then 0 else 1
+
+let connect_arg =
+  Arg.(value & opt string "unix:confmask.sock"
+       & info [ "connect" ] ~docv:"ADDR"
+           ~doc:"Daemon address: 'unix:PATH', 'tcp:HOST:PORT', or a bare \
+                 port number (TCP on 127.0.0.1).")
+
+let request_arg =
+  Arg.(value & pos 0 (some string) None
+       & info [] ~docv:"REQUEST"
+           ~doc:"One JSON request line, e.g. '{\"op\": \"stats\"}' (default: \
+                 read one line from stdin).")
+
+let call_cmd =
+  let info =
+    Cmd.info "call"
+      ~doc:"Send one JSON request line to a running confmask serve daemon \
+            and print the response line (exit 0 when the response reports \
+            \\\"ok\\\": true, 1 otherwise)"
+  in
+  Cmd.v info Term.(const call $ connect_arg $ request_arg)
 
 let () =
   let info =
@@ -429,5 +574,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ generate_cmd; anonymize_cmd; batch_cmd; simulate_cmd; metrics_cmd;
-            diff_cmd; deanon_cmd ]))
+          [ generate_cmd; anonymize_cmd; batch_cmd; serve_cmd; call_cmd;
+            simulate_cmd; metrics_cmd; diff_cmd; deanon_cmd ]))

@@ -34,9 +34,21 @@ let read_config_dir dir =
       | Error m -> input_error "%s: %s" path m)
     files
 
+(* A job's input is named, not a closure, so a job can be shipped over
+   the serve wire and re-materialized by the daemon. Loading happens
+   inside the job either way, so load failures stay isolated. *)
+type source = Catalog of string | Dir of string
+
+let load_source = function
+  | Catalog net -> (
+      match Netgen.Nets.find net with
+      | entry -> Netgen.Nets.configs entry
+      | exception Not_found -> input_error "unknown network '%s'" net)
+  | Dir dir -> read_config_dir dir
+
 type job = {
   job_id : string;
-  job_load : unit -> Configlang.Ast.config list;
+  job_source : source;
   job_params : Workflow.params;
 }
 
@@ -56,11 +68,7 @@ let grid_jobs ?(seed = 42) ?(noise = 0.1) ~nets ~k_rs ~k_hs () =
     (fun (net, k_r, k_h) ->
       {
         job_id = Printf.sprintf "%s-kr%d-kh%d" net k_r k_h;
-        job_load =
-          (fun () ->
-            match Netgen.Nets.find net with
-            | entry -> Netgen.Nets.configs entry
-            | exception Not_found -> input_error "unknown network '%s'" net);
+        job_source = Catalog net;
         job_params = params_of ~seed ~noise ~k_r ~k_h;
       })
     (combos ~ids:nets ~k_rs ~k_hs)
@@ -71,7 +79,7 @@ let dir_jobs ?(seed = 42) ?(noise = 0.1) ~dirs ~k_rs ~k_hs () =
       {
         job_id =
           Printf.sprintf "%s-kr%d-kh%d" (Filename.basename dir) k_r k_h;
-        job_load = (fun () -> read_config_dir dir);
+        job_source = Dir dir;
         job_params = params_of ~seed ~noise ~k_r ~k_h;
       })
     (combos ~ids:dirs ~k_rs ~k_hs)
@@ -194,14 +202,14 @@ let execute ~out ~cache ~format job =
   let dir = Filename.concat out job.job_id in
   mkdir_p dir;
   let before = Telemetry.counters () in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let record =
     match
-      let configs = job.job_load () in
+      let configs = load_source job.job_source in
       Workflow.run ~params:job.job_params ?cache configs
     with
     | Ok r ->
-        let seconds = Unix.gettimeofday () -. t0 in
+        let seconds = Clock.elapsed t0 in
         let deltas = counter_delta before (Telemetry.counters ()) in
         write_anon_configs ~format (Filename.concat dir "configs") r;
         let digest =
@@ -210,15 +218,106 @@ let execute ~out ~cache ~format job =
         in
         ok_record ~id:job.job_id ~seconds ~digest ~deltas r
     | Error msg ->
-        let seconds = Unix.gettimeofday () -. t0 in
+        let seconds = Clock.elapsed t0 in
         error_record ~id:job.job_id ~seconds ~cls:"input" ~msg
     | exception e ->
-        let seconds = Unix.gettimeofday () -. t0 in
+        let seconds = Clock.elapsed t0 in
         let cls, msg = classify e in
         error_record ~id:job.job_id ~seconds ~cls ~msg
   in
   write_file (result_path out job.job_id) record;
   record
+
+(* ---- running a job through a live serve daemon ---- *)
+
+let format_name = function
+  | Configlang.Vendor.Cisco -> "cisco"
+  | Configlang.Vendor.Junos -> "junos"
+
+let job_request ?tenant ~out ~format job =
+  let p = job.job_params in
+  let source =
+    match job.job_source with
+    | Catalog net -> Json.Obj [ ("catalog", Json.Str net) ]
+    | Dir dir -> Json.Obj [ ("dir", Json.Str dir) ]
+  in
+  let fields =
+    [
+      ("op", Json.Str "job");
+      ("id", Json.Str job.job_id);
+      ("source", source);
+      ("kr", Json.Num (float_of_int p.k_r));
+      ("kh", Json.Num (float_of_int p.k_h));
+      ("seed", Json.Num (float_of_int p.seed));
+      ("noise", Json.Num p.noise);
+      ("pii", Json.Bool p.pii);
+      ("fake_routers", Json.Num (float_of_int p.fake_routers));
+      ("out", Json.Str out);
+      ("format", Json.Str (format_name format));
+    ]
+    @ (match p.pii_key with
+      | Some k -> [ ("pii_key", Json.Num (float_of_int k)) ]
+      | None -> [])
+    @ match tenant with Some t -> [ ("tenant", Json.Str t) ] | None -> []
+  in
+  Json.to_string (Json.Obj fields)
+
+(* Admission-control pushback: a queue-full rejection is the daemon
+   telling us to slow down, so back off briefly and retry; anything
+   else is final for this job. *)
+let remote_attempts = 240
+let remote_backoff_s = 0.25
+
+let execute_remote ~server ?tenant ~out ~format job =
+  let req = job_request ?tenant ~out ~format job in
+  let rec attempt n =
+    let resp =
+      try Server.request server req
+      with Unix.Unix_error (e, _, _) ->
+        input_error "serve daemon at %s unreachable: %s"
+          (Server.addr_to_string server) (Unix.error_message e)
+      | End_of_file | Sys_error _ ->
+        input_error "serve daemon at %s hung up mid-request"
+          (Server.addr_to_string server)
+    in
+    match Json.parse resp with
+    | Error m -> input_error "unparsable serve response: %s" m
+    | Ok v -> (
+        let err = Option.bind (Json.member "error" v) Json.str in
+        match (Option.bind (Json.member "ok" v) Json.bool, err) with
+        | Some true, _ -> (
+            match Option.bind (Json.member "record" v) Json.str with
+            | Some record -> record
+            | None -> input_error "serve response carries no record")
+        | _, Some "queue_full" when n < remote_attempts ->
+            Unix.sleepf remote_backoff_s;
+            attempt (n + 1)
+        | _, Some e ->
+            let detail =
+              match Option.bind (Json.member "detail" v) Json.str with
+              | Some d -> ": " ^ d
+              | None -> ""
+            in
+            input_error "serve daemon rejected job %s: %s%s" job.job_id e detail
+        | _, None -> input_error "malformed serve response: %s" resp)
+  in
+  attempt 0
+
+(* The daemon writes result.json and the configs itself (same [execute]
+   code path, same bytes); the client still isolates failures into an
+   error record so one dead job cannot kill the grid. *)
+let process_remote ~server ?tenant ~out ~format job =
+  let t0 = Clock.now () in
+  match execute_remote ~server ?tenant ~out ~format job with
+  | record -> record
+  | exception e ->
+      let cls, msg = classify e in
+      let record =
+        error_record ~id:job.job_id ~seconds:(Clock.elapsed t0) ~cls ~msg
+      in
+      mkdir_p (Filename.concat out job.job_id);
+      write_file (result_path out job.job_id) record;
+      record
 
 (* ---- the driver ---- *)
 
@@ -241,8 +340,8 @@ let record_exit_code record =
   | `Ok | `Pending -> 0
   | `Error -> if has_marker record "\"class\": \"input\"" then 1 else 2
 
-let run ?pool ?cache ?(resume = false) ?limit ?(format = Configlang.Vendor.Cisco)
-    ~out jobs =
+let run ?pool ?cache ?server ?tenant ?(resume = false) ?limit
+    ?(format = Configlang.Vendor.Cisco) ~out jobs =
   (* The per-job records embed counter deltas; without telemetry they
      would all read empty, which defeats the manifest's purpose. *)
   Telemetry.set_enabled true;
@@ -254,6 +353,22 @@ let run ?pool ?cache ?(resume = false) ?limit ?(format = Configlang.Vendor.Cisco
       Hashtbl.add seen id ())
     ids;
   mkdir_p out;
+  (* The daemon re-materializes sources and writes results relative to
+     its own cwd; absolute paths make the request location-independent. *)
+  let absolutize p =
+    if Filename.is_relative p then Filename.concat (Sys.getcwd ()) p else p
+  in
+  let out = if server = None then out else absolutize out in
+  let jobs =
+    if server = None then jobs
+    else
+      List.map
+        (fun j ->
+          match j.job_source with
+          | Dir d -> { j with job_source = Dir (absolutize d) }
+          | Catalog _ -> j)
+        jobs
+  in
   let executed = Atomic.make 0 in
   let reused = Atomic.make 0 in
   let process job =
@@ -261,11 +376,15 @@ let run ?pool ?cache ?(resume = false) ?limit ?(format = Configlang.Vendor.Cisco
     | Some record ->
         Atomic.incr reused;
         (job.job_id, record)
-    | None ->
+    | None -> (
         let slot = Atomic.fetch_and_add executed 1 in
         if match limit with Some l -> slot >= l | None -> false then
           (job.job_id, pending_record ~id:job.job_id)
-        else (job.job_id, execute ~out ~cache ~format job)
+        else
+          match server with
+          | Some server ->
+              (job.job_id, process_remote ~server ?tenant ~out ~format job)
+          | None -> (job.job_id, execute ~out ~cache ~format job))
   in
   let records = Pool.parallel_map ?pool process jobs in
   let count f = List.length (List.filter f records) in

@@ -43,10 +43,20 @@ val read_config_dir : string -> Configlang.Ast.config list
     the directory is missing, holds no [.cfg] file, or a file fails to
     parse. *)
 
+type source =
+  | Catalog of string  (** a {!Netgen.Nets} catalog id *)
+  | Dir of string  (** a directory of [.cfg] files *)
+(** Where a job's configurations come from. A name rather than a
+    closure, so a job can be shipped to a serve daemon and
+    re-materialized there; loading happens inside the job either way,
+    so load failures stay isolated. *)
+
+val load_source : source -> Configlang.Ast.config list
+(** Raises {!Input_error} for unknown catalog ids / unusable dirs. *)
+
 type job = {
   job_id : string;  (** unique within the batch; used as directory name *)
-  job_load : unit -> Configlang.Ast.config list;
-      (** called inside the job, so load failures are isolated too *)
+  job_source : source;
   job_params : Workflow.params;
 }
 
@@ -84,9 +94,24 @@ type outcome = {
   exit_code : int;  (** worst over the processed jobs; pending is 0 *)
 }
 
+val execute :
+  out:string ->
+  cache:Netcore.Diskcache.t option ->
+  format:Configlang.Vendor.t ->
+  job ->
+  string
+(** Runs one job in-process: loads the source, runs the workflow,
+    writes [out/<id>/configs/] and [out/<id>/result.json], and returns
+    the one-line record. Never raises — failures become error records.
+    This is the {e same} code path whether called by {!run} or by the
+    serve daemon on behalf of a remote client, which is what makes the
+    two modes byte-compatible. *)
+
 val run :
   ?pool:Netcore.Pool.t ->
   ?cache:Netcore.Diskcache.t ->
+  ?server:Netcore.Server.addr ->
+  ?tenant:string ->
   ?resume:bool ->
   ?limit:int ->
   ?format:Configlang.Vendor.t ->
@@ -99,7 +124,18 @@ val run :
     jobs {e executed} this run (reused jobs are free); the rest are
     recorded as pending — the deterministic way to interrupt a batch.
     Enables telemetry (the per-job records embed counter deltas).
-    Duplicate job ids are an {!Input_error}. *)
+    Duplicate job ids are an {!Input_error}.
+
+    With [server], the driver becomes a {e client} of a live
+    [confmask serve] daemon: each job is sent as one request (with
+    [out] and any [Dir] sources made absolute, since the daemon
+    executes them), the daemon runs {!execute} with {e its} resident
+    caches and writes the per-job outputs, and the returned record is
+    assembled into the local manifest. Queue-full rejections are
+    retried with backoff (the admission-control pushback); an
+    unreachable daemon turns into per-job input-class error records.
+    [cache] is ignored in this mode — the daemon's cache is the point.
+    [tenant] names the daemon-side PII key to scrub with. *)
 
 val manifest_path : string -> string
 (** [manifest_path out] is the path of the results manifest under the

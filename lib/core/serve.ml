@@ -1,0 +1,197 @@
+open Netcore
+
+type config = {
+  addr : Server.addr;
+  queue_cap : int;
+  workers : int;
+  cache : Diskcache.t option;
+  tenants : (string * int) list;
+}
+
+let default_queue_cap = 64
+let default_workers = 1
+
+let c_jobs = Telemetry.counter "serve.jobs"
+
+(* ---- response builders ---- *)
+
+let ok fields = Json.to_string (Json.Obj (("ok", Json.Bool true) :: fields))
+
+let error ?detail kind =
+  Json.to_string
+    (Json.Obj
+       ([ ("ok", Json.Bool false); ("error", Json.Str kind) ]
+       @ match detail with Some d -> [ ("detail", Json.Str d) ] | None -> []))
+
+exception Bad_request of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad_request m)) fmt
+
+(* ---- request field access ---- *)
+
+let field req name = Json.member name req
+let str_field req name = Option.bind (field req name) Json.str
+let int_field req name = Option.bind (field req name) Json.int
+let num_field req name = Option.bind (field req name) Json.num
+let bool_field req name = Option.bind (field req name) Json.bool
+
+let require what = function Some v -> v | None -> bad "missing field '%s'" what
+
+(* ---- ops ---- *)
+
+let stats_response server =
+  let gauges =
+    match server with
+    | Some s ->
+        let st = Server.stats s in
+        [
+          ("uptime_s", Json.Num st.Server.uptime_s);
+          ("accepted", Json.Num (float_of_int st.accepted));
+          ("served", Json.Num (float_of_int st.served));
+          ("rejected_full", Json.Num (float_of_int st.rejected_full));
+          ("rejected_draining", Json.Num (float_of_int st.rejected_draining));
+          ("queue_depth", Json.Num (float_of_int st.queue_depth));
+          ("in_flight", Json.Num (float_of_int st.in_flight));
+          ("queue_cap", Json.Num (float_of_int st.queue_cap));
+          ("workers", Json.Num (float_of_int st.workers));
+          ("connections", Json.Num (float_of_int st.connections));
+        ]
+    | None -> []
+  in
+  let counters =
+    Json.Obj
+      (List.map
+         (fun (name, v) -> (name, Json.Num (float_of_int v)))
+         (Telemetry.counters ()))
+  in
+  let spans =
+    Json.Arr
+      (List.map
+         (fun (path, count, seconds) ->
+           Json.Obj
+             [
+               ("path", Json.Str path);
+               ("count", Json.Num (float_of_int count));
+               ("seconds", Json.Num seconds);
+             ])
+         (Telemetry.spans ()))
+  in
+  ok
+    ([ ("op", Json.Str "stats") ]
+    @ gauges
+    @ [ ("counters", counters); ("spans", spans) ])
+
+let source_of req =
+  match field req "source" with
+  | None -> bad "missing field 'source'"
+  | Some s -> (
+      match
+        (Option.bind (Json.member "catalog" s) Json.str,
+         Option.bind (Json.member "dir" s) Json.str)
+      with
+      | Some net, None -> Batch.Catalog net
+      | None, Some dir -> Batch.Dir dir
+      | _ -> bad "source must be {\"catalog\": ID} or {\"dir\": PATH}")
+
+let format_of req =
+  match str_field req "format" with
+  | None | Some "cisco" -> Configlang.Vendor.Cisco
+  | Some "junos" -> Configlang.Vendor.Junos
+  | Some f -> bad "unknown format '%s'" f
+
+let job_response ~cache ~tenants req =
+  let d = Workflow.default_params in
+  let id = require "id" (str_field req "id") in
+  let out = require "out" (str_field req "out") in
+  let pii_key =
+    (* A tenant name pins the prefix-preserving scrub key daemon-side;
+       an explicit pii_key (tests, single-tenant setups) also works.
+       Tenant wins when both are given. *)
+    match str_field req "tenant" with
+    | Some t -> (
+        match List.assoc_opt t tenants with
+        | Some key -> Some key
+        | None -> raise (Bad_request (Printf.sprintf "unknown tenant '%s'" t)))
+    | None -> int_field req "pii_key"
+  in
+  let job =
+    {
+      Batch.job_id = id;
+      job_source = source_of req;
+      job_params =
+        {
+          Workflow.k_r = Option.value ~default:d.k_r (int_field req "kr");
+          k_h = Option.value ~default:d.k_h (int_field req "kh");
+          seed = Option.value ~default:d.seed (int_field req "seed");
+          noise = Option.value ~default:d.noise (num_field req "noise");
+          pii = Option.value ~default:d.pii (bool_field req "pii");
+          pii_key;
+          fake_routers =
+            Option.value ~default:d.fake_routers (int_field req "fake_routers");
+        };
+    }
+  in
+  Telemetry.incr c_jobs;
+  (* Same code path as the local batch driver — that, plus the seeded
+     determinism of the workflow, is the byte-compatibility argument. *)
+  let record = Batch.execute ~out ~cache ~format:(format_of req) job in
+  ok [ ("op", Json.Str "job"); ("id", Json.Str id); ("record", Json.Str record) ]
+
+let handle ~server ~cache ~tenants line =
+  match Json.parse line with
+  | Error m -> error ~detail:m "bad_request"
+  | Ok req -> (
+      match
+        match str_field req "op" with
+        | None -> bad "missing field 'op'"
+        | Some "ping" -> ok [ ("op", Json.Str "ping") ]
+        | Some "stats" -> stats_response !server
+        | Some "job" -> job_response ~cache ~tenants req
+        | Some "sleep" ->
+            let s =
+              Float.min 10.0
+                (Float.max 0.0
+                   (Option.value ~default:0.1 (num_field req "seconds")))
+            in
+            Thread.delay s;
+            ok [ ("op", Json.Str "sleep"); ("seconds", Json.Num s) ]
+        | Some "shutdown" ->
+            (match !server with
+            | Some s -> Server.initiate_shutdown s
+            | None -> ());
+            ok [ ("op", Json.Str "shutdown"); ("draining", Json.Bool true) ]
+        | Some op -> bad "unknown op '%s'" op
+      with
+      | resp -> resp
+      | exception Bad_request m -> (
+          match m with
+          | _ when String.length m >= 15
+                   && String.equal (String.sub m 0 15) "unknown tenant " ->
+              error ~detail:m "unknown_tenant"
+          | _ -> error ~detail:m "bad_request"))
+
+let rejected = function
+  | Server.Queue_full -> error "queue_full"
+  | Server.Draining -> error "draining"
+
+let on_error e = error ~detail:(Printexc.to_string e) "internal"
+
+let create cfg =
+  (* The stats op must see populated counters and spans. *)
+  Telemetry.set_enabled true;
+  let server = ref None in
+  let t =
+    Server.create
+      {
+        Server.addr = cfg.addr;
+        queue_cap = cfg.queue_cap;
+        workers = cfg.workers;
+        handler =
+          (fun line ->
+            handle ~server ~cache:cfg.cache ~tenants:cfg.tenants line);
+        rejected;
+        on_error;
+      }
+  in
+  server := Some t;
+  t

@@ -7,11 +7,20 @@ type params = {
   noise : float;
   seed : int;
   pii : bool;
+  pii_key : int option;
   fake_routers : int;
 }
 
 let default_params =
-  { k_r = 6; k_h = 2; noise = 0.1; seed = 42; pii = false; fake_routers = 0 }
+  {
+    k_r = 6;
+    k_h = 2;
+    noise = 0.1;
+    seed = 42;
+    pii = false;
+    pii_key = None;
+    fake_routers = 0;
+  }
 
 type report = {
   params : params;
@@ -84,8 +93,13 @@ let run ?(params = default_params) ?cache orig_configs =
     (* Optional add-on: PII scrubbing. *)
     let anon_configs =
       if params.pii then
+        (* The scrub key is per-tenant state, not workflow randomness:
+           a tenant-pinned key (the serve daemon's tenant table) keeps
+           one tenant's address mapping stable across runs and distinct
+           from every other tenant's, whatever seeds they pick. *)
+        let key = Option.value ~default:params.seed params.pii_key in
         Telemetry.with_span "workflow.pii" (fun () ->
-            Pii.Scrub.scrub ~key:(Pii.Pan.key_of_int params.seed) anon.configs)
+            Pii.Scrub.scrub ~key:(Pii.Pan.key_of_int key) anon.configs)
       else anon.configs
     in
     let* anon_snapshot =

@@ -9,6 +9,11 @@ type params = {
   noise : float;  (** Algorithm 2 noise coefficient (paper default 0.1) *)
   seed : int;  (** all randomness derives from this seed *)
   pii : bool;  (** run the PII add-on as a final stage *)
+  pii_key : int option;
+      (** key of the prefix-preserving IP map; [None] derives it from
+          [seed]. The serve daemon pins it per tenant so one tenant's
+          address mapping is stable across runs and distinct from every
+          other tenant's. *)
   fake_routers : int;
       (** §9 extension: fake routers to add before topology anonymization
           (IGP-only networks; 0 disables) *)
@@ -16,7 +21,8 @@ type params = {
 
 val default_params : params
 (** [k_r = 6; k_h = 2; noise = 0.1; seed = 42; pii = false;
-    fake_routers = 0] — the paper's default evaluation setting. *)
+    pii_key = None; fake_routers = 0] — the paper's default evaluation
+    setting. *)
 
 type report = {
   params : params;

@@ -1,0 +1,4 @@
+external monotonic_ns : unit -> int64 = "confmask_clock_monotonic_ns"
+
+let now () = Int64.to_float (monotonic_ns ()) /. 1e9
+let elapsed t0 = Float.max 0.0 (now () -. t0)

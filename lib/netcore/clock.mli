@@ -1,0 +1,19 @@
+(** Monotonic time.
+
+    Every duration in the tree — telemetry spans, per-job batch timing,
+    server uptime — must come from here, never from [Unix.gettimeofday]:
+    the wall clock steps (NTP slews and jumps, manual adjustment), and a
+    step across a measured interval records a negative or garbage
+    duration. The monotonic clock has an arbitrary epoch and never goes
+    backwards.
+
+    Backed by [clock_gettime(CLOCK_MONOTONIC)] through a tiny C stub; on
+    platforms without a monotonic clock it degrades to the wall clock. *)
+
+val now : unit -> float
+(** Seconds since an arbitrary process-independent epoch. Monotonically
+    non-decreasing; only meaningful as a difference of two reads. *)
+
+val elapsed : float -> float
+(** [elapsed t0] is [now () -. t0], clamped below at [0.] as a last line
+    of defence on fallback platforms. *)

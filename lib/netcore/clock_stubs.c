@@ -1,0 +1,29 @@
+/* Monotonic time for Netcore.Clock.
+
+   OCaml's Unix library exposes only the wall clock (gettimeofday),
+   which steps under NTP adjustment and can make an interval measured
+   across a step negative or wildly wrong. This stub reads the
+   operating system's monotonic clock instead; the wall-clock fallback
+   only exists for platforms without CLOCK_MONOTONIC, where stepping is
+   the pre-existing behaviour anyway. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value confmask_clock_monotonic_ns(value unit)
+{
+  (void)unit;
+#if defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec);
+#endif
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_int64((int64_t)tv.tv_sec * 1000000000 +
+                           (int64_t)tv.tv_usec * 1000);
+  }
+}

@@ -1,0 +1,59 @@
+let magic = "CMCODEC1"
+let header_len = 20 (* magic + three u32 length fields *)
+let digest_len = 16
+
+let encode ~version ~key payload =
+  let v = String.length version
+  and k = String.length key
+  and p = String.length payload in
+  let total = header_len + v + k + p + digest_len in
+  let b = Bytes.create total in
+  Bytes.blit_string magic 0 b 0 8;
+  Bytes.set_int32_be b 8 (Int32.of_int v);
+  Bytes.set_int32_be b 12 (Int32.of_int k);
+  Bytes.set_int32_be b 16 (Int32.of_int p);
+  Bytes.blit_string version 0 b header_len v;
+  Bytes.blit_string key 0 b (header_len + v) k;
+  Bytes.blit_string payload 0 b (header_len + v + k) p;
+  let body_len = header_len + v + k + p in
+  let digest = Digest.subbytes b 0 body_len in
+  Bytes.blit_string digest 0 b body_len digest_len;
+  Bytes.unsafe_to_string b
+
+(* A u32 field read as a signed OCaml int: values above 2^31 come back
+   negative and fail the >= 0 guard, so no length can index out of
+   bounds on any platform we build for. *)
+let u32 raw off = Int32.to_int (String.get_int32_be raw off)
+
+let decode_any raw =
+  let len = String.length raw in
+  if len < header_len + digest_len then None
+  else if not (String.equal (String.sub raw 0 8) magic) then None
+  else
+    let v = u32 raw 8 and k = u32 raw 12 and p = u32 raw 16 in
+    if v < 0 || k < 0 || p < 0 then None
+    else if
+      (* Overflow-safe exact-length check: each field already fits in
+         an int, and len bounds their sum. *)
+      v > len || k > len || p > len
+      || header_len + v + k + p + digest_len <> len
+    then None
+    else
+      let body_len = header_len + v + k + p in
+      if
+        not
+          (String.equal
+             (Digest.substring raw 0 body_len)
+             (String.sub raw body_len digest_len))
+      then None
+      else
+        Some
+          ( String.sub raw header_len v,
+            String.sub raw (header_len + v) k,
+            String.sub raw (header_len + v + k) p )
+
+let decode ~version ~key raw =
+  match decode_any raw with
+  | Some (v, k, payload) when String.equal v version && String.equal k key ->
+      Some payload
+  | _ -> None

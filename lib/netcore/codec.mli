@@ -1,0 +1,48 @@
+(** Portable, trust-nothing binary envelope for on-disk cache entries.
+
+    The previous disk-cache envelope was a [Marshal]ed record: compact,
+    but readable only by the exact compiler version that wrote it (hence
+    the [Sys.ocaml_version] pin), and [Marshal.from_string] on hostile
+    bytes can raise or even misbehave. This codec is an explicit byte
+    format with no [Marshal] anywhere, so any OCaml (or any language)
+    can read and write it, concurrent readers can share a directory
+    across builds, and decoding is total: corrupted, truncated or
+    foreign input yields [None], never an exception and never a stale
+    payload.
+
+    Wire layout (all integers big-endian unsigned 32-bit):
+
+    {v
+    offset        size  field
+    0             8     magic "CMCODEC1"
+    8             4     V  = length of version string
+    12            4     K  = length of key string
+    16            4     P  = length of payload
+    20            V     version bytes
+    20+V          K     key bytes
+    20+V+K        P     payload bytes
+    20+V+K+P      16    MD5 digest of bytes [0, 20+V+K+P)
+    v}
+
+    The digest covers the header too, so a flipped bit anywhere — magic,
+    lengths, version, key or payload — is caught; the trailing position
+    makes truncation detectable without trusting the length fields, and
+    an exact total-length check rejects trailing garbage. *)
+
+val magic : string
+(** ["CMCODEC1"], 8 bytes. Bump the final digit on any layout change. *)
+
+val encode : version:string -> key:string -> string -> string
+(** [encode ~version ~key payload] is the full envelope. *)
+
+val decode : version:string -> key:string -> string -> string option
+(** [decode ~version ~key raw] is [Some payload] iff [raw] is a
+    well-formed envelope whose digest verifies and whose version and key
+    fields equal the expected ones. Any other input — short, corrupted,
+    bit-flipped, wrong magic, wrong version, key collision — is [None].
+    Never raises. *)
+
+val decode_any : string -> (string * string * string) option
+(** [decode_any raw] is [Some (version, key, payload)] for a well-formed
+    envelope regardless of its version and key — the inspection path for
+    tools and tests. Never raises. *)

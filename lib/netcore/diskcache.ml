@@ -7,28 +7,35 @@ let c_write = Telemetry.counter "diskcache.write"
 let dir t = t.cache_dir
 let version t = t.eff_version
 
-(* Entry files are self-describing so a reader can reject anything it
-   did not write itself: the version and key guard against collisions
-   and stale formats, the digest against truncation and bit rot. *)
-type entry = {
-  e_version : string;
-  e_key : string;
-  e_digest : string;  (* Digest.string of e_payload *)
-  e_payload : string;
-}
+(* Entry files are self-describing {!Codec} envelopes so a reader can
+   reject anything it did not write itself: the version and key fields
+   guard against collisions and stale formats, the digest against
+   truncation and bit rot. The envelope is an explicit portable byte
+   format — no [Marshal] — so entries survive compiler upgrades and can
+   be shared across builds; callers whose *payloads* are Marshal-pinned
+   (the routing engine) carry the compiler version in their own version
+   string instead. *)
 
-let index_magic = "confmask-diskcache 1"
+(* Bumped from "1": the v1 envelope was a Marshaled record. A directory
+   written by v1 fails the index check below and is wiped wholesale. *)
+let index_magic = "confmask-diskcache 2"
 let entry_suffix = ".v"
+let tmp_prefix = ".tmp-"
 
 let entry_path t key =
   Filename.concat t.cache_dir (Digest.to_hex (Digest.string key) ^ entry_suffix)
 
-let entry_files dir =
+let files_with dir keep =
   match Sys.readdir dir with
   | exception Sys_error _ -> []
-  | files ->
-      Array.to_list files
-      |> List.filter (fun f -> Filename.check_suffix f entry_suffix)
+  | files -> Array.to_list files |> List.filter keep
+
+let entry_files dir = files_with dir (fun f -> Filename.check_suffix f entry_suffix)
+
+let tmp_files dir =
+  files_with dir (fun f ->
+      String.length f >= String.length tmp_prefix
+      && String.equal (String.sub f 0 (String.length tmp_prefix)) tmp_prefix)
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
@@ -55,7 +62,7 @@ let tmp_seq = Atomic.make 0
 let write_file_atomic ~dir path content =
   let tmp =
     Filename.concat dir
-      (Printf.sprintf ".tmp-%d-%d" (Unix.getpid ())
+      (Printf.sprintf "%s%d-%d" tmp_prefix (Unix.getpid ())
          (Atomic.fetch_and_add tmp_seq 1))
   in
   let oc = open_out_bin tmp in
@@ -65,10 +72,17 @@ let write_file_atomic ~dir path content =
   Sys.rename tmp path
 
 let open_dir ?(version = "1") cache_dir =
-  let eff_version = version ^ "/ocaml-" ^ Sys.ocaml_version in
-  let t = { cache_dir; eff_version } in
+  let t = { cache_dir; eff_version = version } in
   mkdir_p cache_dir;
-  let want = index_magic ^ "\n" ^ eff_version ^ "\n" in
+  (* A writer that crashed between writing its temp file and renaming it
+     leaks the temp file forever — nothing else ever touches that name.
+     Sweep them here: any temp file is either stale (its writer is gone)
+     or belongs to a concurrent in-flight [add], whose rename then fails
+     and is swallowed — the cache contract makes a lost write harmless. *)
+  List.iter
+    (fun f -> try Sys.remove (Filename.concat cache_dir f) with Sys_error _ -> ())
+    (tmp_files cache_dir);
+  let want = index_magic ^ "\n" ^ version ^ "\n" in
   (match read_file (index_path cache_dir) with
   | Some got when String.equal got want -> ()
   | _ ->
@@ -82,48 +96,29 @@ let open_dir ?(version = "1") cache_dir =
       write_file_atomic ~dir:cache_dir (index_path cache_dir) want);
   t
 
-let find t key =
-  let hit payload =
-    Telemetry.incr c_hit;
-    Some payload
-  in
-  let miss () =
-    Telemetry.incr c_miss;
-    None
-  in
+(* The one decode path: both [find] and [mem] trust an entry only if the
+   whole envelope validates — digest, version and key alike. *)
+let load t key =
   match read_file (entry_path t key) with
-  | None -> miss ()
-  | Some raw -> (
-      (* The whole decode runs under the handler: unmarshalling garbage
-         raises, and even a well-formed foreign value trips one of the
-         string comparisons before its payload can leak out. *)
-      match
-        let e = (Marshal.from_string raw 0 : entry) in
-        if
-          String.equal e.e_version t.eff_version
-          && String.equal e.e_key key
-          && String.equal e.e_digest (Digest.string e.e_payload)
-        then Some e.e_payload
-        else None
-      with
-      | Some payload -> hit payload
-      | None | (exception _) -> miss ())
+  | None -> None
+  | Some raw -> Codec.decode ~version:t.eff_version ~key raw
+
+let find t key =
+  match load t key with
+  | Some payload ->
+      Telemetry.incr c_hit;
+      Some payload
+  | None ->
+      Telemetry.incr c_miss;
+      None
 
 let add t ~key payload =
-  let e =
-    {
-      e_version = t.eff_version;
-      e_key = key;
-      e_digest = Digest.string payload;
-      e_payload = payload;
-    }
-  in
   match
     write_file_atomic ~dir:t.cache_dir (entry_path t key)
-      (Marshal.to_string e [])
+      (Codec.encode ~version:t.eff_version ~key payload)
   with
   | () -> Telemetry.incr c_write
   | exception Sys_error _ -> ()
 
-let mem t key = Sys.file_exists (entry_path t key)
+let mem t key = load t key <> None
 let entries t = List.length (entry_files t.cache_dir)

@@ -1,0 +1,35 @@
+(** Minimal zero-dependency JSON: just enough for the serve protocol.
+
+    One value type, a total recursive-descent parser, and a printer that
+    escapes the same way {!Telemetry.report_json} and the batch records
+    do. Numbers are floats (every integer the protocol carries fits a
+    double exactly); object member order is preserved; duplicate keys
+    keep their first occurrence under {!member}. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Whole-string parse: leading/trailing whitespace allowed, anything
+    else after the value is an error. Never raises. *)
+
+val to_string : t -> string
+(** Compact single-line rendering (no added whitespace), suitable for
+    the line-delimited wire protocol. *)
+
+(** {1 Accessors} — total, [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+(** Object member lookup; [None] on non-objects. *)
+
+val str : t -> string option
+val num : t -> float option
+val int : t -> int option
+(** {!num} rounded; [None] when not within integer range. *)
+
+val bool : t -> bool option

@@ -62,10 +62,12 @@ let with_span name f =
     let stack = Domain.DLS.get span_stack in
     let path = String.concat "/" (List.rev (name :: stack)) in
     Domain.DLS.set span_stack (name :: stack);
-    let t0 = Unix.gettimeofday () in
+    (* Monotonic, not wall clock: an NTP step inside the span would
+       otherwise record a negative or garbage duration. *)
+    let t0 = Clock.now () in
     Fun.protect
       ~finally:(fun () ->
-        let dt = Unix.gettimeofday () -. t0 in
+        let dt = Clock.elapsed t0 in
         Domain.DLS.set span_stack stack;
         record path dt;
         Log.debug (fun m -> m "span %s: %.6fs" path dt))

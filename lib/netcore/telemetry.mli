@@ -40,7 +40,8 @@ val counters : unit -> (string * int) list
 (** {1 Spans} *)
 
 val with_span : string -> (unit -> 'a) -> 'a
-(** [with_span name f] times [f ()] on the wall clock and aggregates the
+(** [with_span name f] times [f ()] on the monotonic clock ({!Clock.now},
+    so a wall-clock step can never record a negative duration) and aggregates the
     duration under the span's path — [name] prefixed by the names of the
     enclosing spans of the current domain, joined with ["/"]. While
     disabled it is exactly [f ()]. Exceptions propagate; the time until

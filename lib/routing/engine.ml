@@ -64,7 +64,11 @@ let c_bgp_disk = Telemetry.counter "engine.bgp_disk"
    definition changes — the versioned index then invalidates the whole
    directory. *)
 
-let cache_version = "confmask-engine-2"
+(* The disk store's envelope is portable ({!Netcore.Codec}), but every
+   payload the engine persists is still [Marshal]ed, so the engine —
+   not the store — must pin the compiler version until the payloads get
+   a portable codec of their own. *)
+let cache_version = "confmask-engine-2/ocaml-" ^ Sys.ocaml_version
 let open_cache dir = Diskcache.open_dir ~version:cache_version dir
 
 let disk_get : type a. Diskcache.t option -> string -> a option =

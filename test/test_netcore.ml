@@ -237,6 +237,182 @@ let test_diskcache_corrupted_index () =
   check Alcotest.(option string) "not trusted" None (Diskcache.find c2 "k1");
   check Alcotest.int "entries dropped" 0 (Diskcache.entries c2)
 
+let test_diskcache_mem_validates () =
+  let dir = temp_dir () in
+  let c = Diskcache.open_dir ~version:"t1" dir in
+  Diskcache.add c ~key:"k1" "payload";
+  check Alcotest.bool "mem sees valid entry" true (Diskcache.mem c "k1");
+  check Alcotest.bool "mem misses absent key" false (Diskcache.mem c "nope");
+  (* The regression: mem used to be a bare Sys.file_exists, so a
+     corrupted entry counted as present while find returned None. Both
+     must go through the same envelope validation. *)
+  List.iter
+    (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "corrupted bytes";
+      close_out oc)
+    (entry_files dir);
+  check Alcotest.bool "mem rejects corrupted entry" false
+    (Diskcache.mem c "k1");
+  check Alcotest.(option string) "find agrees" None (Diskcache.find c "k1")
+
+let test_diskcache_tmp_sweep () =
+  let dir = temp_dir () in
+  let c = Diskcache.open_dir ~version:"t1" dir in
+  Diskcache.add c ~key:"k1" "payload";
+  (* A crash between temp-file write and rename leaves .tmp-* orphans;
+     open_dir must sweep them. *)
+  List.iter
+    (fun name ->
+      let oc = open_out_bin (Filename.concat dir name) in
+      output_string oc "half-written";
+      close_out oc)
+    [ ".tmp-123-abc.v"; ".tmp-999-xyz.v" ];
+  let c2 = Diskcache.open_dir ~version:"t1" dir in
+  let leftovers =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f >= 5 && String.sub f 0 5 = ".tmp-")
+  in
+  check Alcotest.(list string) "orphaned temp files swept" [] leftovers;
+  check Alcotest.(option string) "real entries survive the sweep"
+    (Some "payload") (Diskcache.find c2 "k1")
+
+let test_diskcache_pre_codec_upgrade () =
+  (* A directory written by the pre-codec (Marshal-envelope) format has
+     a different INDEX magic; opening it must wipe wholesale rather than
+     attempt to read Marshal bytes. *)
+  let dir = temp_dir () in
+  let oc = open_out_bin (Filename.concat dir "INDEX") in
+  output_string oc "confmask-diskcache 1\nt1/ocaml-5.1.1\n";
+  close_out oc;
+  let oc = open_out_bin (Filename.concat dir "0123456789abcdef.v") in
+  output_string oc (Marshal.to_string ("k1", "old payload") []);
+  close_out oc;
+  let c = Diskcache.open_dir ~version:"t1" dir in
+  check Alcotest.int "old-format dir wiped" 0 (Diskcache.entries c);
+  check Alcotest.int "old entry files removed" 0
+    (List.length (entry_files dir));
+  check Alcotest.(option string) "no stale payload" None
+    (Diskcache.find c "k1")
+
+(* -------------------- Codec -------------------- *)
+
+let test_codec_roundtrip () =
+  List.iter
+    (fun payload ->
+      let raw = Codec.encode ~version:"v1" ~key:"some key" payload in
+      check Alcotest.(option string) "roundtrip" (Some payload)
+        (Codec.decode ~version:"v1" ~key:"some key" raw);
+      check
+        Alcotest.(option (triple string string string))
+        "decode_any"
+        (Some ("v1", "some key", payload))
+        (Codec.decode_any raw))
+    [ ""; "x"; "payload with \x00 binary \xff bytes"; String.make 100_000 'z' ]
+
+let test_codec_mismatches () =
+  let raw = Codec.encode ~version:"v1" ~key:"k" "payload" in
+  check Alcotest.(option string) "wrong version" None
+    (Codec.decode ~version:"v2" ~key:"k" raw);
+  check Alcotest.(option string) "wrong key" None
+    (Codec.decode ~version:"v1" ~key:"other" raw);
+  check Alcotest.(option string) "trailing garbage" None
+    (Codec.decode ~version:"v1" ~key:"k" (raw ^ "x"));
+  check Alcotest.(option string) "wrong magic" None
+    (Codec.decode ~version:"v1" ~key:"k" ("XMCODEC1" ^ String.sub raw 8 (String.length raw - 8)));
+  check Alcotest.(option string) "empty input" None
+    (Codec.decode ~version:"v1" ~key:"k" "");
+  check Alcotest.(option string) "marshal bytes" None
+    (Codec.decode ~version:"v1" ~key:"k" (Marshal.to_string ("k", "payload") []))
+
+let test_codec_truncation_exhaustive () =
+  (* Every proper prefix of a valid envelope must decode to None without
+     raising — truncation at any byte is a detected miss. *)
+  let raw = Codec.encode ~version:"v1" ~key:"key" "some payload bytes" in
+  for len = 0 to String.length raw - 1 do
+    match Codec.decode ~version:"v1" ~key:"key" (String.sub raw 0 len) with
+    | None -> ()
+    | Some _ -> Alcotest.failf "truncation at %d decoded" len
+  done
+
+let test_codec_bitflip_exhaustive () =
+  (* Every single-bit corruption anywhere in the envelope — header,
+     lengths, version, key, payload, digest — must be a miss. *)
+  let raw = Codec.encode ~version:"v1" ~key:"key" "some payload bytes" in
+  for i = 0 to String.length raw - 1 do
+    for bit = 0 to 7 do
+      let b = Bytes.of_string raw in
+      Bytes.set b i (Char.chr (Char.code raw.[i] lxor (1 lsl bit)));
+      match Codec.decode ~version:"v1" ~key:"key" (Bytes.to_string b) with
+      | None -> ()
+      | Some _ -> Alcotest.failf "bit flip at byte %d bit %d decoded" i bit
+    done
+  done
+
+(* -------------------- Json -------------------- *)
+
+let test_json_parse_basics () =
+  let p s = Result.get_ok (Json.parse s) in
+  check Alcotest.bool "null" true (p "null" = Json.Null);
+  check Alcotest.bool "true" true (p "true" = Json.Bool true);
+  check Alcotest.(option int) "int" (Some 42) (Json.int (p " 42 "));
+  check Alcotest.(option (float 1e-9)) "float" (Some (-3.5))
+    (Json.num (p "-3.5"));
+  check Alcotest.(option string) "string escapes" (Some "a\"b\\c\n\t/ \x01")
+    (Json.str (p {|"a\"b\\c\n\t\/ "|}));
+  check Alcotest.bool "array" true
+    (p "[1, [], [2]]" = Json.Arr [ Json.Num 1.0; Json.Arr []; Json.Arr [ Json.Num 2.0 ] ]);
+  check Alcotest.(option int) "nested member" (Some 7)
+    (Option.bind
+       (Option.bind (Json.member "a" (p {|{"a": {"b": 7}}|})) (Json.member "b"))
+       Json.int)
+
+let test_json_parse_rejects () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "expected parse failure for %S" s
+      | Error _ -> ())
+    [
+      ""; "nul"; "{"; "[1,]"; "{\"a\":}"; "\"unterminated"; "1 2"; "{'a': 1}";
+      "[1] trailing"; "\"bad \\x escape\""; "+1"; "01"; "--2"; "{1: 2}";
+    ]
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("op", Json.Str "job");
+        ("n", Json.Num 3.0);
+        ("f", Json.Num 0.25);
+        ("ok", Json.Bool true);
+        ("none", Json.Null);
+        ("xs", Json.Arr [ Json.Str "a\"\n\\b"; Json.Num (-1.0) ]);
+        ("nested", Json.Obj [ ("k", Json.Str "v") ]);
+      ]
+  in
+  check Alcotest.bool "print-parse roundtrip" true
+    (Result.get_ok (Json.parse (Json.to_string v)) = v);
+  check Alcotest.string "integers print without a fraction"
+    {|{"n":3,"f":0.25}|}
+    (Json.to_string (Json.Obj [ ("n", Json.Num 3.0); ("f", Json.Num 0.25) ]))
+
+(* -------------------- Clock -------------------- *)
+
+let test_clock_monotonic () =
+  let t0 = Clock.now () in
+  let a = ref 0 in
+  for i = 1 to 10_000 do
+    a := !a + i
+  done;
+  let dt = Clock.elapsed t0 in
+  check Alcotest.bool "elapsed never negative" true (dt >= 0.0);
+  check Alcotest.bool "elapsed bounded (not wall-clock garbage)" true
+    (dt < 60.0);
+  let x = Clock.now () and y = Clock.now () in
+  check Alcotest.bool "now is non-decreasing" true (y >= x)
+
 (* -------------------- Rng -------------------- *)
 
 let test_rng_deterministic () =
@@ -544,10 +720,69 @@ let prop_heap_pqueue_agree =
       in
       pdrain [] pq = prios)
 
+let prop_codec_roundtrip =
+  QCheck2.Test.make ~name:"codec roundtrip over arbitrary bytes" ~count:300
+    QCheck2.Gen.(triple (string_size (int_bound 16)) (string_size (int_bound 32))
+                   (string_size (int_bound 2000)))
+    (fun (version, key, payload) ->
+      Codec.decode ~version ~key (Codec.encode ~version ~key payload)
+      = Some payload)
+
+let prop_codec_garbage_never_raises =
+  (* Decode is total: arbitrary bytes — including ones that start with
+     the magic — are a miss, never an exception. *)
+  QCheck2.Test.make ~name:"codec decode of garbage is None, never raises"
+    ~count:500
+    QCheck2.Gen.(pair bool (string_size (int_bound 200)))
+    (fun (prefix_magic, junk) ->
+      let raw = if prefix_magic then Codec.magic ^ junk else junk in
+      match Codec.decode ~version:"v1" ~key:"k" raw with
+      | None -> true
+      | Some _ ->
+          (* Only a byte-exact re-encoding could legitimately decode. *)
+          raw = Codec.encode ~version:"v1" ~key:"k" (Option.get (Codec.decode ~version:"v1" ~key:"k" raw)))
+
+let prop_json_roundtrip =
+  let rec gen_value depth =
+    QCheck2.Gen.(
+      if depth = 0 then
+        oneof
+          [
+            return Json.Null;
+            map (fun b -> Json.Bool b) bool;
+            map (fun n -> Json.Num (float_of_int n)) (int_bound 1_000_000);
+            map (fun s -> Json.Str s) (string_size (int_bound 12));
+          ]
+      else
+        oneof
+          [
+            map (fun s -> Json.Str s) (string_size (int_bound 12));
+            map (fun xs -> Json.Arr xs)
+              (list_size (int_bound 4) (gen_value (depth - 1)));
+            map
+              (fun kvs ->
+                (* Duplicate keys would round-trip ambiguously. *)
+                let seen = Hashtbl.create 8 in
+                Json.Obj
+                  (List.filter
+                     (fun (k, _) ->
+                       if Hashtbl.mem seen k then false
+                       else (Hashtbl.add seen k (); true))
+                     kvs))
+              (list_size (int_bound 4)
+                 (pair (string_size (int_bound 6)) (gen_value (depth - 1))));
+          ])
+  in
+  QCheck2.Test.make ~name:"json print-parse roundtrip" ~count:300
+    (gen_value 3)
+    (fun v -> Json.parse (Json.to_string v) = Ok v)
+
 let qsuite = List.map QCheck_alcotest.to_alcotest
     [ prop_prefix_roundtrip; prop_prefix_mem_network; prop_shuffle_preserves;
       prop_graph_degree_sum; prop_clustering_range;
-      prop_interner_bijection; prop_heap_pqueue_agree ]
+      prop_interner_bijection; prop_heap_pqueue_agree;
+      prop_codec_roundtrip; prop_codec_garbage_never_raises;
+      prop_json_roundtrip ]
 
 let () =
   Alcotest.run "netcore"
@@ -581,6 +816,12 @@ let () =
             test_diskcache_corrupted_entry;
           Alcotest.test_case "version mismatch wipes" `Quick
             test_diskcache_version_mismatch;
+          Alcotest.test_case "mem validates like find" `Quick
+            test_diskcache_mem_validates;
+          Alcotest.test_case "orphaned temp files swept" `Quick
+            test_diskcache_tmp_sweep;
+          Alcotest.test_case "pre-codec directory wiped" `Quick
+            test_diskcache_pre_codec_upgrade;
           Alcotest.test_case "corrupted index distrusted" `Quick
             test_diskcache_corrupted_index;
         ] );
@@ -589,6 +830,25 @@ let () =
           Alcotest.test_case "interner basics" `Quick test_interner_basic;
           Alcotest.test_case "heap basics" `Quick test_heap_basic;
         ] );
+      ( "codec",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
+          Alcotest.test_case "mismatches are misses" `Quick
+            test_codec_mismatches;
+          Alcotest.test_case "every truncation is a miss" `Quick
+            test_codec_truncation_exhaustive;
+          Alcotest.test_case "every single-bit flip is a miss" `Quick
+            test_codec_bitflip_exhaustive;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "parse basics" `Quick test_json_parse_basics;
+          Alcotest.test_case "parse rejects malformed" `Quick
+            test_json_parse_rejects;
+          Alcotest.test_case "print-parse roundtrip" `Quick test_json_roundtrip;
+        ] );
+      ( "clock",
+        [ Alcotest.test_case "monotonic" `Quick test_clock_monotonic ] );
       ( "rng",
         [
           Alcotest.test_case "deterministic" `Quick test_rng_deterministic;

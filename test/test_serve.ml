@@ -1,0 +1,254 @@
+(* The serve daemon: dispatcher correctness, concurrent clients answered
+   byte-compatibly with the in-process batch path, admission control
+   under overload, and graceful drain. *)
+
+open Netcore
+
+let check = Alcotest.check
+
+let temp_dir () =
+  let f = Filename.temp_file "confmask-serve" "" in
+  Sys.remove f;
+  Sys.mkdir f 0o700;
+  f
+
+let parse_exn s =
+  match Json.parse s with
+  | Ok v -> v
+  | Error m -> Alcotest.failf "unparsable response %S: %s" s m
+
+let get_str resp name = Option.bind (Json.member name (parse_exn resp)) Json.str
+let get_bool resp name = Option.bind (Json.member name (parse_exn resp)) Json.bool
+
+let expect_ok resp =
+  check Alcotest.(option bool) "ok" (Some true) (get_bool resp "ok")
+
+let expect_error resp kind =
+  check Alcotest.(option bool) "not ok" (Some false) (get_bool resp "ok");
+  check Alcotest.(option string) "typed error" (Some kind)
+    (get_str resp "error")
+
+(* ---- dispatcher, no transport ---- *)
+
+let bare_handle = Confmask.Serve.handle ~server:(ref None) ~cache:None
+
+let test_dispatch_ping () =
+  let resp = bare_handle ~tenants:[] {|{"op": "ping"}|} in
+  expect_ok resp;
+  check Alcotest.(option string) "op echoed" (Some "ping") (get_str resp "op")
+
+let test_dispatch_bad_requests () =
+  List.iter
+    (fun req -> expect_error (bare_handle ~tenants:[] req) "bad_request")
+    [
+      "not json at all";
+      "{}";
+      {|{"op": "no-such-op"}|};
+      {|{"op": "job"}|};
+      {|{"op": "job", "id": "x", "source": {"weird": 1}, "out": "o"}|};
+      {|{"op": "job", "id": "x", "source": {"catalog": "A"}, "out": "o",
+         "format": "wat"}|};
+    ]
+
+let test_dispatch_unknown_tenant () =
+  expect_error
+    (bare_handle ~tenants:[ ("acme", 7) ]
+       {|{"op": "job", "id": "x", "source": {"catalog": "A"},
+          "out": "o", "tenant": "evil"}|})
+    "unknown_tenant"
+
+let test_dispatch_never_raises () =
+  (* Whatever arrives on the wire, the dispatcher answers with a line. *)
+  List.iter
+    (fun req ->
+      match bare_handle ~tenants:[] req with
+      | resp -> expect_error resp "bad_request"
+      | exception e ->
+          Alcotest.failf "dispatcher raised %s on %S" (Printexc.to_string e)
+            req)
+    [ ""; "\x00\xff\xfe"; "{\"op\": 42}"; "[]"; "null"; String.make 10000 '{' ]
+
+(* ---- a live server ---- *)
+
+let with_server ?(queue_cap = 8) ?(workers = 2) ?(tenants = []) f =
+  let dir = temp_dir () in
+  let addr = Server.Unix_sock (Filename.concat dir "s.sock") in
+  let t =
+    Confmask.Serve.create
+      { Confmask.Serve.addr; queue_cap; workers; cache = None; tenants }
+  in
+  let runner = Thread.create Server.run t in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.initiate_shutdown t;
+      Thread.join runner)
+    (fun () -> f addr t)
+
+let test_live_ping_and_stats () =
+  with_server @@ fun addr _ ->
+  expect_ok (Server.request addr {|{"op": "ping"}|});
+  let resp = Server.request addr {|{"op": "stats"}|} in
+  expect_ok resp;
+  let j = parse_exn resp in
+  let gauge name = Option.bind (Json.member name j) Json.int in
+  check Alcotest.bool "accepted counted" true (gauge "accepted" >= Some 2);
+  check Alcotest.(option int) "queue_cap reported" (Some 8) (gauge "queue_cap");
+  check Alcotest.bool "counters present" true
+    (Json.member "counters" j <> None && Json.member "spans" j <> None)
+
+let job_request ~id ~out =
+  Printf.sprintf
+    {|{"op": "job", "id": "%s", "source": {"catalog": "A"}, "kr": 6, "kh": 2, "seed": 42, "out": "%s"}|}
+    id out
+
+let digest_of_record record =
+  match Option.bind (Json.member "digest" (parse_exn record)) Json.str with
+  | Some d -> d
+  | None -> Alcotest.failf "record without digest: %s" record
+
+let test_live_concurrent_jobs_byte_compatible () =
+  (* N concurrent clients run the same grid cell; every served record
+     must carry the digest the in-process batch path computes — the
+     served and one-shot modes are the same Batch.execute. *)
+  let reference =
+    let out = temp_dir () in
+    Confmask.Batch.execute ~out ~cache:None ~format:Configlang.Vendor.Cisco
+      {
+        Confmask.Batch.job_id = "ref";
+        job_source = Confmask.Batch.Catalog "A";
+        job_params = { Confmask.Workflow.default_params with k_r = 6; k_h = 2 };
+      }
+  in
+  let want = digest_of_record reference in
+  with_server @@ fun addr _ ->
+  let n = 4 in
+  let out = temp_dir () in
+  let responses = Array.make n "" in
+  let clients =
+    List.init n (fun i ->
+        Thread.create
+          (fun i ->
+            let id = Printf.sprintf "c%d" i in
+            responses.(i) <- Server.request addr (job_request ~id ~out))
+          i)
+  in
+  List.iter Thread.join clients;
+  Array.iteri
+    (fun i resp ->
+      expect_ok resp;
+      match get_str resp "record" with
+      | None -> Alcotest.failf "client %d: no record in %s" i resp
+      | Some record ->
+          check Alcotest.string "served digest = one-shot digest" want
+            (digest_of_record record);
+          (* The daemon wrote the same result line to disk. *)
+          let ic =
+            open_in (Filename.concat out (Printf.sprintf "c%d/result.json" i))
+          in
+          let on_disk = input_line ic in
+          close_in ic;
+          check Alcotest.string "record on disk" record on_disk)
+    responses
+
+let test_live_queue_full () =
+  (* workers=1 and queue_cap=1: one request executing, one queued, the
+     next is rejected immediately with the typed admission-control
+     error instead of waiting. *)
+  with_server ~workers:1 ~queue_cap:1 @@ fun addr _ ->
+  let slow = {|{"op": "sleep", "seconds": 1.0}|} in
+  let t1 = Thread.create (fun () -> expect_ok (Server.request addr slow)) () in
+  Thread.delay 0.3;
+  let t2 = Thread.create (fun () -> ignore (Server.request addr slow)) () in
+  Thread.delay 0.3;
+  let t0 = Clock.now () in
+  let resp = Server.request addr {|{"op": "ping"}|} in
+  let dt = Clock.elapsed t0 in
+  expect_error resp "queue_full";
+  check Alcotest.bool "rejected immediately, not queued" true (dt < 0.5);
+  Thread.join t1;
+  Thread.join t2;
+  (* Load gone: admitted again. *)
+  expect_ok (Server.request addr {|{"op": "ping"}|});
+  let stats = Server.request addr {|{"op": "stats"}|} in
+  check Alcotest.bool "rejection counted" true
+    (Option.bind (Json.member "rejected_full" (parse_exn stats)) Json.int
+     >= Some 1)
+
+let test_live_tenant_keys () =
+  (* The same job under two tenants scrubs PII under different keys, so
+     the digests differ; an explicit pii_key equal to a tenant's key
+     reproduces that tenant's digest. *)
+  let tenants = [ ("acme", 7); ("globex", 1234) ] in
+  with_server ~tenants @@ fun addr _ ->
+  let req extra id =
+    Printf.sprintf
+      {|{"op": "job", "id": "%s", "source": {"catalog": "A"}, "pii": true, "out": "%s"%s}|}
+      id (temp_dir ()) extra
+  in
+  let digest extra id =
+    let resp = Server.request addr (req extra id) in
+    expect_ok resp;
+    digest_of_record (Option.get (get_str resp "record"))
+  in
+  let acme = digest {|, "tenant": "acme"|} "t1" in
+  let globex = digest {|, "tenant": "globex"|} "t2" in
+  let by_key = digest {|, "pii_key": 7|} "t3" in
+  check Alcotest.bool "tenant keys separate the outputs" true (acme <> globex);
+  check Alcotest.string "tenant = explicit key" acme by_key
+
+let test_live_shutdown_drains () =
+  let dir = temp_dir () in
+  let sock = Filename.concat dir "s.sock" in
+  let addr = Server.Unix_sock sock in
+  let t =
+    Confmask.Serve.create
+      {
+        Confmask.Serve.addr;
+        queue_cap = 8;
+        workers = 2;
+        cache = None;
+        tenants = [];
+      }
+  in
+  let runner = Thread.create Server.run t in
+  (* An in-flight slow request, then a shutdown request: the slow
+     response must still be delivered before run() returns. *)
+  let slow_resp = ref "" in
+  let slow =
+    Thread.create
+      (fun () ->
+        slow_resp := Server.request addr {|{"op": "sleep", "seconds": 0.8}|})
+      ()
+  in
+  Thread.delay 0.2;
+  let resp = Server.request addr {|{"op": "shutdown"}|} in
+  expect_ok resp;
+  check Alcotest.(option bool) "draining acknowledged" (Some true)
+    (get_bool resp "draining");
+  Thread.join slow;
+  Thread.join runner;
+  expect_ok !slow_resp;
+  check Alcotest.bool "socket path unlinked" false (Sys.file_exists sock)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "dispatch",
+        [
+          Alcotest.test_case "ping" `Quick test_dispatch_ping;
+          Alcotest.test_case "bad requests are typed errors" `Quick
+            test_dispatch_bad_requests;
+          Alcotest.test_case "unknown tenant" `Quick test_dispatch_unknown_tenant;
+          Alcotest.test_case "never raises" `Quick test_dispatch_never_raises;
+        ] );
+      ( "live",
+        [
+          Alcotest.test_case "ping and stats" `Quick test_live_ping_and_stats;
+          Alcotest.test_case "concurrent jobs byte-compatible" `Quick
+            test_live_concurrent_jobs_byte_compatible;
+          Alcotest.test_case "queue-full rejection" `Quick test_live_queue_full;
+          Alcotest.test_case "per-tenant pii keys" `Quick test_live_tenant_keys;
+          Alcotest.test_case "shutdown drains in-flight" `Quick
+            test_live_shutdown_drains;
+        ] );
+    ]
