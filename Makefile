@@ -1,5 +1,5 @@
 .PHONY: all build test bench-smoke batch-smoke serve-smoke cache-upgrade-smoke \
-  fuzz-smoke check clean
+  verify-smoke fuzz-smoke check clean
 
 all: build
 
@@ -113,6 +113,30 @@ cache-upgrade-smoke:
 	  --metrics-out $(CACHE_UPGRADE)/metrics.json
 	grep -Eq '"diskcache\.hit": *[1-9]' $(CACHE_UPGRADE)/metrics.json
 
+# Differential policy verification smoke: anonymize net A's fig-grid
+# cell through the batch driver, verify the anonymized configs against
+# the original with `confmask verify` — the mined specification must
+# transfer (nonzero holds_both, nothing lost, so exit code 0) — and the
+# per-cell result.json must embed the verification record that a
+# resumed batch reproduces byte-identically.
+VERIFY_SMOKE := /tmp/confmask-verify-smoke
+verify-smoke:
+	rm -rf $(VERIFY_SMOKE) && mkdir -p $(VERIFY_SMOKE)
+	dune exec bin/confmask_cli.exe -- generate --net A --out $(VERIFY_SMOKE)/orig
+	dune exec bin/confmask_cli.exe -- batch --nets A --kr 6 --kh 2 \
+	  --out $(VERIFY_SMOKE)/batch
+	grep -q '"verification"' $(VERIFY_SMOKE)/batch/A-kr6-kh2/result.json
+	dune exec bin/confmask_cli.exe -- verify --orig $(VERIFY_SMOKE)/orig \
+	  --anon $(VERIFY_SMOKE)/batch/A-kr6-kh2/configs --json > $(VERIFY_SMOKE)/verify.json
+	grep -Eq '"holds_both": *[1-9]' $(VERIFY_SMOKE)/verify.json
+	! grep -q '"verdict": "lost"' $(VERIFY_SMOKE)/verify.json
+	# Resuming the finished batch must reproduce the manifest —
+	# verification record included — byte for byte.
+	cp $(VERIFY_SMOKE)/batch/manifest.json $(VERIFY_SMOKE)/manifest.first.json
+	dune exec bin/confmask_cli.exe -- batch --nets A --kr 6 --kh 2 \
+	  --resume --out $(VERIFY_SMOKE)/batch
+	cmp $(VERIFY_SMOKE)/manifest.first.json $(VERIFY_SMOKE)/batch/manifest.json
+
 # Randomized differential/metamorphic fuzz of the whole pipeline: 200
 # generated networks against every crucible oracle; failures are shrunk
 # and written to crucible-failures/ for adoption into test/corpus/.
@@ -120,7 +144,8 @@ fuzz-smoke:
 	dune exec bin/crucible_cli.exe -- --seed 0 --cases 200 \
 	  --minimize --corpus-dir crucible-failures
 
-check: build test bench-smoke batch-smoke serve-smoke cache-upgrade-smoke fuzz-smoke
+check: build test bench-smoke batch-smoke serve-smoke cache-upgrade-smoke \
+  verify-smoke fuzz-smoke
 
 clean:
 	dune clean

@@ -307,6 +307,104 @@ let metrics_cmd =
   let info = Cmd.info "metrics" ~doc:"Compare an original and an anonymized network" in
   Cmd.v info Term.(const metrics $ orig_arg $ anon_arg)
 
+(* ---- verify ---- *)
+
+let read_text_file path =
+  let ic =
+    try open_in_bin path
+    with Sys_error m -> Confmask.Batch.input_error "%s" m
+  in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let verify orig_dir anon_dir policies_file json jobs trace metrics_out =
+  guard @@ fun () ->
+  set_jobs jobs;
+  setup_telemetry ~trace ~metrics_out ~selfcheck:false;
+  let orig_configs = read_dir orig_dir in
+  let anon_configs = read_dir anon_dir in
+  let policies =
+    match policies_file with
+    | None -> None
+    | Some file -> (
+        match Spec.Query.parse (read_text_file file) with
+        | Ok ps -> Some ps
+        | Error m -> Confmask.Batch.input_error "%s: %s" file m)
+  in
+  match (Routing.Simulate.run orig_configs, Routing.Simulate.run anon_configs) with
+  | Error m, _ | _, Error m ->
+      Printf.eprintf "simulation failed: %s\n" m;
+      1
+  | Ok orig, Ok anon ->
+      let v = Confmask.Verify.check ?policies ~orig ~anon () in
+      emit_telemetry ~trace ~metrics_out;
+      let s = v.Confmask.Verify.summary in
+      if json then
+        print_endline (Netcore.Json.to_string (Confmask.Verify.to_json v))
+      else begin
+        Printf.printf
+          "policies: %d\nholds_both: %d\nlost: %d\nintroduced: %d\n\
+           holds_neither: %d\nfake_only: %d\nkept: %.1f%%\n"
+          s.total s.holds_both s.lost s.introduced s.holds_neither s.fake_only
+          (100.0 *. s.kept_fraction);
+        List.iter
+          (fun (e : Spec.Query.entry) ->
+            match e.e_verdict with
+            | Spec.Query.Lost | Spec.Query.Introduced ->
+                let evidence =
+                  let o =
+                    if e.e_verdict = Spec.Query.Lost then e.e_anon
+                    else Option.value ~default:e.e_anon e.e_orig
+                  in
+                  match (o.witness, o.counterexample) with
+                  | [], p :: _ | p :: _, [] -> "  e.g. " ^ String.concat " " p
+                  | _ -> ""
+                in
+                Printf.printf "%s: %s%s\n"
+                  (Spec.Query.verdict_to_string e.e_verdict)
+                  (Spec.Query.to_string e.e_policy)
+                  evidence
+            | _ -> ())
+          v.Confmask.Verify.entries
+      end;
+      (* Exit discipline: every policy that held on the original must
+         still hold on the anonymized network; anything lost is a
+         verification failure (input class — the shared configs do not
+         honor the policies, nothing internal broke). *)
+      if s.lost = 0 then 0 else 1
+
+let policies_arg =
+  Arg.(value & opt (some string) None & info [ "policies" ] ~docv:"FILE"
+         ~doc:"Policy file to check: one policy per line — \
+               $(b,reach(src, dst)), $(b,waypoint(src, dst, via)), \
+               $(b,isolation(src, dst)), $(b,loadbalance(src, dst, n)) — \
+               with '#' comments, or a JSON array of \
+               {\"type\", \"src\", \"dst\", \"via\", \"paths\"} objects. \
+               Default: the mined specification of the original network.")
+
+let verify_json_arg =
+  Arg.(value & flag & info [ "json" ]
+         ~doc:"Print the full machine-readable report (summary counts plus \
+               one entry per policy with verdict and witness/counterexample \
+               paths) as JSON on stdout.")
+
+let verify_cmd =
+  let info =
+    Cmd.info "verify"
+      ~doc:"Differentially verify policies on an original vs. anonymized \
+            configuration pair: evaluate each policy (or the whole mined \
+            specification) on both simulated data planes and report a \
+            typed verdict — holds_both, lost, introduced, holds_neither, \
+            fake_only — with witness and counterexample paths. Exits 0 \
+            when no policy is lost, 1 otherwise."
+  in
+  Cmd.v info
+    Term.(const verify $ orig_arg $ anon_arg $ policies_arg $ verify_json_arg
+          $ jobs_arg $ trace_arg $ metrics_out_arg)
+
+
 (* ---- diff ---- *)
 
 let diff orig_dir anon_dir =
@@ -575,4 +673,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ generate_cmd; anonymize_cmd; batch_cmd; serve_cmd; call_cmd;
-            simulate_cmd; metrics_cmd; diff_cmd; deanon_cmd ]))
+            simulate_cmd; metrics_cmd; verify_cmd; diff_cmd; deanon_cmd ]))

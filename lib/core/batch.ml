@@ -146,12 +146,17 @@ let ok_record ~id ~seconds ~digest ~deltas (r : Workflow.report) =
     |> List.map (fun (n, v) -> Printf.sprintf "\"%s\": %d" (json_escape n) v)
     |> String.concat ", "
   in
+  (* The per-cell verification record: how much of the original
+     network's mined specification transfers to this cell's anonymized
+     output. Deterministic given the seeded workflow, so resumed
+     manifests reproduce it byte for byte. *)
+  let verification = Verify.record_json (Verify.of_report r) in
   Printf.sprintf
     "{\"id\": \"%s\", \"status\": \"ok\", \"seconds\": %.3f, \
      \"fake_links\": %d, \"fake_hosts\": %d, \"fake_routers\": %d, \
      \"equiv_iterations\": %d, \"filters_added\": %d, \
      \"filters_removed\": %d, \"functional_equivalence\": %b, \
-     \"digest\": \"%s\", \"telemetry\": {%s}}"
+     \"verification\": %s, \"digest\": \"%s\", \"telemetry\": {%s}}"
     (json_escape id) seconds
     (List.length r.fake_edges)
     (List.length r.fake_hosts)
@@ -160,7 +165,7 @@ let ok_record ~id ~seconds ~digest ~deltas (r : Workflow.report) =
     (r.equiv_filters + r.anon_filters_added)
     r.anon_filters_removed
     (Workflow.functional_equivalence r)
-    digest telemetry
+    verification digest telemetry
 
 let error_record ~id ~seconds ~cls ~msg =
   Printf.sprintf

@@ -105,7 +105,13 @@ val execute :
     the one-line record. Never raises — failures become error records.
     This is the {e same} code path whether called by {!run} or by the
     serve daemon on behalf of a remote client, which is what makes the
-    two modes byte-compatible. *)
+    two modes byte-compatible.
+
+    Each ok record embeds a ["verification"] object ({!Verify.record_json}):
+    the per-verdict policy counts and kept fraction of checking the
+    original network's mined specification against the cell's
+    anonymized output — so every grid cell carries a machine-readable
+    proof of how much of the specification transferred. *)
 
 val run :
   ?pool:Netcore.Pool.t ->

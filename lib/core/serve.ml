@@ -137,6 +137,45 @@ let job_response ~cache ~tenants req =
   let record = Batch.execute ~out ~cache ~format:(format_of req) job in
   ok [ ("op", Json.Str "job"); ("id", Json.Str id); ("record", Json.Str record) ]
 
+let read_file path =
+  let ic = try open_in_bin path with Sys_error m -> bad "%s" m in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Differential policy verification of two shared config directories —
+   the recipient-side consumer of an anonymized network. Policies come
+   inline (["policies"]: the text/JSON policy format as a string), from
+   a daemon-readable file (["policies_file"]), or default to the mined
+   specification of the original directory. *)
+let verify_response req =
+  let orig_dir = require "orig_dir" (str_field req "orig_dir") in
+  let anon_dir = require "anon_dir" (str_field req "anon_dir") in
+  let policies =
+    let parsed ~what text =
+      match Spec.Query.parse text with
+      | Ok ps -> Some ps
+      | Error m -> bad "%s: %s" what m
+    in
+    match (str_field req "policies", str_field req "policies_file") with
+    | Some text, _ -> parsed ~what:"policies" text
+    | None, Some file -> parsed ~what:file (read_file file)
+    | None, None -> None
+  in
+  let entries = Option.value ~default:false (bool_field req "entries") in
+  let load dir =
+    match
+      try Routing.Simulate.run (Batch.read_config_dir dir)
+      with Batch.Input_error m -> bad "%s" m
+    with
+    | Ok snap -> snap
+    | Error m -> bad "%s: simulation failed: %s" dir m
+  in
+  let orig = load orig_dir and anon = load anon_dir in
+  let v = Verify.check ?policies ~orig ~anon () in
+  ok (("op", Json.Str "verify") :: Verify.json_fields ~entries v)
+
 let handle ~server ~cache ~tenants line =
   match Json.parse line with
   | Error m -> error ~detail:m "bad_request"
@@ -147,6 +186,7 @@ let handle ~server ~cache ~tenants line =
         | Some "ping" -> ok [ ("op", Json.Str "ping") ]
         | Some "stats" -> stats_response !server
         | Some "job" -> job_response ~cache ~tenants req
+        | Some "verify" -> verify_response req
         | Some "sleep" ->
             let s =
               Float.min 10.0

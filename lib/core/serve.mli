@@ -27,6 +27,14 @@
       resident caches; writes [out/<id>/] exactly like the local batch
       driver and answers [{"ok": true, "record": "<result.json line>"}].
       [tenant] selects a daemon-configured PII key.
+    - [{"op": "verify", "orig_dir": DIR, "anon_dir": DIR,
+       "policies": TEXT?, "policies_file": PATH?, "entries": BOOL?}] —
+      differential policy verification ({!Verify.check}) of two config
+      directories: simulate both, evaluate the given policies (inline
+      policy text/JSON, a daemon-readable file, or — default — the
+      mined specification of [orig_dir]) on each side, and answer the
+      per-verdict summary counts plus, with ["entries": true], the full
+      per-policy verdict/witness list.
     - [{"op": "sleep", "seconds": S}] — occupy a worker (diagnostics /
       admission-control testing only; capped at 10 s).
     - [{"op": "shutdown"}] — acknowledge, then drain in-flight requests

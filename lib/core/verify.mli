@@ -1,0 +1,49 @@
+(** Differential policy verification of an anonymization (the Seagull
+    consumer, ROADMAP item 2): which operator policies — or, by
+    default, the whole mined specification of the original network —
+    transfer to the anonymized network.
+
+    Thin glue over {!Spec.Query}: extracts both data planes once
+    (through the compiled kernels and the FEC collapse, so the cost is
+    O(forwarding classes), not O(host-pairs × policies)), mines the
+    default policy set, maps names through the workflow's node
+    correspondence, and renders machine-readable reports for the CLI
+    ([confmask verify --json]), the serve daemon ([{"op": "verify"}])
+    and the per-cell [verification] record of the batch manifest. *)
+
+module Query = Spec.Query
+
+type result = {
+  entries : Query.entry list;  (** one per policy, input order *)
+  summary : Query.summary;
+}
+
+val check :
+  ?policies:Query.policy list ->
+  ?rename:(string -> string) ->
+  orig:Routing.Simulate.snapshot ->
+  anon:Routing.Simulate.snapshot ->
+  unit ->
+  result
+(** [policies] defaults to the mined specification of [orig] (every
+    policy of which references real nodes only); [rename] (default:
+    identity) carries original names into the anonymized namespace.
+    Emits a [verify.check] telemetry span and bumps [verify.policies] /
+    [verify.lost] counters. *)
+
+val of_report : ?policies:Query.policy list -> Workflow.report -> result
+(** {!check} on a workflow report's own snapshots, renaming through its
+    [name_map] — for the paper pipeline (no PII) that map is the
+    identity; for PII runs it is the scrub's device renaming. *)
+
+val json_fields : ?entries:bool -> result -> (string * Netcore.Json.t) list
+(** Summary counts (and with [entries], the full per-policy entry list
+    under ["policies"]) as JSON object fields — shared by the CLI's
+    [--json] output and the serve [verify] response. *)
+
+val to_json : ?entries:bool -> result -> Netcore.Json.t
+
+val record_json : result -> string
+(** The compact summary object embedded as the ["verification"] field
+    of a batch cell's [result.json] (fixed field order and float
+    formatting, so resumed manifests stay byte-identical). *)

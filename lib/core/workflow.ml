@@ -31,6 +31,7 @@ type report = {
   fake_edges : (string * string) list;
   fake_hosts : (string * string) list;
   fake_router_names : string list;
+  name_map : (string * string) list;
   equiv_iterations : int;
   equiv_filters : int;
   anon_filters_added : int;
@@ -91,7 +92,7 @@ let run ?(params = default_params) ?cache orig_configs =
         ~engine:equiv.engine equiv.configs
     in
     (* Optional add-on: PII scrubbing. *)
-    let anon_configs =
+    let anon_configs, name_map =
       if params.pii then
         (* The scrub key is per-tenant state, not workflow randomness:
            a tenant-pinned key (the serve daemon's tenant table) keeps
@@ -99,8 +100,16 @@ let run ?(params = default_params) ?cache orig_configs =
            from every other tenant's, whatever seeds they pick. *)
         let key = Option.value ~default:params.seed params.pii_key in
         Telemetry.with_span "workflow.pii" (fun () ->
-            Pii.Scrub.scrub ~key:(Pii.Pan.key_of_int key) anon.configs)
-      else anon.configs
+            (* The rename is the node correspondence consumers of the
+               report (the verifier) need to carry original-name
+               policies into the shared namespace; record it per device
+               rather than forcing them to re-derive it. *)
+            let rename = Pii.Scrub.default_rename anon.configs in
+            ( Pii.Scrub.scrub ~rename ~key:(Pii.Pan.key_of_int key) anon.configs,
+              List.map
+                (fun (c : Configlang.Ast.config) -> (c.hostname, rename c.hostname))
+                anon.configs ))
+      else (anon.configs, [])
     in
     let* anon_snapshot =
       (* Without PII scrubbing, [anon.engine] already holds the final
@@ -120,6 +129,7 @@ let run ?(params = default_params) ?cache orig_configs =
         fake_edges = topo.fake_edges;
         fake_hosts = anon.fake_hosts;
         fake_router_names;
+        name_map;
         equiv_iterations = equiv.iterations;
         equiv_filters = equiv.filters_added;
         anon_filters_added = anon.filters_added;

@@ -33,6 +33,14 @@ type report = {
   fake_edges : (string * string) list;
   fake_hosts : (string * string) list;  (** (fake, real) *)
   fake_router_names : string list;  (** §9 extension; empty by default *)
+  name_map : (string * string) list;
+      (** node correspondence [(original, anonymized)] for every shared
+          device. Empty (meaning the identity: the pipeline proper never
+          renames) unless the PII add-on ran, in which case it records
+          the scrub's device renaming so report consumers — the policy
+          verifier above all — can map original-name queries into the
+          shared namespace. Hosts whose configs were rewritten appear
+          too; fake devices have no original name and are absent. *)
   equiv_iterations : int;
   equiv_filters : int;
   anon_filters_added : int;

@@ -392,9 +392,50 @@ let scrub =
     check = scrub_check;
   }
 
+(* -------------------- metamorphic: policy transfer -------------------- *)
+
+module Query = Spec.Query
+
+(* The recipient's view of functional equivalence: every policy mined
+   from the original network (reachability, waypoints, load-balance
+   width — all between real nodes, all holding on the original by
+   construction) must still hold on the anonymized network. Fake
+   elements may add capacity but must never break reachability, divert
+   traffic off its waypoints, or narrow a load-balanced pair. A [Lost]
+   verdict is the interesting failure; any [fake_only] / [introduced] /
+   [holds_neither] verdict would mean the differential checker itself
+   mis-handled a mined-on-original policy, so those fail too, named
+   distinctly. A single-host net mines an empty specification and
+   passes vacuously. *)
+let policy_transfer_check ~seed spec =
+  let params = wf_params ~seed in
+  match Confmask.Workflow.run ~params (Netgen.Emit.emit spec) with
+  | Error m -> fail "workflow error: %s" m
+  | Ok r -> (
+      let v = Confmask.Verify.of_report r in
+      match
+        List.find_opt
+          (fun (e : Query.entry) -> e.e_verdict <> Query.Holds_both)
+          v.entries
+      with
+      | None -> Pass
+      | Some e ->
+          fail "mined policy %s is %s after anonymization"
+            (Query.to_string e.e_policy)
+            (Query.verdict_to_string e.e_verdict))
+
+let policy_transfer =
+  {
+    name = "policy_transfer";
+    doc =
+      "every policy mined from the original network (reach, waypoint, \
+       load-balance) still holds on the anonymized one";
+    check = policy_transfer_check;
+  }
+
 (* -------------------- registry -------------------- *)
 
-let all = [ diff_fib; workflow; rename; scrub; reanon ]
+let all = [ diff_fib; workflow; rename; scrub; reanon; policy_transfer ]
 
 let find name =
   match List.find_opt (fun o -> o.name = name) all with

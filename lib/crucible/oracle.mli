@@ -23,7 +23,12 @@
       keep k-degree anonymity;
     - [scrub] — after the PII add-on, no password/secret/community/key
       token from the original configurations survives, and no original
-      device name appears in the shared text. *)
+      device name appears in the shared text;
+    - [policy_transfer] — metamorphic: every policy mined from the
+      original network ({!Spec.mine} — reachability, waypoints,
+      load-balance width, all between real nodes) must still hold on
+      the anonymized network ({!Confmask.Verify}); any verdict other
+      than [holds_both] is a failure. *)
 
 type verdict = Pass | Fail of string
 
@@ -38,9 +43,11 @@ val workflow : t
 val rename : t
 val reanon : t
 val scrub : t
+val policy_transfer : t
 
 val all : t list
-(** In cost order: [diff_fib; workflow; rename; scrub; reanon]. *)
+(** In cost order:
+    [diff_fib; workflow; rename; scrub; reanon; policy_transfer]. *)
 
 val find : string -> (t, string) result
 (** Lookup by name; the error lists the valid names. *)

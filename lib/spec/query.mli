@@ -1,0 +1,129 @@
+(** Policy query language and differential verification engine.
+
+    Where {!Spec} mines whole-dataplane policy sets, this module lets an
+    operator (or a recipient of anonymized configurations — the Seagull
+    consumer) ask targeted questions: four policy classes — the three
+    property families of Plankton/Config2Spec (reachability, waypoint,
+    isolation) plus load balancing — parsed from a small text or JSON
+    policy format, evaluated against an extracted
+    {!Routing.Dataplane.t}, and checked differentially on an original
+    vs. anonymized network pair with a typed verdict and
+    witness/counterexample paths per policy.
+
+    Evaluation is per-policy table lookups on an already-extracted data
+    plane, so the expensive part (simulation + FEC-collapsed trace
+    extraction) is paid once per network, not per policy: verifying P
+    policies costs O(classes) for the extraction plus O(P) lookups, not
+    O(host-pairs × P). *)
+
+type policy =
+  | Reachability of string * string
+      (** [Reachability (src, dst)]: at least one forwarding path *)
+  | Waypoint of string * string * string
+      (** [Waypoint (src, dst, w)]: [src] reaches [dst] and router [w]
+          is on every path *)
+  | Isolation of string * string
+      (** [Isolation (src, dst)]: no forwarding path at all *)
+  | Loadbalance of string * string * int
+      (** [Loadbalance (src, dst, n)]: traffic spreads over at least
+          [n] paths *)
+
+val to_string : policy -> string
+(** Canonical text form, one policy per line in a policy file:
+    [reach(s, d)], [waypoint(s, d, w)], [isolation(s, d)],
+    [loadbalance(s, d, n)]. {!Spec.policy_to_string} output parses back
+    to the corresponding query policy. *)
+
+val endpoints : policy -> string * string
+
+val nodes : policy -> string list
+(** Every node the policy references: endpoints plus the waypoint. *)
+
+val map_names : (string -> string) -> policy -> policy
+(** Rewrite every referenced node name (used to carry a policy across
+    an anonymization's node correspondence). *)
+
+val parse_policy : string -> (policy, string) result
+(** One policy from its text form. Accepts the canonical [reach]
+    spelling and the long [reachability] synonym; tolerates whitespace
+    around names. *)
+
+val parse : string -> (policy list, string) result
+(** A whole policy file. Two formats, auto-detected:
+
+    - text: one policy per line, [#] starts a comment, blank lines
+      ignored (errors name the offending line number);
+    - JSON (first non-blank character is ['[']): an array of objects
+      [{"type": "reachability"|"waypoint"|"isolation"|"loadbalance",
+      "src": S, "dst": D, "via": W?, "paths": N?}]. *)
+
+(** {1 Evaluation} *)
+
+type outcome = {
+  holds : bool;
+  witness : Routing.Dataplane.path list;
+      (** paths supporting the policy when it holds (all delivered
+          paths for reachability/load balance, the via-paths for
+          waypoint); capped at {!max_evidence} *)
+  counterexample : Routing.Dataplane.path list;
+      (** paths refuting it when it does not (waypoint-missing paths,
+          the delivered paths violating isolation, the insufficient
+          path set for load balance); capped at {!max_evidence} *)
+}
+
+val max_evidence : int
+(** Cap on recorded witness/counterexample paths (the verdict itself is
+    computed from the full path set). *)
+
+val eval : Routing.Dataplane.t -> policy -> outcome
+(** Total: a node unknown to the data plane simply has no paths (so
+    reachability fails and isolation holds). *)
+
+(** {1 Differential verification} *)
+
+type verdict =
+  | Holds_both  (** holds on the original and the anonymized network *)
+  | Lost  (** holds on the original only — anonymization broke it *)
+  | Introduced  (** holds on the anonymized network only, over real nodes *)
+  | Holds_neither  (** an operator policy that holds on neither side *)
+  | Fake_only
+      (** references a node that does not exist in the original network
+          (e.g. a fake host); evaluated on the anonymized side only *)
+
+val verdict_to_string : verdict -> string
+(** ["holds_both"], ["lost"], ["introduced"], ["holds_neither"],
+    ["fake_only"]. *)
+
+type entry = {
+  e_policy : policy;  (** in original-network names *)
+  e_verdict : verdict;
+  e_orig : outcome option;  (** [None] iff the verdict is [Fake_only] *)
+  e_anon : outcome;  (** evaluated after {!map_names} through [rename] *)
+}
+
+val differential :
+  ?rename:(string -> string) ->
+  orig:Routing.Dataplane.t ->
+  anon:Routing.Dataplane.t ->
+  known:(string -> bool) ->
+  policy list ->
+  entry list
+(** One entry per policy, in input order. Policies are written in
+    original-network names; [rename] (default: identity) maps them into
+    the anonymized namespace before the anonymized-side evaluation.
+    [known] decides whether a referenced node exists in the original
+    network — any unknown node makes the verdict [Fake_only]. *)
+
+type summary = {
+  total : int;
+  holds_both : int;
+  lost : int;
+  introduced : int;
+  holds_neither : int;
+  fake_only : int;
+  kept_fraction : float;
+      (** |holds_both| / (|holds_both| + |lost|); 1.0 when no policy
+          held on the original network *)
+}
+
+val summarize : entry list -> summary

@@ -62,6 +62,13 @@ let kept_fraction d =
   let total = List.length d.kept + List.length d.lost in
   if total = 0 then 1.0 else float_of_int (List.length d.kept) /. float_of_int total
 
+module Query = Query
+
+let to_query = function
+  | Reachability (s, d) -> Query.Reachability (s, d)
+  | Waypoint (s, d, w) -> Query.Waypoint (s, d, w)
+  | Loadbalance (s, d, n) -> Query.Loadbalance (s, d, n)
+
 let introduced_involving d ~hosts =
   List.filter
     (fun p ->

@@ -39,6 +39,17 @@ val compare_specs : orig:policy list -> anon:policy list -> diff
 val kept_fraction : diff -> float
 (** |kept| / |orig|; 1.0 for an empty original specification. *)
 
+module Query = Query
+(** The policy query language and differential verification engine
+    built on top of this miner. *)
+
+val to_query : policy -> Query.policy
+(** Lift a mined policy into the query language (load balancing becomes
+    the at-least-[n]-paths query, which the mined exact count
+    satisfies), so mined specifications can be re-verified with
+    {!Query.eval} and checked differentially with
+    {!Query.differential}. *)
+
 val introduced_involving : diff -> hosts:string list -> policy list
 (** Introduced policies whose endpoints are NOT both in [hosts] — i.e.
     policies that only exist because of fake hosts (the benign kind of

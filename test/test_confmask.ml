@@ -473,6 +473,38 @@ let prop_pipeline_equivalence =
           Workflow.functional_equivalence r
           && (Metrics.topology_of_snapshot r.anon_snapshot).min_degree_group >= 3)
 
+(* ---- adversary scoring conventions ---- *)
+
+(* Deanon.assess's degenerate-case conventions are load-bearing for the
+   evaluation tables: an adversary that accuses nothing is perfectly
+   precise, and a network with nothing to find is perfectly recalled.
+   Pin them, plus the undirected-edge canonicalization and dedup. *)
+let test_deanon_assess_conventions () =
+  let s = Deanon.assess ~fake_edges:[ ("a", "b") ] ~flagged:[] in
+  Alcotest.(check (float 0.0)) "flagged=[]: precision 1.0" 1.0 s.precision;
+  Alcotest.(check (float 0.0)) "flagged=[]: recall 0.0" 0.0 s.recall;
+  let s = Deanon.assess ~fake_edges:[] ~flagged:[ ("a", "b") ] in
+  Alcotest.(check (float 0.0)) "no fake edges: recall 1.0" 1.0 s.recall;
+  Alcotest.(check (float 0.0)) "no fake edges: precision 0.0" 0.0 s.precision;
+  let s = Deanon.assess ~fake_edges:[] ~flagged:[] in
+  Alcotest.(check (float 0.0)) "both empty: precision 1.0" 1.0 s.precision;
+  Alcotest.(check (float 0.0)) "both empty: recall 1.0" 1.0 s.recall
+
+let test_deanon_assess_canonicalization () =
+  (* Links are undirected: the reversed accusation still counts, and a
+     duplicated accusation is deduplicated rather than double-scored. *)
+  let s = Deanon.assess ~fake_edges:[ ("a", "b") ] ~flagged:[ ("b", "a") ] in
+  Alcotest.(check int) "reversed flag is a true positive" 1 s.true_positives;
+  Alcotest.(check (float 0.0)) "precision" 1.0 s.precision;
+  Alcotest.(check (float 0.0)) "recall" 1.0 s.recall;
+  let s =
+    Deanon.assess ~fake_edges:[ ("a", "b"); ("c", "d") ]
+      ~flagged:[ ("a", "b"); ("b", "a"); ("a", "b") ]
+  in
+  Alcotest.(check int) "duplicates deduped" 1 (List.length s.flagged);
+  Alcotest.(check (float 0.0)) "precision after dedup" 1.0 s.precision;
+  Alcotest.(check (float 0.0)) "recall half" 0.5 s.recall
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [ prop_pipeline_equivalence; prop_strawman2_equivalence; prop_high_noise_safe ]
@@ -520,6 +552,13 @@ let () =
         [
           Alcotest.test_case "deny/undeny roundtrip" `Quick test_edits_deny_roundtrip;
           Alcotest.test_case "fresh iface names" `Quick test_fresh_iface_name;
+        ] );
+      ( "deanon",
+        [
+          Alcotest.test_case "assess conventions" `Quick
+            test_deanon_assess_conventions;
+          Alcotest.test_case "assess canonicalization" `Quick
+            test_deanon_assess_canonicalization;
         ] );
       ("qcheck", qsuite);
     ]

@@ -68,6 +68,74 @@ let test_dispatch_never_raises () =
             req)
     [ ""; "\x00\xff\xfe"; "{\"op\": 42}"; "[]"; "null"; String.make 10000 '{' ]
 
+(* ---- the verify op ---- *)
+
+let write_net_dir net =
+  let dir = temp_dir () in
+  List.iter
+    (fun (c : Configlang.Ast.config) ->
+      let oc = open_out (Filename.concat dir (c.hostname ^ ".cfg")) in
+      output_string oc (Configlang.Printer.to_string c);
+      close_out oc)
+    (Netgen.Nets.configs (Netgen.Nets.find net));
+  dir
+
+let test_dispatch_verify_bad_requests () =
+  List.iter
+    (fun req -> expect_error (bare_handle ~tenants:[] req) "bad_request")
+    [
+      {|{"op": "verify"}|};
+      {|{"op": "verify", "orig_dir": "/nonexistent-dir"}|};
+      {|{"op": "verify", "orig_dir": "/nonexistent-dir", "anon_dir": "/also-missing"}|};
+    ];
+  (* Unparsable inline policies are the client's problem, not a crash. *)
+  let dir = write_net_dir "A" in
+  expect_error
+    (bare_handle ~tenants:[]
+       (Printf.sprintf
+          {|{"op": "verify", "orig_dir": "%s", "anon_dir": "%s", "policies": "frob(a, b)"}|}
+          dir dir))
+    "bad_request"
+
+let test_dispatch_verify_self () =
+  (* Verifying a directory against itself: the mined specification
+     holds on both sides by construction, nothing is lost. *)
+  let dir = write_net_dir "A" in
+  let resp =
+    bare_handle ~tenants:[]
+      (Printf.sprintf
+         {|{"op": "verify", "orig_dir": "%s", "anon_dir": "%s"}|} dir dir)
+  in
+  expect_ok resp;
+  let j = parse_exn resp in
+  let num name = Option.bind (Json.member name j) Json.int in
+  check Alcotest.(option string) "op echoed" (Some "verify") (get_str resp "op");
+  check Alcotest.bool "mined a nonempty specification" true
+    (num "policies" > Some 0);
+  check Alcotest.(option int) "nothing lost" (Some 0) (num "lost");
+  check Alcotest.bool "everything holds on both sides" true
+    (num "holds_both" = num "policies");
+  check Alcotest.bool "entries omitted by default" true
+    (Json.member "entries" j = None);
+  (* With entries requested, one per policy, all holds_both. *)
+  let resp =
+    bare_handle ~tenants:[]
+      (Printf.sprintf
+         {|{"op": "verify", "orig_dir": "%s", "anon_dir": "%s", "entries": true}|}
+         dir dir)
+  in
+  expect_ok resp;
+  match Json.member "entries" (parse_exn resp) with
+  | Some (Json.Arr es) ->
+      check Alcotest.(option int) "one entry per policy" (Some (List.length es))
+        (Option.bind (Json.member "policies" (parse_exn resp)) Json.int);
+      List.iter
+        (fun e ->
+          check Alcotest.(option string) "verdict" (Some "holds_both")
+            (Option.bind (Json.member "verdict" e) Json.str))
+        es
+  | _ -> Alcotest.fail "entries array missing"
+
 (* ---- a live server ---- *)
 
 let with_server ?(queue_cap = 8) ?(workers = 2) ?(tenants = []) f =
@@ -240,6 +308,10 @@ let () =
             test_dispatch_bad_requests;
           Alcotest.test_case "unknown tenant" `Quick test_dispatch_unknown_tenant;
           Alcotest.test_case "never raises" `Quick test_dispatch_never_raises;
+          Alcotest.test_case "verify: bad requests" `Quick
+            test_dispatch_verify_bad_requests;
+          Alcotest.test_case "verify: self-comparison" `Quick
+            test_dispatch_verify_self;
         ] );
       ( "live",
         [
