@@ -1,5 +1,5 @@
 .PHONY: all build test bench-smoke batch-smoke serve-smoke cache-upgrade-smoke \
-  verify-smoke fuzz-smoke check clean
+  verify-smoke redteam-smoke fuzz-smoke check clean
 
 all: build
 
@@ -137,6 +137,37 @@ verify-smoke:
 	  --resume --out $(VERIFY_SMOKE)/batch
 	cmp $(VERIFY_SMOKE)/manifest.first.json $(VERIFY_SMOKE)/batch/manifest.json
 
+# Red-team smoke: the brute force must recover a planted legacy
+# small-int PII key and come up empty against a full-width 64-bit hex
+# key; the per-cell batch record must embed the redteam audit, and a
+# resumed batch must reproduce the manifest byte for byte.
+REDTEAM_SMOKE := /tmp/confmask-redteam-smoke
+redteam-smoke:
+	rm -rf $(REDTEAM_SMOKE) && mkdir -p $(REDTEAM_SMOKE)
+	dune exec bin/confmask_cli.exe -- generate --net A --out $(REDTEAM_SMOKE)/orig
+	dune exec bin/confmask_cli.exe -- anonymize --in $(REDTEAM_SMOKE)/orig \
+	  --out $(REDTEAM_SMOKE)/weak --pii --pii-key 7
+	dune exec bin/confmask_cli.exe -- redteam --orig $(REDTEAM_SMOKE)/orig \
+	  --anon $(REDTEAM_SMOKE)/weak --attacks key_bruteforce --key 7 \
+	  --key-range 64 --json > $(REDTEAM_SMOKE)/weak.json
+	grep -q '"attack":"key_bruteforce"' $(REDTEAM_SMOKE)/weak.json
+	grep -q '"recall":1' $(REDTEAM_SMOKE)/weak.json
+	grep -q '"recovered_seed":7' $(REDTEAM_SMOKE)/weak.json
+	dune exec bin/confmask_cli.exe -- anonymize --in $(REDTEAM_SMOKE)/orig \
+	  --out $(REDTEAM_SMOKE)/strong --pii --pii-key 0xdeadbeefcafef00d
+	dune exec bin/confmask_cli.exe -- redteam --orig $(REDTEAM_SMOKE)/orig \
+	  --anon $(REDTEAM_SMOKE)/strong --attacks key_bruteforce \
+	  --key 0xdeadbeefcafef00d --key-range 4096 --json > $(REDTEAM_SMOKE)/strong.json
+	grep -q '"recall":0' $(REDTEAM_SMOKE)/strong.json
+	grep -q '"claims":0' $(REDTEAM_SMOKE)/strong.json
+	dune exec bin/confmask_cli.exe -- batch --nets A --kr 6 --kh 2 \
+	  --out $(REDTEAM_SMOKE)/batch
+	grep -q '"redteam"' $(REDTEAM_SMOKE)/batch/A-kr6-kh2/result.json
+	cp $(REDTEAM_SMOKE)/batch/manifest.json $(REDTEAM_SMOKE)/manifest.first.json
+	dune exec bin/confmask_cli.exe -- batch --nets A --kr 6 --kh 2 \
+	  --resume --out $(REDTEAM_SMOKE)/batch
+	cmp $(REDTEAM_SMOKE)/manifest.first.json $(REDTEAM_SMOKE)/batch/manifest.json
+
 # Randomized differential/metamorphic fuzz of the whole pipeline: 200
 # generated networks against every crucible oracle; failures are shrunk
 # and written to crucible-failures/ for adoption into test/corpus/.
@@ -145,7 +176,7 @@ fuzz-smoke:
 	  --minimize --corpus-dir crucible-failures
 
 check: build test bench-smoke batch-smoke serve-smoke cache-upgrade-smoke \
-  verify-smoke fuzz-smoke
+  verify-smoke redteam-smoke fuzz-smoke
 
 clean:
 	dune clean

@@ -462,6 +462,41 @@ let deanon () =
         [ Runs.Confmask_v; Runs.Strawman1_v ])
     nets
 
+(* The red-team suite: the measured security budget per network. *)
+let redteam () =
+  header "Red team: de-anonymization attack suite (k_H = 2, PII scrub on)"
+    "prefix_structure recall stays 1.0 (Crypto-PAn preserves the hierarchy \
+     fingerprint); the legacy small-int key falls to the brute force; \
+     fake-link and re-identification recall stay low at higher k_R";
+  Printf.printf "%-3s %4s %-18s %7s %6s %9s %10s %8s\n" "ID" "k_R" "attack"
+    "claims" "hits" "relevant" "precision" "recall";
+  let nets = if !fast then [ "A"; "B" ] else [ "A"; "B"; "C"; "D" ] in
+  List.iter
+    (fun id ->
+      let configs = Netgen.Nets.configs (Netgen.Nets.find id) in
+      List.iter
+        (fun k_r ->
+          (* The legacy default key (key_of_int seed) is exactly the weak
+             configuration the brute-force attack is built to punish. *)
+          let params =
+            { Confmask.Workflow.default_params with k_r; k_h = 2; pii = true }
+          in
+          match Confmask.Workflow.run ~params configs with
+          | Error m -> Printf.printf "%-3s %4d failed: %s\n" id k_r m
+          | Ok r ->
+              List.iter
+                (fun (s : Redteam.Attack.score) ->
+                  Printf.printf "%-3s %4d %-18s %7d %6d %9d %10.3f %8.3f" id
+                    k_r s.attack s.claims s.hits s.relevant s.precision
+                    s.recall;
+                  (match List.assoc_opt "top5_rate" s.detail with
+                  | Some v -> Printf.printf "  top5=%.3f" v
+                  | None -> ());
+                  print_newline ())
+                (Confmask.Audit.of_report ~key_range:4096 r))
+        [ 2; 6 ])
+    nets
+
 (* Network scale obfuscation (§9 extension). *)
 let ext_scale () =
   header "Extension: network scale obfuscation by fake router addition (§9)"
@@ -931,6 +966,7 @@ let experiments =
     ("ablation-iters", ablation_iters);
     ("ext-scale", ext_scale);
     ("deanon", deanon);
+    ("redteam", redteam);
     ("timing", timing);
     ("batch", batch_bench);
     ("kernels", kernels);

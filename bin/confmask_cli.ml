@@ -102,6 +102,18 @@ let selfcheck_arg =
 
 (* ---- anonymize ---- *)
 
+(* PII keys on the command line: a bare decimal is the legacy small-int
+   form (Pan.key_of_int — brute-forceable, fine for tests), anything
+   else must be a full 64-bit hex key ("0xdeadbeefcafef00d"). *)
+let parse_key s =
+  match int_of_string_opt s with
+  | Some n when String.for_all (fun c -> c >= '0' && c <= '9') s ->
+      Pii.Pan.key_of_int n
+  | _ -> (
+      match Pii.Pan.key_of_string s with
+      | Ok k -> k
+      | Error m -> Confmask.Batch.input_error "bad key '%s': %s" s m)
+
 let set_jobs n = if n >= 1 then Netcore.Pool.set_default_jobs n
 
 let jobs_arg =
@@ -109,15 +121,16 @@ let jobs_arg =
          ~doc:"Size of the simulation worker pool (default: the number of \
                available cores).")
 
-let anonymize in_dir out_dir format k_r k_h noise seed pii fake_routers jobs
-    cache_dir trace metrics_out selfcheck =
+let anonymize in_dir out_dir format k_r k_h noise seed pii pii_key fake_routers
+    jobs cache_dir trace metrics_out selfcheck =
   guard @@ fun () ->
   set_jobs jobs;
   setup_telemetry ~trace ~metrics_out ~selfcheck;
   let cache = Option.map Routing.Engine.open_cache cache_dir in
   let configs = read_dir in_dir in
   let params =
-    { Confmask.Workflow.k_r; k_h; noise; seed; pii; pii_key = None; fake_routers }
+    { Confmask.Workflow.k_r; k_h; noise; seed; pii;
+      pii_key = Option.map parse_key pii_key; fake_routers }
   in
   match Confmask.Workflow.run ~params ?cache configs with
   | Error m ->
@@ -178,6 +191,13 @@ let pii_arg =
          ~doc:"Also run the PII add-on (prefix-preserving IP anonymization, \
                device renaming, secret redaction).")
 
+let pii_key_arg =
+  Arg.(value & opt (some string) None & info [ "pii-key" ] ~docv:"KEY"
+         ~doc:"Key of the prefix-preserving IP map used by $(b,--pii): a \
+               full 64-bit hex key ('0xdeadbeefcafef00d'; recommended) or a \
+               legacy small decimal int (brute-forceable — see the redteam \
+               key_bruteforce attack). Default: derived from $(b,--seed).")
+
 let fake_routers_arg =
   Arg.(value & opt int 0 & info [ "fake-routers" ] ~docv:"N"
          ~doc:"Network-scale obfuscation: add $(docv) fake routers before \
@@ -193,8 +213,8 @@ let anonymize_cmd =
   let info = Cmd.info "anonymize" ~doc:"Anonymize a directory of configurations" in
   Cmd.v info
     Term.(const anonymize $ in_arg $ out_arg $ format_arg $ kr_arg $ kh_arg $ noise_arg
-          $ seed_arg $ pii_arg $ fake_routers_arg $ jobs_arg $ cache_arg
-          $ trace_arg $ metrics_out_arg $ selfcheck_arg)
+          $ seed_arg $ pii_arg $ pii_key_arg $ fake_routers_arg $ jobs_arg
+          $ cache_arg $ trace_arg $ metrics_out_arg $ selfcheck_arg)
 
 (* ---- simulate ---- *)
 
@@ -306,6 +326,75 @@ let anon_arg =
 let metrics_cmd =
   let info = Cmd.info "metrics" ~doc:"Compare an original and an anonymized network" in
   Cmd.v info Term.(const metrics $ orig_arg $ anon_arg)
+
+(* ---- redteam ---- *)
+
+let redteam orig_dir anon_dir attacks key key_range json jobs trace metrics_out =
+  guard @@ fun () ->
+  set_jobs jobs;
+  setup_telemetry ~trace ~metrics_out ~selfcheck:false;
+  let orig_configs = read_dir orig_dir in
+  let anon_configs = read_dir anon_dir in
+  match (Routing.Simulate.run orig_configs, Routing.Simulate.run anon_configs) with
+  | Error m, _ | _, Error m ->
+      Printf.eprintf "simulation failed: %s\n" m;
+      1
+  | Ok orig, Ok anon ->
+      let attacks = match attacks with [] -> None | l -> Some l in
+      let planted_key = Option.map parse_key key in
+      let scores =
+        Confmask.Audit.check ?attacks ?key_range ?planted_key ~orig_configs
+          ~orig ~anon_configs ~anon ()
+      in
+      emit_telemetry ~trace ~metrics_out;
+      if json then
+        print_endline (Netcore.Json.to_string (Confmask.Audit.to_json scores))
+      else begin
+        Printf.printf "%-18s %7s %6s %9s %10s %8s\n" "attack" "claims" "hits"
+          "relevant" "precision" "recall";
+        List.iter
+          (fun (s : Redteam.Attack.score) ->
+            Printf.printf "%-18s %7d %6d %9d %10.3f %8.3f" s.attack s.claims
+              s.hits s.relevant s.precision s.recall;
+            List.iter
+              (fun (k, v) -> Printf.printf "  %s=%.3f" k v)
+              s.detail;
+            print_newline ())
+          scores
+      end;
+      0
+
+let attacks_arg =
+  Arg.(value & opt (list string) [] & info [ "attacks" ] ~docv:"LIST"
+         ~doc:"Comma-separated attack subset (degree_reid, filter_pattern, \
+               no_traffic, prefix_structure, key_bruteforce). Default: all.")
+
+let redteam_key_arg =
+  Arg.(value & opt (some string) None & info [ "key" ] ~docv:"KEY"
+         ~doc:"Plant the PII key the pair was scrubbed with, so the \
+               key_bruteforce attack's recovery is verified against it \
+               (decimal legacy int or 0x hex).")
+
+let key_range_arg =
+  Arg.(value & opt (some int) None & info [ "key-range" ] ~docv:"N"
+         ~doc:"Seed range the key brute-force scans (default 65536).")
+
+let redteam_json_arg =
+  Arg.(value & flag & info [ "json" ]
+         ~doc:"Print the per-attack score report as JSON on stdout.")
+
+let redteam_cmd =
+  let info =
+    Cmd.info "redteam"
+      ~doc:"Run the de-anonymization attack suite against an original / \
+            anonymized configuration pair and report each attack's \
+            precision and recall (re-identification rate) — the measured \
+            security budget of the anonymization parameters"
+  in
+  Cmd.v info
+    Term.(const redteam $ orig_arg $ anon_arg $ attacks_arg $ redteam_key_arg
+          $ key_range_arg $ redteam_json_arg $ jobs_arg $ trace_arg
+          $ metrics_out_arg)
 
 (* ---- verify ---- *)
 
@@ -552,9 +641,9 @@ let parse_tenant s =
   | Some i -> (
       let name = String.sub s 0 i in
       let key = String.sub s (i + 1) (String.length s - i - 1) in
-      match int_of_string_opt key with
-      | Some k when name <> "" -> (name, k)
-      | _ -> Confmask.Batch.input_error "bad --tenant '%s' (want NAME=KEY)" s)
+      if name = "" || key = "" then
+        Confmask.Batch.input_error "bad --tenant '%s' (want NAME=KEY)" s
+      else (name, parse_key key))
   | None -> Confmask.Batch.input_error "bad --tenant '%s' (want NAME=KEY)" s
 
 let serve listen queue_cap workers cache_dir jobs tenants trace =
@@ -602,9 +691,10 @@ let workers_arg =
 
 let tenants_arg =
   Arg.(value & opt_all string [] & info [ "tenant" ] ~docv:"NAME=KEY"
-         ~doc:"Register a tenant whose requests scrub PII under the integer \
-               key $(i,KEY) (repeatable). Requests naming an unregistered \
-               tenant are rejected.")
+         ~doc:"Register a tenant whose requests scrub PII under key \
+               $(i,KEY) — a full 64-bit hex key ('0x...'; recommended) or \
+               a legacy small decimal int (repeatable). Requests naming an \
+               unregistered tenant are rejected.")
 
 let serve_cmd =
   let info =
@@ -673,4 +763,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ generate_cmd; anonymize_cmd; batch_cmd; serve_cmd; call_cmd;
-            simulate_cmd; metrics_cmd; verify_cmd; diff_cmd; deanon_cmd ]))
+            simulate_cmd; metrics_cmd; verify_cmd; diff_cmd; deanon_cmd;
+            redteam_cmd ]))

@@ -1,0 +1,43 @@
+(** Red-team audit: run the de-anonymization attack suite
+    ([Redteam.Suite]) against an original/anonymized network pair and
+    report the measured security budget.
+
+    Two entry points mirror {!Verify}: {!check} pairs two simulated
+    config sets (the CLI / serve surface — ground truth is inferred, see
+    below), {!of_report} scores a {!Workflow.report} (the batch surface —
+    ground truth is exact: recorded fake edges, the scrub renaming, and
+    the planted PII key). Attacks are deterministic, so the same pair
+    always yields byte-identical scores — the batch resume path relies on
+    that via {!record_json}. *)
+
+type result = Redteam.Attack.score list
+
+val run :
+  ?attacks:string list -> Redteam.Attack.target -> result
+(** Run the suite (or a named subset) and bump [redteam.*] telemetry. *)
+
+val check :
+  ?attacks:string list ->
+  ?key_range:int ->
+  ?planted_key:Pii.Pan.key ->
+  orig_configs:Configlang.Ast.config list ->
+  orig:Routing.Simulate.snapshot ->
+  anon_configs:Configlang.Ast.config list ->
+  anon:Routing.Simulate.snapshot ->
+  unit ->
+  result
+(** Ground truth is inferred from the pair: when every original router
+    name survives into the shared set, the correspondence is the identity
+    and fake edges are the shared topology's surplus edges; renamed
+    (PII-scrubbed) pairs run ungrounded (scores carry
+    [("grounded", 0.)]). *)
+
+val of_report :
+  ?attacks:string list -> ?key_range:int -> Workflow.report -> result
+
+val json_fields : result -> (string * Netcore.Json.t) list
+val to_json : result -> Netcore.Json.t
+
+val record_json : result -> string
+(** Compact fixed-format rendering for batch records ([%.3f] floats,
+    fixed field order) — byte-identical across re-executions. *)

@@ -151,12 +151,17 @@ let ok_record ~id ~seconds ~digest ~deltas (r : Workflow.report) =
      output. Deterministic given the seeded workflow, so resumed
      manifests reproduce it byte for byte. *)
   let verification = Verify.record_json (Verify.of_report r) in
+  (* And the red-team record: the measured security budget of this cell
+     — what each de-anonymization attack recovered. Attacks are
+     deterministic, so this too is byte-stable under --resume. *)
+  let redteam = Audit.record_json (Audit.of_report r) in
   Printf.sprintf
     "{\"id\": \"%s\", \"status\": \"ok\", \"seconds\": %.3f, \
      \"fake_links\": %d, \"fake_hosts\": %d, \"fake_routers\": %d, \
      \"equiv_iterations\": %d, \"filters_added\": %d, \
      \"filters_removed\": %d, \"functional_equivalence\": %b, \
-     \"verification\": %s, \"digest\": \"%s\", \"telemetry\": {%s}}"
+     \"verification\": %s, \"redteam\": %s, \"digest\": \"%s\", \
+     \"telemetry\": {%s}}"
     (json_escape id) seconds
     (List.length r.fake_edges)
     (List.length r.fake_hosts)
@@ -165,7 +170,7 @@ let ok_record ~id ~seconds ~digest ~deltas (r : Workflow.report) =
     (r.equiv_filters + r.anon_filters_added)
     r.anon_filters_removed
     (Workflow.functional_equivalence r)
-    verification digest telemetry
+    verification redteam digest telemetry
 
 let error_record ~id ~seconds ~cls ~msg =
   Printf.sprintf
@@ -261,7 +266,9 @@ let job_request ?tenant ~out ~format job =
       ("format", Json.Str (format_name format));
     ]
     @ (match p.pii_key with
-      | Some k -> [ ("pii_key", Json.Num (float_of_int k)) ]
+      (* Full 64-bit keys do not survive a JSON number (53 mantissa
+         bits), so the wire form is the canonical hex string. *)
+      | Some k -> [ ("pii_key", Json.Str (Pii.Pan.key_to_string k)) ]
       | None -> [])
     @ match tenant with Some t -> [ ("tenant", Json.Str t) ] | None -> []
   in

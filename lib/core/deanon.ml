@@ -1,7 +1,3 @@
-open Netcore
-module Ast = Configlang.Ast
-module Smap = Routing.Device.Smap
-
 type score = {
   flagged : (string * string) list;
   true_positives : int;
@@ -9,105 +5,23 @@ type score = {
   recall : float;
 }
 
-let canonical (u, v) = if String.compare u v <= 0 then (u, v) else (v, u)
+let canonical = Redteam.Attack.canonical_edge
 
-let no_traffic_links (snap : Routing.Simulate.snapshot) =
-  let dp = Routing.Simulate.dataplane snap in
-  let used = Hashtbl.create 64 in
-  Hashtbl.iter
-    (fun _ (t : Routing.Dataplane.trace) ->
-      List.iter
-        (fun path ->
-          let rec edges = function
-            | u :: (v :: _ as rest) ->
-                Hashtbl.replace used (canonical (u, v)) ();
-                edges rest
-            | _ -> ()
-          in
-          edges path)
-        t.delivered)
-    dp;
-  let g = Routing.Device.router_graph snap.net in
-  List.filter (fun e -> not (Hashtbl.mem used e)) (Graph.edges g)
+(* The attacks themselves live in lib/redteam now; this module keeps the
+   original two-attack surface (and its tests) as a thin façade. *)
+let no_traffic_links = Redteam.Links.no_traffic_links
 
-(* Deny sets per attachment point, as printable prefix strings so sets can
-   be compared across routers. *)
-let deny_sets (c : Ast.config) =
-  let set_of name =
-    match Ast.find_prefix_list c name with
-    | None -> []
-    | Some pl ->
-        List.filter_map
-          (fun (r : Ast.prefix_rule) ->
-            if r.action = Ast.Deny then Some (Prefix.to_string r.rule_prefix)
-            else None)
-          pl.pl_rules
-        |> List.sort String.compare
-  in
-  let igp =
-    (match c.ospf with Some o -> o.ospf_distribute_in | None -> [])
-    @ (match c.rip with Some r -> r.rip_distribute_in | None -> [])
-  in
-  List.map (fun (d : Ast.distribute) -> (`Iface d.dl_iface, set_of d.dl_list)) igp
-  @
-  match c.bgp with
-  | None -> []
-  | Some b ->
-      List.filter_map
-        (fun (n : Ast.neighbor) ->
-          Option.map
-            (fun name -> (`Neighbor n.nb_addr, set_of name))
-            n.nb_distribute_in)
-        b.bgp_neighbors
-
-(* Resolve an attachment point back to the router-router link it guards. *)
-let link_of_attachment (snap : Routing.Simulate.snapshot) router = function
-  | `Iface iface_name -> (
-      match Smap.find_opt router snap.net.adjs with
-      | None -> None
-      | Some adjs ->
-          List.find_opt
-            (fun (a : Routing.Device.adj) ->
-              String.equal a.a_out_iface.ifc_name iface_name)
-            adjs
-          |> Option.map (fun (a : Routing.Device.adj) -> canonical (router, a.a_to)))
-  | `Neighbor addr ->
-      Option.map
-        (fun owner -> canonical (router, owner))
-        (Routing.Device.owner_of_addr snap.net addr)
-
-let uniform_filter_links (snap : Routing.Simulate.snapshot) configs =
-  let attachments =
-    List.concat_map
-      (fun (c : Ast.config) ->
-        List.filter_map
-          (fun (attach, set) ->
-            if List.length set >= 3 then
-              Option.map
-                (fun link -> (c.Ast.hostname, link, set))
-                (link_of_attachment snap c.Ast.hostname attach)
-            else None)
-          (deny_sets c))
-      configs
-  in
-  (* A deny set shared verbatim by attachments on >= 2 different routers is
-     the uniform pattern. *)
-  List.filter_map
-    (fun (router, link, set) ->
-      let recurs =
-        List.exists
-          (fun (router', _, set') -> router' <> router && set' = set)
-          attachments
-      in
-      if recurs then Some link else None)
-    attachments
-  |> List.sort_uniq compare
+let uniform_filter_links snap configs =
+  Redteam.Links.filter_links ~min_prefixes:3 ~min_routers:2 snap configs
 
 let assess ~fake_edges ~flagged =
   let fake_edges = List.sort_uniq compare (List.map canonical fake_edges) in
   let flagged = List.sort_uniq compare (List.map canonical flagged) in
+  (* Both lists are sorted and deduplicated, so the intersection is a
+     linear merge — the old [List.mem] filter was O(F * P) and dominated
+     on grid-scale networks with thousands of flagged edges. *)
   let true_positives =
-    List.length (List.filter (fun e -> List.mem e fake_edges) flagged)
+    Redteam.Attack.edge_hits ~truth:fake_edges ~claimed:flagged
   in
   let precision =
     if flagged = [] then 1.0

@@ -11,7 +11,13 @@
       same large prefix set as filters on other routers — the "unified
       pattern" that makes Strawman 1 trivially identifiable (Listing 3).
 
-    [assess] scores an attack against the ground-truth fake edge set. *)
+    [assess] scores an attack against the ground-truth fake edge set.
+
+    This module is now a façade over the full red-team suite in
+    [Redteam] (lib/redteam): {!no_traffic_links} and
+    {!uniform_filter_links} delegate to [Redteam.Links], and the wider
+    attack set (re-identification, prefix-structure inference, key
+    brute-force) is reachable through [Audit] / [Redteam.Suite]. *)
 
 type score = {
   flagged : (string * string) list;  (** links the adversary accuses *)

@@ -5,7 +5,7 @@ type config = {
   queue_cap : int;
   workers : int;
   cache : Diskcache.t option;
-  tenants : (string * int) list;
+  tenants : (string * Pii.Pan.key) list;
 }
 
 let default_queue_cap = 64
@@ -36,6 +36,20 @@ let num_field req name = Option.bind (field req name) Json.num
 let bool_field req name = Option.bind (field req name) Json.bool
 
 let require what = function Some v -> v | None -> bad "missing field '%s'" what
+
+(* A PII key arrives either as a legacy small integer (derived via
+   [Pan.key_of_int] — brute-forceable, kept for compatibility and tests)
+   or as a full 64-bit hex string ("0xdeadbeefcafef00d"). *)
+let key_field req name =
+  match field req name with
+  | None -> None
+  | Some (Json.Num f) when Float.is_integer f ->
+      Some (Pii.Pan.key_of_int (int_of_float f))
+  | Some (Json.Str s) -> (
+      match Pii.Pan.key_of_string s with
+      | Ok k -> Some k
+      | Error m -> bad "field '%s': %s" name m)
+  | Some _ -> bad "field '%s' must be an int or a hex-string key" name
 
 (* ---- ops ---- *)
 
@@ -112,7 +126,7 @@ let job_response ~cache ~tenants req =
         match List.assoc_opt t tenants with
         | Some key -> Some key
         | None -> raise (Bad_request (Printf.sprintf "unknown tenant '%s'" t)))
-    | None -> int_field req "pii_key"
+    | None -> key_field req "pii_key"
   in
   let job =
     {
@@ -176,6 +190,52 @@ let verify_response req =
   let v = Verify.check ?policies ~orig ~anon () in
   ok (("op", Json.Str "verify") :: Verify.json_fields ~entries v)
 
+(* Red-team audit of two shared config directories: run the
+   de-anonymization attack suite against the pair and report the
+   measured security budget. Ground truth (fake edges, identity
+   correspondence) is inferred when device names are shared; a planted
+   key for grounding the brute-force attack may come from the tenant
+   table or an explicit field. *)
+let redteam_response ~tenants req =
+  let orig_dir = require "orig_dir" (str_field req "orig_dir") in
+  let anon_dir = require "anon_dir" (str_field req "anon_dir") in
+  let attacks =
+    match field req "attacks" with
+    | None -> None
+    | Some (Json.Arr l) ->
+        Some
+          (List.map
+             (function Json.Str s -> s | _ -> bad "attacks must be strings")
+             l)
+    | Some _ -> bad "field 'attacks' must be an array of attack names"
+  in
+  let key_range = int_field req "key_range" in
+  let planted_key =
+    match str_field req "tenant" with
+    | Some t -> (
+        match List.assoc_opt t tenants with
+        | Some key -> Some key
+        | None -> raise (Bad_request (Printf.sprintf "unknown tenant '%s'" t)))
+    | None -> key_field req "pii_key"
+  in
+  let load dir =
+    match
+      let configs = try Batch.read_config_dir dir
+        with Batch.Input_error m -> bad "%s" m
+      in
+      (configs, Routing.Simulate.run configs)
+    with
+    | configs, Ok snap -> (configs, snap)
+    | _, Error m -> bad "%s: simulation failed: %s" dir m
+  in
+  let orig_configs, orig = load orig_dir in
+  let anon_configs, anon = load anon_dir in
+  let scores =
+    Audit.check ?attacks ?key_range ?planted_key ~orig_configs ~orig
+      ~anon_configs ~anon ()
+  in
+  ok (("op", Json.Str "redteam") :: Audit.json_fields scores)
+
 let handle ~server ~cache ~tenants line =
   match Json.parse line with
   | Error m -> error ~detail:m "bad_request"
@@ -187,6 +247,7 @@ let handle ~server ~cache ~tenants line =
         | Some "stats" -> stats_response !server
         | Some "job" -> job_response ~cache ~tenants req
         | Some "verify" -> verify_response req
+        | Some "redteam" -> redteam_response ~tenants req
         | Some "sleep" ->
             let s =
               Float.min 10.0

@@ -26,7 +26,9 @@
        "tenant", "out", "format"}] — run one anonymization job with the
       resident caches; writes [out/<id>/] exactly like the local batch
       driver and answers [{"ok": true, "record": "<result.json line>"}].
-      [tenant] selects a daemon-configured PII key.
+      [tenant] selects a daemon-configured PII key. [pii_key] is either
+      a legacy small int (derived via {!Pii.Pan.key_of_int}) or a full
+      64-bit hex string ({!Pii.Pan.key_of_string}).
     - [{"op": "verify", "orig_dir": DIR, "anon_dir": DIR,
        "policies": TEXT?, "policies_file": PATH?, "entries": BOOL?}] —
       differential policy verification ({!Verify.check}) of two config
@@ -35,6 +37,13 @@
       mined specification of [orig_dir]) on each side, and answer the
       per-verdict summary counts plus, with ["entries": true], the full
       per-policy verdict/witness list.
+    - [{"op": "redteam", "orig_dir": DIR, "anon_dir": DIR,
+       "attacks": [NAME...]?, "key_range": N?, "tenant"?, "pii_key"?}] —
+      red-team audit ({!Audit.check}) of two config directories: run the
+      de-anonymization attack suite against the pair and answer the
+      per-attack precision/recall scores. [tenant]/[pii_key] optionally
+      plant the scrub key so the brute-force attack's recovery is
+      verified against it.
     - [{"op": "sleep", "seconds": S}] — occupy a worker (diagnostics /
       admission-control testing only; capped at 10 s).
     - [{"op": "shutdown"}] — acknowledge, then drain in-flight requests
@@ -49,7 +58,7 @@ type config = {
   queue_cap : int;  (** bound on queued requests (admission control) *)
   workers : int;  (** concurrent request executors *)
   cache : Netcore.Diskcache.t option;  (** resident simulation cache *)
-  tenants : (string * int) list;  (** tenant name -> PII key *)
+  tenants : (string * Pii.Pan.key) list;  (** tenant name -> PII key *)
 }
 
 val default_queue_cap : int
@@ -64,7 +73,7 @@ val create : config -> Netcore.Server.t
 val handle :
   server:Netcore.Server.t option ref ->
   cache:Netcore.Diskcache.t option ->
-  tenants:(string * int) list ->
+  tenants:(string * Pii.Pan.key) list ->
   string ->
   string
 (** The bare dispatcher ([create] wires it to a transport): one request

@@ -7,7 +7,7 @@ type params = {
   noise : float;
   seed : int;
   pii : bool;
-  pii_key : int option;
+  pii_key : Pii.Pan.key option;
   fake_routers : int;
 }
 
@@ -98,14 +98,18 @@ let run ?(params = default_params) ?cache orig_configs =
            a tenant-pinned key (the serve daemon's tenant table) keeps
            one tenant's address mapping stable across runs and distinct
            from every other tenant's, whatever seeds they pick. *)
-        let key = Option.value ~default:params.seed params.pii_key in
+        let key =
+          match params.pii_key with
+          | Some k -> k
+          | None -> Pii.Pan.key_of_int params.seed
+        in
         Telemetry.with_span "workflow.pii" (fun () ->
             (* The rename is the node correspondence consumers of the
                report (the verifier) need to carry original-name
                policies into the shared namespace; record it per device
                rather than forcing them to re-derive it. *)
             let rename = Pii.Scrub.default_rename anon.configs in
-            ( Pii.Scrub.scrub ~rename ~key:(Pii.Pan.key_of_int key) anon.configs,
+            ( Pii.Scrub.scrub ~rename ~key anon.configs,
               List.map
                 (fun (c : Configlang.Ast.config) -> (c.hostname, rename c.hostname))
                 anon.configs ))

@@ -9,11 +9,13 @@ type params = {
   noise : float;  (** Algorithm 2 noise coefficient (paper default 0.1) *)
   seed : int;  (** all randomness derives from this seed *)
   pii : bool;  (** run the PII add-on as a final stage *)
-  pii_key : int option;
+  pii_key : Pii.Pan.key option;
       (** key of the prefix-preserving IP map; [None] derives it from
-          [seed]. The serve daemon pins it per tenant so one tenant's
-          address mapping is stable across runs and distinct from every
-          other tenant's. *)
+          [seed] via {!Pii.Pan.key_of_int} (the legacy, brute-forceable
+          default — fine for tests, not for sharing). Real deployments
+          should supply a full 64-bit key ({!Pii.Pan.key_of_string}). The
+          serve daemon pins it per tenant so one tenant's address mapping
+          is stable across runs and distinct from every other tenant's. *)
   fake_routers : int;
       (** §9 extension: fake routers to add before topology anonymization
           (IGP-only networks; 0 disables) *)

@@ -335,7 +335,20 @@ let reanon =
 
 (* -------------------- PII scrub -------------------- *)
 
-let sensitive_keywords = [ "password"; "secret"; "community"; "key" ]
+(* Kept in sync with [Pii.Scrub.sensitive_keywords], including the
+   hyphen-compound rule: a token is sensitive when it equals a keyword
+   or extends one with a hyphen (key-string, community-map, ...). *)
+let sensitive_keywords =
+  [ "password"; "secret"; "community"; "key"; "key-string"; "md5" ]
+
+let is_sensitive_token tok =
+  let tok = String.lowercase_ascii tok in
+  List.exists
+    (fun kw ->
+      String.equal tok kw
+      || (String.length tok > String.length kw
+          && String.sub tok 0 (String.length kw + 1) = kw ^ "-"))
+    sensitive_keywords
 
 (* The secret material of a config text: every token following a
    sensitive keyword on its line. Tokens of fewer than 6 characters
@@ -349,9 +362,7 @@ let secrets_of_text text =
          in
          let rec after = function
            | [] -> []
-           | tok :: rest ->
-               if List.mem (String.lowercase_ascii tok) sensitive_keywords then rest
-               else after rest
+           | tok :: rest -> if is_sensitive_token tok then rest else after rest
          in
          after tokens)
   |> List.filter (fun s -> String.length s >= 6)
@@ -433,9 +444,106 @@ let policy_transfer =
     check = policy_transfer_check;
   }
 
+(* -------------------- red-team security budget -------------------- *)
+
+(* Run the de-anonymization attack suite against a PII-scrubbed workflow
+   output and assert the guaranteed parts of the security budget. Only
+   invariants that hold on *every* generated net are checked — the
+   re-identification and filter-pattern rates are measurements, not
+   bounds (tiny nets legitimately score high on them; see EXPERIMENTS.md
+   known deviations):
+
+   - all precision/recall values land in [0, 1];
+   - a planted legacy small-int key is recovered by the brute force
+     (recall 1) and a full 64-bit key is not (recall 0) — the measured
+     form of the key-width bugfix;
+   - the prefix-structure attack scores recall exactly 1 against the
+     Crypto-PAn-style map (hierarchy survival is total by design);
+   - top-5 re-identification rate is at least top-1;
+   - the suite is deterministic: scoring the same report twice yields a
+     byte-identical record. *)
+let deanon_key_range = 4096
+
+let deanon_budget_check ~seed spec =
+  let configs = Netgen.Emit.emit spec in
+  let weak_seed = seed land (deanon_key_range - 1) in
+  let strong_key =
+    match
+      Pii.Pan.key_of_string
+        (Printf.sprintf "0x%08x5eed5eed" (seed land 0x7fffffff))
+    with
+    | Ok k -> k
+    | Error m -> failwith m
+  in
+  let params key =
+    { (wf_params ~seed) with pii = true; pii_key = Some key }
+  in
+  let attack name scores =
+    List.find
+      (fun (s : Redteam.Attack.score) -> String.equal s.attack name)
+      scores
+  in
+  match Confmask.Workflow.run ~params:(params (Pii.Pan.key_of_int weak_seed)) configs with
+  | Error m -> fail "workflow error: %s" m
+  | Ok r -> (
+      let scores = Confmask.Audit.of_report ~key_range:deanon_key_range r in
+      let out_of_range (s : Redteam.Attack.score) =
+        s.precision < 0.0 || s.precision > 1.0 || s.recall < 0.0
+        || s.recall > 1.0
+      in
+      match List.find_opt out_of_range scores with
+      | Some s ->
+          fail "attack %s scored outside [0,1] (p=%f r=%f)" s.attack
+            s.precision s.recall
+      | None ->
+          let kb = attack "key_bruteforce" scores in
+          let ps = attack "prefix_structure" scores in
+          let rid = attack "degree_reid" scores in
+          let top5 =
+            Option.value ~default:0.0 (List.assoc_opt "top5_rate" rid.detail)
+          in
+          if kb.recall <> 1.0 then
+            fail "planted weak key (seed %d) not recovered (recall %f)"
+              weak_seed kb.recall
+          else if ps.recall <> 1.0 then
+            fail "prefix hierarchy survival %f <> 1 under the Pan map"
+              ps.recall
+          else if top5 +. 1e-9 < rid.recall then
+            fail "top-5 re-id rate %f below top-1 %f" top5 rid.recall
+          else if
+            Confmask.Audit.record_json scores
+            <> Confmask.Audit.record_json
+                 (Confmask.Audit.of_report ~key_range:deanon_key_range r)
+          then Fail "attack suite is not deterministic on the same report"
+          else
+            (* Same net under a full-width key: the seed-range scan must
+               come back empty-handed. *)
+            match Confmask.Workflow.run ~params:(params strong_key) configs with
+            | Error m -> fail "workflow error (64-bit key): %s" m
+            | Ok r2 ->
+                let kb2 =
+                  attack "key_bruteforce"
+                    (Confmask.Audit.of_report ~key_range:deanon_key_range r2)
+                in
+                if kb2.recall <> 0.0 then
+                  fail "64-bit key recovered by a %d-seed scan (recall %f)"
+                    deanon_key_range kb2.recall
+                else Pass)
+
+let deanon_budget =
+  {
+    name = "deanon_budget";
+    doc =
+      "red-team attack scores stay within the guaranteed budget: weak \
+       keys recovered, 64-bit keys not, Pan hierarchy survival 1, \
+       deterministic scoring";
+    check = deanon_budget_check;
+  }
+
 (* -------------------- registry -------------------- *)
 
-let all = [ diff_fib; workflow; rename; scrub; reanon; policy_transfer ]
+let all =
+  [ diff_fib; workflow; rename; scrub; reanon; policy_transfer; deanon_budget ]
 
 let find name =
   match List.find_opt (fun o -> o.name = name) all with

@@ -28,7 +28,14 @@
       original network ({!Spec.mine} — reachability, waypoints,
       load-balance width, all between real nodes) must still hold on
       the anonymized network ({!Confmask.Verify}); any verdict other
-      than [holds_both] is a failure. *)
+      than [holds_both] is a failure;
+    - [deanon_budget] — red team: run the de-anonymization attack suite
+      ({!Confmask.Audit}) against a PII-scrubbed output and assert the
+      guaranteed budget — planted legacy small-int keys are recovered by
+      the brute force, full 64-bit keys are not, prefix-hierarchy
+      survival under the Pan map is exactly 1, top-5 re-identification
+      dominates top-1, all scores in [0,1], and scoring is
+      deterministic. *)
 
 type verdict = Pass | Fail of string
 
@@ -44,10 +51,12 @@ val rename : t
 val reanon : t
 val scrub : t
 val policy_transfer : t
+val deanon_budget : t
 
 val all : t list
 (** In cost order:
-    [diff_fib; workflow; rename; scrub; reanon; policy_transfer]. *)
+    [diff_fib; workflow; rename; scrub; reanon; policy_transfer;
+     deanon_budget]. *)
 
 val find : string -> (t, string) result
 (** Lookup by name; the error lists the valid names. *)

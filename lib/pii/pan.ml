@@ -7,6 +7,30 @@ let key_of_int n =
   let r = Rng.create n in
   Rng.int64 r
 
+let key_equal = Int64.equal
+let key_to_string k = Printf.sprintf "0x%016Lx" k
+
+let is_hex_digit c =
+  (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+(* Full-width keys arrive as hex strings because a 64-bit value neither
+   fits an OCaml int on all platforms nor survives a JSON number (floats
+   hold 53 mantissa bits). Decimal strings stay reserved for the legacy
+   [key_of_int] path so callers can route on syntax. *)
+let key_of_string s =
+  let s =
+    if String.length s >= 2 && (String.sub s 0 2 = "0x" || String.sub s 0 2 = "0X")
+    then String.sub s 2 (String.length s - 2)
+    else s
+  in
+  let n = String.length s in
+  if n = 0 || n > 16 then Error "key must be 1-16 hex digits"
+  else if not (String.for_all is_hex_digit s) then
+    Error (Printf.sprintf "invalid hex digit in key '%s'" s)
+  else
+    (* Int64.of_string "0x..." parses the full unsigned 64-bit range. *)
+    Ok (Int64.of_string ("0x" ^ s))
+
 let mix z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xFF51AFD7ED558CCDL in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L in

@@ -13,6 +13,21 @@ open Netcore
 type key
 
 val key_of_int : int -> key
+(** Derive a key from a small integer (pre-mixed so consecutive ints give
+    unrelated keys). Convenient for tests and seeded pipelines, but the
+    effective key space is the int argument's — a brute-force replay of
+    {!addr} over a seed range recovers it (see [Redteam.Addrs]). Use
+    {!key_of_string} with a full 64-bit hex key for real deployments. *)
+
+val key_of_string : string -> (key, string) result
+(** Parse a full-width key from 1-16 hex digits, with or without a [0x]
+    prefix ("0xdeadbeefcafef00d"). All 64 bits are used. Returns [Error]
+    with a message on malformed input. *)
+
+val key_to_string : key -> string
+(** Canonical hex form ["0x%016x"]; [key_of_string] round-trips it. *)
+
+val key_equal : key -> key -> bool
 
 val addr : key -> Ipv4.t -> Ipv4.t
 (** Anonymize one address. Deterministic per key; a bijection on the

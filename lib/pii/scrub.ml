@@ -15,9 +15,21 @@ let default_rename configs =
     (sorted hosts);
   fun name -> Option.value ~default:name (Hashtbl.find_opt table name)
 
-let sensitive_keywords = [ "password"; "secret"; "community"; "key" ]
+let sensitive_keywords =
+  [ "password"; "secret"; "community"; "key"; "key-string"; "md5" ]
 
 let is_space c = c = ' ' || c = '\t'
+
+(* Whole-token equality alone let hyphen-compounded Cisco forms through
+   unredacted ("key-string <secret>", "snmp-server community-map ..."),
+   so a token also matches when it extends a keyword with a hyphen. *)
+let is_sensitive word =
+  List.exists
+    (fun kw ->
+      String.equal word kw
+      || (String.length word > String.length kw
+          && String.sub word 0 (String.length kw + 1) = kw ^ "-"))
+    sensitive_keywords
 
 (* Everything after a sensitive keyword may be secret material — Cisco
    lines interleave encryption-type digits and the secret itself
@@ -41,7 +53,7 @@ let redact_line line =
       while !rest < n && is_space line.[!rest] do
         incr rest
       done;
-      if List.mem word sensitive_keywords && !rest < n then
+      if is_sensitive word && !rest < n then
         String.sub line 0 stop ^ " <redacted>"
       else scan stop
     end

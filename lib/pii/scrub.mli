@@ -16,12 +16,15 @@ val default_rename : Ast.config list -> string -> string
     hostname order; unknown names map to themselves. *)
 
 val redact_line : string -> string
-(** Replaces everything after the first [password], [secret], [community]
-    or [key] keyword (case-insensitive, whitespace-delimited) with
-    [<redacted>]. The whole remainder goes, not just the next token —
-    Cisco lines put encryption-type digits between the keyword and the
-    secret ("enable secret 5 $1$..."). Lines without a keyword (or with
-    one as their last token) are returned verbatim, whitespace intact. *)
+(** Replaces everything after the first sensitive keyword ([password],
+    [secret], [community], [key], [key-string], [md5]; case-insensitive,
+    whitespace-delimited) with [<redacted>]. A token matches when it
+    equals a keyword or extends one with a hyphen ([community-map],
+    [password-encryption]) — Cisco compounds secrets into hyphenated
+    forms. The whole remainder goes, not just the next token — Cisco
+    lines put encryption-type digits between the keyword and the secret
+    ("enable secret 5 $1$..."). Lines without a keyword (or with one as
+    their last token) are returned verbatim, whitespace intact. *)
 
 val scrub :
   ?rename:(string -> string) -> key:Pan.key -> Ast.config list -> Ast.config list

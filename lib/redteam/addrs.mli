@@ -1,0 +1,27 @@
+(** Address-level attacks against the PII add-on (Pii.Pan).
+
+    [prefix_structure] exploits the defining property of prefix-preserving
+    anonymization: the shared-prefix tree of the address set survives the
+    map exactly, so subnet hierarchy (how many subnets branch at each
+    depth) leaks even though address values change. The score compares
+    the branch-depth histograms of the original and anonymized address
+    sets; [recall] is the fraction of original hierarchy visible in the
+    shared set — 1.0 against Pan by design.
+
+    [key_bruteforce] recovers legacy small-int keys ([Pan.key_of_int]) by
+    replaying [Pan.addr] over the seed range [0, key_range) and accepting
+    a seed whose map sends every original address into the shared set.
+    Against a full 64-bit key ([Pan.key_of_string]) the scan finds
+    nothing and recall is 0 — the measured argument for the key-width
+    fix. *)
+
+val addresses : Configlang.Ast.config list -> int list
+(** Interface addresses as raw ints, sorted, deduplicated. *)
+
+val branch_depths : int list -> int array
+(** Histogram (length 33, indices 0..32) of adjacent common-prefix
+    lengths of a sorted address list — the branch-depth multiset of the
+    set's binary trie. Invariant under any prefix-preserving bijection. *)
+
+val prefix_structure : Attack.t
+val key_bruteforce : Attack.t

@@ -1,0 +1,141 @@
+open Netcore
+module Ast = Configlang.Ast
+module Smap = Routing.Device.Smap
+
+let canonical = Attack.canonical_edge
+
+let no_traffic_links (snap : Routing.Simulate.snapshot) =
+  let dp = Routing.Simulate.dataplane snap in
+  let used = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ (t : Routing.Dataplane.trace) ->
+      List.iter
+        (fun path ->
+          let rec edges = function
+            | u :: (v :: _ as rest) ->
+                Hashtbl.replace used (canonical (u, v)) ();
+                edges rest
+            | _ -> ()
+          in
+          edges path)
+        t.delivered)
+    dp;
+  let g = Routing.Device.router_graph snap.net in
+  List.filter (fun e -> not (Hashtbl.mem used e)) (Graph.edges g)
+
+(* Deny sets per attachment point, as printable prefix strings so sets can
+   be compared across routers. *)
+let deny_sets (c : Ast.config) =
+  let set_of name =
+    match Ast.find_prefix_list c name with
+    | None -> []
+    | Some pl ->
+        List.filter_map
+          (fun (r : Ast.prefix_rule) ->
+            if r.action = Ast.Deny then Some (Prefix.to_string r.rule_prefix)
+            else None)
+          pl.pl_rules
+        |> List.sort String.compare
+  in
+  let igp =
+    (match c.ospf with Some o -> o.ospf_distribute_in | None -> [])
+    @ (match c.rip with Some r -> r.rip_distribute_in | None -> [])
+  in
+  List.map (fun (d : Ast.distribute) -> (`Iface d.dl_iface, set_of d.dl_list)) igp
+  @
+  match c.bgp with
+  | None -> []
+  | Some b ->
+      List.filter_map
+        (fun (n : Ast.neighbor) ->
+          Option.map
+            (fun name -> (`Neighbor n.nb_addr, set_of name))
+            n.nb_distribute_in)
+        b.bgp_neighbors
+
+(* Resolve an attachment point back to the router-router link it guards. *)
+let link_of_attachment (snap : Routing.Simulate.snapshot) router = function
+  | `Iface iface_name -> (
+      match Smap.find_opt router snap.net.adjs with
+      | None -> None
+      | Some adjs ->
+          List.find_opt
+            (fun (a : Routing.Device.adj) ->
+              String.equal a.a_out_iface.ifc_name iface_name)
+            adjs
+          |> Option.map (fun (a : Routing.Device.adj) -> canonical (router, a.a_to)))
+  | `Neighbor addr ->
+      Option.map
+        (fun owner -> canonical (router, owner))
+        (Routing.Device.owner_of_addr snap.net addr)
+
+let filter_links ?(min_prefixes = 3) ?(min_routers = 2)
+    (snap : Routing.Simulate.snapshot) configs =
+  let attachments =
+    List.concat_map
+      (fun (c : Ast.config) ->
+        List.filter_map
+          (fun (attach, set) ->
+            if List.length set >= min_prefixes then
+              Option.map
+                (fun link -> (c.Ast.hostname, link, set))
+                (link_of_attachment snap c.Ast.hostname attach)
+            else None)
+          (deny_sets c))
+      configs
+  in
+  (* A deny set shared verbatim by attachments on >= min_routers distinct
+     routers is the uniform pattern (Listing 3's Strawman 1 tell). *)
+  List.filter_map
+    (fun (_router, link, set) ->
+      let holders =
+        List.sort_uniq String.compare
+          (List.filter_map
+             (fun (router', _, set') ->
+               if set' = set then Some router' else None)
+             attachments)
+      in
+      if List.length holders >= min_routers then Some link else None)
+    attachments
+  |> List.sort_uniq compare
+
+let score_links ~attack ~flagged (t : Attack.target) =
+  match t.Attack.fake_edges with
+  | Some truth ->
+      let hits = Attack.edge_hits ~truth ~claimed:flagged in
+      let relevant =
+        List.length (List.sort_uniq compare (List.map canonical truth))
+      in
+      Attack.score ~attack ~claims:(List.length flagged) ~hits ~relevant
+        ~detail:[ ("grounded", 1.0) ]
+        ()
+  | None ->
+      Attack.score ~attack ~claims:(List.length flagged) ~hits:0 ~relevant:0
+        ~detail:[ ("grounded", 0.0) ]
+        ()
+
+let filter_pattern =
+  {
+    Attack.name = "filter_pattern";
+    doc =
+      "flag links whose attachment-point deny set recurs verbatim across \
+       routers (uniform-filter fingerprint)";
+    run =
+      (fun t ->
+        let flagged =
+          filter_links t.Attack.anon_snapshot t.Attack.anon_configs
+        in
+        score_links ~attack:"filter_pattern" ~flagged t);
+  }
+
+let no_traffic =
+  {
+    Attack.name = "no_traffic";
+    doc =
+      "simulate the shared network and flag router links no delivered \
+       host-to-host path crosses";
+    run =
+      (fun t ->
+        let flagged = no_traffic_links t.Attack.anon_snapshot in
+        score_links ~attack:"no_traffic" ~flagged t);
+  }

@@ -1,0 +1,21 @@
+(** Degree-sequence re-identification against k-degree anonymity.
+
+    The adversary knows the original topology (or part of it) and tries
+    to match anonymized routers back to originals by structural
+    signature: own degree plus the sorted degrees of the neighborhood.
+    k-degree anonymity (Graphanon.Degree_anon) guarantees at least k
+    routers share each degree, but neighborhood profiles can still
+    single a router out — this attack measures how often. [recall] is
+    the top-1 re-identification rate over routers with known ground
+    truth; [detail] carries [top5_rate]. *)
+
+open Netcore
+
+val signature : Graph.t -> string -> int * int list
+(** (degree, neighbor degrees sorted descending). *)
+
+val distance : int * int list -> int * int list -> int
+(** Weighted L1 distance between signatures; own-degree differences are
+    weighted 8x. *)
+
+val attack : Attack.t

@@ -1,0 +1,24 @@
+let all =
+  [
+    Reid.attack;
+    Links.filter_pattern;
+    Links.no_traffic;
+    Addrs.prefix_structure;
+    Addrs.key_bruteforce;
+  ]
+
+let find name =
+  List.find_opt (fun (a : Attack.t) -> String.equal a.Attack.name name) all
+
+let names = List.map (fun (a : Attack.t) -> a.Attack.name) all
+
+let run_all ?attacks target =
+  let selected =
+    match attacks with
+    | None -> all
+    | Some wanted ->
+        List.filter
+          (fun (a : Attack.t) -> List.mem a.Attack.name wanted)
+          all
+  in
+  List.map (fun (a : Attack.t) -> a.Attack.run target) selected

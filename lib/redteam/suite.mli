@@ -1,0 +1,15 @@
+(** Attack registry.
+
+    [all] is the fixed suite in report order: degree_reid,
+    filter_pattern, no_traffic, prefix_structure, key_bruteforce.
+    [run_all] runs a subset (by name, preserving registry order) or the
+    whole suite; every attack is deterministic, so a given target always
+    produces byte-identical scores. *)
+
+val all : Attack.t list
+val names : string list
+val find : string -> Attack.t option
+
+val run_all : ?attacks:string list -> Attack.target -> Attack.score list
+(** Unknown names in [attacks] are ignored; order follows [all], not the
+    request. *)

@@ -297,6 +297,70 @@ let prop_pan_bijective =
       let key = Pii.Pan.key_of_int k in
       Pii.Pan.addr key (Ipv4.of_int x) <> Pii.Pan.addr key (Ipv4.of_int y))
 
+let test_pan_bijection_16bit () =
+  (* Exhaustive on a /16: every address of 10.7.0.0/16 maps to a distinct
+     address sharing the mapped 16-bit prefix — a bijection restricted to
+     the subspace, exactly as prefix preservation promises. *)
+  let key = Pii.Pan.key_of_int 12345 in
+  let base = (10 lsl 24) lor (7 lsl 16) in
+  let seen = Hashtbl.create 65536 in
+  let mapped_prefix =
+    Ipv4.to_int (Pii.Pan.addr key (Ipv4.of_int base)) lsr 16
+  in
+  for off = 0 to 0xFFFF do
+    let out = Ipv4.to_int (Pii.Pan.addr key (Ipv4.of_int (base lor off))) in
+    if Hashtbl.mem seen out then
+      Alcotest.failf "collision at offset %d (0x%08x)" off out;
+    Hashtbl.replace seen out ();
+    if out lsr 16 <> mapped_prefix then
+      Alcotest.failf "offset %d left the mapped /16" off
+  done;
+  check Alcotest.int "all 65536 outputs distinct" 65536 (Hashtbl.length seen)
+
+let test_pan_distinct_keys () =
+  (* Distinct keys give distinct mappings: the probe vector under key k
+     differs from the vector under every other key. *)
+  let probes =
+    List.map Ipv4.of_string_exn
+      [ "10.0.0.1"; "192.168.17.5"; "172.16.254.3"; "8.8.8.8" ]
+  in
+  let vector k =
+    List.map (fun a -> Ipv4.to_int (Pii.Pan.addr k a)) probes
+  in
+  let seen = Hashtbl.create 128 in
+  for n = 0 to 100 do
+    let v = vector (Pii.Pan.key_of_int n) in
+    (match Hashtbl.find_opt seen v with
+    | Some n' -> Alcotest.failf "keys %d and %d induce the same mapping" n' n
+    | None -> ());
+    Hashtbl.replace seen v n
+  done
+
+let test_pan_key_of_string () =
+  (* Round trip through the canonical hex form. *)
+  let k = Pii.Pan.key_of_int 7 in
+  (match Pii.Pan.key_of_string (Pii.Pan.key_to_string k) with
+  | Ok k' -> check Alcotest.bool "round trip" true (Pii.Pan.key_equal k k')
+  | Error m -> Alcotest.failf "round trip rejected: %s" m);
+  (* 0x prefix optional; all 64 bits used. *)
+  let probe = Ipv4.of_string_exn "10.1.2.3" in
+  (match
+     (Pii.Pan.key_of_string "0xdeadbeefcafef00d",
+      Pii.Pan.key_of_string "deadbeefcafef00d")
+   with
+  | Ok a, Ok b ->
+      check Alcotest.bool "prefix optional" true (Pii.Pan.key_equal a b);
+      check Alcotest.bool "full-width key still prefix-preserving" true
+        (Ipv4.to_int (Pii.Pan.addr a probe) lsr 24
+        = Ipv4.to_int (Pii.Pan.addr a (Ipv4.of_string_exn "10.200.0.9")) lsr 24)
+  | _ -> Alcotest.fail "valid hex keys rejected");
+  List.iter
+    (fun s ->
+      match Pii.Pan.key_of_string s with
+      | Ok _ -> Alcotest.failf "malformed key %S accepted" s
+      | Error _ -> ())
+    [ ""; "0x"; "zz"; "0xdeadbeefcafef00d7"; "12 34"; "-5" ]
+
 let test_scrub_consistency () =
   (* Scrubbed configs must still compile and keep full reachability. *)
   let configs = Netgen.Nets.configs (Netgen.Nets.find "A") in
@@ -395,13 +459,31 @@ let test_redact () =
   check Alcotest.string "tab before secret" "tacacs-server key <redacted>"
     (Pii.Scrub.redact_line "tacacs-server key\tS3cr3t");
   check Alcotest.string "trailing keyword" "crypto key"
-    (Pii.Scrub.redact_line "crypto key")
+    (Pii.Scrub.redact_line "crypto key");
+  (* Hyphen-compounded keywords: whole-token equality alone let these
+     Cisco forms through unredacted. *)
+  check Alcotest.string "key-string" "key-string <redacted>"
+    (Pii.Scrub.redact_line "key-string 7 0822455D0A16");
+  check Alcotest.string "community-map" "snmp-server community-map <redacted>"
+    (Pii.Scrub.redact_line "snmp-server community-map cOmMuN1ty context ctx");
+  check Alcotest.string "md5 auth" "ip ospf message-digest-key 1 md5 <redacted>"
+    (Pii.Scrub.redact_line "ip ospf message-digest-key 1 md5 S3cr3tH4sh");
+  check Alcotest.string "trailing compound keyword" "service password-encryption"
+    (Pii.Scrub.redact_line "service password-encryption")
 
 (* No whitespace-delimited token appearing after a sensitive keyword may
    survive redaction. *)
 let prop_redact_no_leak =
   let open QCheck2 in
-  let keyword = Gen.oneofl [ "password"; "secret"; "community"; "key" ] in
+  let keyword =
+    (* Bare keywords plus hyphen-compounded Cisco forms — the regression
+       class the whole-token matcher used to leak. *)
+    Gen.oneofl
+      [
+        "password"; "secret"; "community"; "key"; "key-string"; "md5";
+        "community-map"; "key-chain"; "password-prompt";
+      ]
+  in
   let token =
     (* Distinctive secrets, never equal to a keyword or "<redacted>". *)
     Gen.map (Printf.sprintf "ZQ%d") (Gen.int_bound 99999)
@@ -429,10 +511,21 @@ let prop_redact_no_leak =
           ([], "") s
         |> fun (acc, cur) -> if cur = "" then acc else cur :: acc
       in
-      let keywords = [ "password"; "secret"; "community"; "key" ] in
+      let keywords =
+        [ "password"; "secret"; "community"; "key"; "key-string"; "md5" ]
+      in
+      let sensitive w =
+        let w = String.lowercase_ascii w in
+        List.exists
+          (fun kw ->
+            w = kw
+            || (String.length w > String.length kw
+                && String.sub w 0 (String.length kw + 1) = kw ^ "-"))
+          keywords
+      in
       let rec after_kw = function
         | [] -> []
-        | w :: rest when List.mem (String.lowercase_ascii w) keywords -> rest
+        | w :: rest when sensitive w -> rest
         | _ :: rest -> after_kw rest
       in
       let secrets = after_kw (List.rev (tokens line)) in
@@ -492,6 +585,10 @@ let () =
       ( "pii",
         [
           Alcotest.test_case "prefix preserving" `Quick test_pan_prefix_preserving;
+          Alcotest.test_case "bijection on a /16" `Quick test_pan_bijection_16bit;
+          Alcotest.test_case "distinct keys, distinct maps" `Quick
+            test_pan_distinct_keys;
+          Alcotest.test_case "hex key parsing" `Quick test_pan_key_of_string;
           Alcotest.test_case "scrub consistency" `Quick test_scrub_consistency;
           Alcotest.test_case "scrub preserves ACL semantics" `Quick
             test_scrub_preserves_acl_semantics;

@@ -52,7 +52,7 @@ let test_dispatch_bad_requests () =
 
 let test_dispatch_unknown_tenant () =
   expect_error
-    (bare_handle ~tenants:[ ("acme", 7) ]
+    (bare_handle ~tenants:[ ("acme", Pii.Pan.key_of_int 7) ]
        {|{"op": "job", "id": "x", "source": {"catalog": "A"},
           "out": "o", "tenant": "evil"}|})
     "unknown_tenant"
@@ -246,7 +246,9 @@ let test_live_tenant_keys () =
   (* The same job under two tenants scrubs PII under different keys, so
      the digests differ; an explicit pii_key equal to a tenant's key
      reproduces that tenant's digest. *)
-  let tenants = [ ("acme", 7); ("globex", 1234) ] in
+  let tenants =
+    [ ("acme", Pii.Pan.key_of_int 7); ("globex", Pii.Pan.key_of_int 1234) ]
+  in
   with_server ~tenants @@ fun addr _ ->
   let req extra id =
     Printf.sprintf
@@ -261,8 +263,17 @@ let test_live_tenant_keys () =
   let acme = digest {|, "tenant": "acme"|} "t1" in
   let globex = digest {|, "tenant": "globex"|} "t2" in
   let by_key = digest {|, "pii_key": 7|} "t3" in
+  (* The hex-string wire form of the same key must land on the same
+     mapping as the legacy int form. *)
+  let by_hex =
+    digest
+      (Printf.sprintf {|, "pii_key": "%s"|}
+         (Pii.Pan.key_to_string (Pii.Pan.key_of_int 7)))
+      "t4"
+  in
   check Alcotest.bool "tenant keys separate the outputs" true (acme <> globex);
-  check Alcotest.string "tenant = explicit key" acme by_key
+  check Alcotest.string "tenant = explicit key" acme by_key;
+  check Alcotest.string "hex form = int form" acme by_hex
 
 let test_live_shutdown_drains () =
   let dir = temp_dir () in
