@@ -1,5 +1,5 @@
 .PHONY: all build test bench-smoke batch-smoke serve-smoke cache-upgrade-smoke \
-  verify-smoke redteam-smoke fuzz-smoke check clean
+  verify-smoke redteam-smoke anonfix-smoke fuzz-smoke check clean
 
 all: build
 
@@ -168,6 +168,23 @@ redteam-smoke:
 	  --resume --out $(REDTEAM_SMOKE)/batch
 	cmp $(REDTEAM_SMOKE)/manifest.first.json $(REDTEAM_SMOKE)/batch/manifest.json
 
+# Incremental-fixpoint smoke: anonymizing net A under the legacy
+# full-recompute fixpoint (CONFMASK_ANONFIX=legacy) and under the
+# default incremental one must produce byte-identical configurations,
+# and the incremental run's telemetry must prove the deltas are live —
+# nonzero rescanned-router and skipped-walk counters.
+ANONFIX_SMOKE := /tmp/confmask-anonfix-smoke
+anonfix-smoke:
+	rm -rf $(ANONFIX_SMOKE) && mkdir -p $(ANONFIX_SMOKE)
+	dune exec bin/confmask_cli.exe -- generate --net A --out $(ANONFIX_SMOKE)/orig
+	CONFMASK_ANONFIX=legacy dune exec bin/confmask_cli.exe -- anonymize \
+	  --in $(ANONFIX_SMOKE)/orig --out $(ANONFIX_SMOKE)/legacy
+	dune exec bin/confmask_cli.exe -- anonymize --in $(ANONFIX_SMOKE)/orig \
+	  --out $(ANONFIX_SMOKE)/incr --metrics-out $(ANONFIX_SMOKE)/metrics.json
+	diff -r $(ANONFIX_SMOKE)/legacy $(ANONFIX_SMOKE)/incr
+	grep -Eq '"equiv\.delta_routers": *[1-9]' $(ANONFIX_SMOKE)/metrics.json
+	grep -Eq '"anon\.walks_skipped": *[1-9]' $(ANONFIX_SMOKE)/metrics.json
+
 # Randomized differential/metamorphic fuzz of the whole pipeline: 200
 # generated networks against every crucible oracle; failures are shrunk
 # and written to crucible-failures/ for adoption into test/corpus/.
@@ -176,7 +193,7 @@ fuzz-smoke:
 	  --minimize --corpus-dir crucible-failures
 
 check: build test bench-smoke batch-smoke serve-smoke cache-upgrade-smoke \
-  verify-smoke redteam-smoke fuzz-smoke
+  verify-smoke redteam-smoke anonfix-smoke fuzz-smoke
 
 clean:
 	dune clean

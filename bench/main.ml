@@ -889,6 +889,128 @@ let scale_bench () =
   close_out out;
   Printf.printf "[wrote BENCH_PR6.json]\n"
 
+(* ---------------- Anonfix: legacy vs incremental fixpoint ------------- *)
+
+let anonfix_bench () =
+  header
+    "Anonfix: full ConfMask workflow (k_R = 6, k_H = 2), legacy \
+     full-recompute fixpoint (CONFMASK_ANONFIX=legacy) vs the incremental \
+     path (engine deltas, pool-sharded scans, cached parallel walks, \
+     indexed edits)"
+    "outputs are byte-identical and iteration counts unchanged; the \
+     incremental path wins >= 1.5x end to end on the scale presets, where \
+     per-iteration full scans dominate. Results land in BENCH_PR10.json.";
+  let entries =
+    [ Netgen.Nets.find "D"; Netgen.Nets.find "F"; Netgen.Nets.find "H" ]
+    @ (if !fast then [ Netgen.Nets.find "FT16" ] else Netgen.Nets.scale ())
+  in
+  (* Spans are cumulative; phase seconds are the delta of the matching
+     paths (the workflow phases nest under workflow.run). *)
+  let phase_secs before after name =
+    let sum spans =
+      List.fold_left
+        (fun acc (path, _, s) ->
+          if path = name || String.ends_with ~suffix:("/" ^ name) path then
+            acc +. s
+          else acc)
+        0.0 spans
+    in
+    sum after -. sum before
+  in
+  let measure mode configs =
+    Confmask.Anonfix.with_mode mode (fun () ->
+        let samples =
+          List.init (max 1 !repeat) (fun _ ->
+              Gc.full_major ();
+              let c0 = Netcore.Telemetry.counters () in
+              let s0 = Netcore.Telemetry.spans () in
+              let t0 = Unix.gettimeofday () in
+              let r =
+                Confmask.Workflow.run_exn
+                  ~params:
+                    { Confmask.Workflow.default_params with k_r = 6; k_h = 2 }
+                  configs
+              in
+              let dt = Unix.gettimeofday () -. t0 in
+              let s1 = Netcore.Telemetry.spans () in
+              let stats =
+                Runs.counter_delta c0 (Netcore.Telemetry.counters ())
+              in
+              ( dt,
+                phase_secs s0 s1 "workflow.equiv",
+                phase_secs s0 s1 "workflow.anon",
+                stats, r ))
+        in
+        let _, _, _, stats, r = List.hd samples in
+        ( median (List.map (fun (d, _, _, _, _) -> d) samples),
+          median (List.map (fun (_, e, _, _, _) -> e) samples),
+          median (List.map (fun (_, _, a, _, _) -> a) samples),
+          stats, r ))
+  in
+  Printf.printf "%-5s %-11s %10s %10s %8s %8s %7s %7s %9s %8s %5s\n" "ID"
+    "Network" "legacy" "incr" "speedup" "equiv-x" "eq-it" "rounds" "delta-r"
+    "skipped" "same";
+  let rows =
+    List.map
+      (fun (e : Netgen.Nets.entry) ->
+        let configs = Netgen.Nets.configs e in
+        let leg_s, leg_eq, leg_an, leg_stats, leg_r = measure `Legacy configs in
+        let inc_s, inc_eq, inc_an, inc_stats, inc_r =
+          measure `Incremental configs
+        in
+        let identical =
+          Confmask.Workflow.anon_texts leg_r = Confmask.Workflow.anon_texts inc_r
+        in
+        let eq_it = Runs.stat inc_stats "equiv.iterations" in
+        let rounds = Runs.stat inc_stats "anon.iterations" in
+        let iters_match =
+          eq_it = Runs.stat leg_stats "equiv.iterations"
+          && rounds = Runs.stat leg_stats "anon.iterations"
+        in
+        let delta_r = Runs.stat inc_stats "equiv.delta_routers" in
+        let skipped = Runs.stat inc_stats "anon.walks_skipped" in
+        Printf.printf
+          "%-5s %-11s %9.2fs %9.2fs %7.1fx %7.1fx %7d %7d %9d %8d %5s\n%!"
+          e.id e.label leg_s inc_s (leg_s /. inc_s)
+          (leg_eq /. Float.max inc_eq 1e-9)
+          eq_it rounds delta_r skipped
+          (if identical && iters_match then "yes" else "<< NO");
+        ( e.id, e.label, leg_s, inc_s, leg_eq, inc_eq, leg_an, inc_an, eq_it,
+          rounds, delta_r, skipped, identical && iters_match ))
+      entries
+  in
+  let out = open_out "BENCH_PR10.json" in
+  Printf.fprintf out
+    "{\n  \"experiment\": \"full confmask workflow seconds, legacy \
+     full-recompute anonymization fixpoint vs incremental (engine deltas, \
+     pool-sharded equivalence scans, cached parallel reachability walks, \
+     indexed config edits), with per-phase medians and delta/skip \
+     counters\",\n\
+    \  \"k_r\": 6,\n  \"k_h\": 2,\n  \"seed\": %d,\n  \"jobs\": %d,\n\
+    \  \"repeat\": %d,\n  \"networks\": [\n"
+    Runs.seed
+    (Netcore.Pool.jobs (Netcore.Pool.default ()))
+    (max 1 !repeat);
+  List.iteri
+    (fun i
+         ( id, label, leg_s, inc_s, leg_eq, inc_eq, leg_an, inc_an, eq_it,
+           rounds, delta_r, skipped, ok ) ->
+      Printf.fprintf out
+        "    {\"id\": \"%s\", \"label\": \"%s\", \"legacy_seconds\": %.3f, \
+         \"incremental_seconds\": %.3f, \"speedup\": %.2f, \
+         \"legacy_equiv_seconds\": %.3f, \"incremental_equiv_seconds\": \
+         %.3f, \"legacy_anon_seconds\": %.3f, \"incremental_anon_seconds\": \
+         %.3f, \"equiv_iterations\": %d, \"repair_rounds\": %d, \
+         \"delta_routers\": %d, \"walks_skipped\": %d, \
+         \"identical_output\": %b}%s\n"
+        (json_escape id) (json_escape label) leg_s inc_s (leg_s /. inc_s)
+        leg_eq inc_eq leg_an inc_an eq_it rounds delta_r skipped ok
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf out "  ]\n}\n";
+  close_out out;
+  Printf.printf "[wrote BENCH_PR10.json]\n"
+
 (* ---------------- Bechamel microbenchmarks ---------------- *)
 
 let bechamel () =
@@ -971,6 +1093,7 @@ let experiments =
     ("batch", batch_bench);
     ("kernels", kernels);
     ("scale", scale_bench);
+    ("anonfix", anonfix_bench);
     ("bechamel", bechamel);
   ]
 

@@ -1,37 +1,33 @@
-(* Throwaway measurement probe used during development. *)
+(* Throwaway measurement probe used during development: where does the
+   anon phase spend its time on a given net, legacy vs incremental? *)
 let () =
+  Netcore.Telemetry.set_enabled true;
   let entry = Netgen.Nets.find Sys.argv.(1) in
-  let k_r = int_of_string Sys.argv.(2) in
-  let k_h = int_of_string Sys.argv.(3) in
-  let params = { Confmask.Workflow.default_params with k_r; k_h } in
-  let t0 = Unix.gettimeofday () in
-  match Confmask.Workflow.run ~params (Netgen.Nets.configs entry) with
-  | Error m -> Printf.printf "ERROR: %s\n" m
-  | Ok r ->
-      let t1 = Unix.gettimeofday () in
-      let nr0 =
-        Confmask.Metrics.route_anonymity
-          (Routing.Simulate.dataplane r.orig_snapshot)
-      in
-      let nr1 =
-        Confmask.Metrics.route_anonymity
-          (Routing.Simulate.dataplane r.anon_snapshot)
-      in
-      let topo0 = Confmask.Metrics.topology_of_snapshot r.orig_snapshot in
-      let topo1 = Confmask.Metrics.topology_of_snapshot r.anon_snapshot in
-      let uc =
-        Confmask.Metrics.config_utility ~orig:r.orig_configs ~anon:r.anon_configs
-      in
-      Printf.printf
-        "net=%s kr=%d kh=%d | fake_edges=%d fake_hosts=%d | equiv_iters=%d \
-         equiv_filters=%d | anon_filters=%d(-%d) | Nr %.2f -> %.2f (min %d -> %d) | \
-         kmin %d -> %d | CC %.3f -> %.3f | UC=%.3f | FE=%b | %.2fs\n"
-        entry.id k_r k_h
-        (List.length r.fake_edges)
-        (List.length r.fake_hosts)
-        r.equiv_iterations r.equiv_filters r.anon_filters_added
-        r.anon_filters_removed nr0.nr_avg nr1.nr_avg nr0.nr_min nr1.nr_min
-        topo0.min_degree_group topo1.min_degree_group topo0.clustering
-        topo1.clustering uc
-        (Confmask.Workflow.functional_equivalence r)
-        (t1 -. t0)
+  let jobs = int_of_string Sys.argv.(2) in
+  Netcore.Pool.set_default_jobs jobs;
+  let configs = Netgen.Nets.configs entry in
+  let params = { Confmask.Workflow.default_params with k_r = 6; k_h = 2 } in
+  let run mode name =
+    Confmask.Anonfix.with_mode mode (fun () ->
+        Gc.full_major ();
+        let s0 = Netcore.Telemetry.spans () in
+        let t0 = Unix.gettimeofday () in
+        (match Confmask.Workflow.run ~params configs with
+        | Error m -> Printf.printf "ERROR: %s\n" m
+        | Ok _ -> ());
+        let dt = Unix.gettimeofday () -. t0 in
+        let s1 = Netcore.Telemetry.spans () in
+        Printf.printf "== %s: %.3fs total\n" name dt;
+        List.iter
+          (fun (path, n, secs) ->
+            let before =
+              List.fold_left
+                (fun acc (p, _, s) -> if p = path then acc +. s else acc)
+                0.0 s0
+            in
+            let d = secs -. before in
+            if d > 0.01 then Printf.printf "   %-50s %4d %8.3fs\n" path n d)
+          s1)
+  in
+  run `Legacy "legacy";
+  run `Incremental "incremental"

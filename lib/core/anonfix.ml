@@ -1,0 +1,19 @@
+(* The process-wide switch for the incremental anonymization fixpoint:
+   delta-driven wrong-set scans in Route_equiv.fix, cached and
+   pool-parallel reachability walks in Route_anon's repair loop, and the
+   grouped one-pass filter application built on Edits.update_all. One
+   switch governs them all so that turning it off reproduces the
+   previous full-recompute-per-iteration execution exactly — the lever
+   the differential fuzz oracle and the anonfix benchmark's baseline
+   use, mirroring CONFMASK_KERNELS for the compiled kernels and
+   CONFMASK_FEC for the data-plane collapse. *)
+
+let enabled = Atomic.make (Sys.getenv_opt "CONFMASK_ANONFIX" <> Some "legacy")
+
+let incremental () = Atomic.get enabled
+let set_incremental b = Atomic.set enabled b
+
+let with_mode m f =
+  let saved = Atomic.get enabled in
+  Atomic.set enabled (m = `Incremental);
+  Fun.protect ~finally:(fun () -> Atomic.set enabled saved) f

@@ -1,0 +1,26 @@
+(** Switch between the incremental (delta-driven, pool-sharded)
+    anonymization fixpoint and the legacy full-recompute-per-iteration
+    path.
+
+    Both modes produce byte-identical outputs — the incremental path
+    only restricts each iteration's analyses to the routers the
+    {!Routing.Engine} reports as changed and shards / caches what it
+    still has to compute — so the switch exists for differential
+    testing (the crucible's [anonfix] oracle runs every generated
+    network both ways) and for benchmarking the speedup (the [anonfix]
+    bench experiment), not for behavior.
+
+    Initialized from the [CONFMASK_ANONFIX] environment variable at
+    startup: [legacy] selects the full-recompute path, anything else
+    (including unset) the incremental one. *)
+
+val incremental : unit -> bool
+(** Whether the incremental fixpoint paths are active. *)
+
+val set_incremental : bool -> unit
+
+val with_mode : [ `Incremental | `Legacy ] -> (unit -> 'a) -> 'a
+(** [with_mode m f] runs [f] under mode [m], restoring the previous mode
+    on exit (including exceptional exit). Not scoped per domain: the
+    switch is process-global, so don't race it against a concurrent
+    pipeline in another mode. *)

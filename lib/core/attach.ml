@@ -29,3 +29,8 @@ let deny configs net ~router ~toward p =
   match point net router toward with
   | None -> configs
   | Some attach -> Edits.update configs router (fun c -> deny_at c attach p)
+
+let deny_edit net ~router ~toward p =
+  match point net router toward with
+  | None -> None
+  | Some attach -> Some (router, fun c -> deny_at c attach p)

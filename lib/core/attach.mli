@@ -24,5 +24,16 @@ val deny :
 (** Adds the deny filter for the prefix at [point net router toward]; a
     no-op when the routers are not adjacent. *)
 
+val deny_edit :
+  Routing.Device.network ->
+  router:string ->
+  toward:string ->
+  Prefix.t ->
+  (string * (Configlang.Ast.config -> Configlang.Ast.config)) option
+(** The same filter as {!deny} but as an [(hostname, rewrite)] pair for
+    {!Edits.update_all}, so a whole iteration's filters are applied in
+    one pass over the config list; [None] when the routers are not
+    adjacent (where {!deny} would be a no-op). *)
+
 val deny_at : Configlang.Ast.config -> t -> Prefix.t -> Configlang.Ast.config
 val undeny_at : Configlang.Ast.config -> t -> Prefix.t -> Configlang.Ast.config

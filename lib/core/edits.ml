@@ -82,6 +82,79 @@ let update configs hostname f =
   in
   if !found then configs else raise Not_found
 
+module Smap = Map.Make (String)
+
+let update_all configs edits =
+  match edits with
+  | [] -> configs
+  | [ (hostname, f) ] -> update configs hostname f
+  | _ ->
+      (* One pass over the list instead of one full [update] fold per
+         edit: the edits are grouped per hostname first, preserving their
+         relative order within each device, which is all that sequential
+         application could observe — an edit closure only ever reads and
+         rewrites its own device's config. *)
+      let grouped =
+        List.fold_left
+          (fun m (hostname, f) ->
+            Smap.update hostname
+              (function None -> Some [ f ] | Some fs -> Some (f :: fs))
+              m)
+          Smap.empty edits
+      in
+      let unseen = ref grouped in
+      let configs =
+        List.map
+          (fun c ->
+            match Smap.find_opt c.hostname grouped with
+            | None -> c
+            | Some rev_fs ->
+                unseen := Smap.remove c.hostname !unseen;
+                List.fold_left (fun c f -> f c) c (List.rev rev_fs))
+          configs
+      in
+      if Smap.is_empty !unseen then configs else raise Not_found
+
+module Indexed = struct
+  type nonrec t = {
+    rev_names : string list;  (* insertion order, newest first *)
+    by_name : Ast.config Smap.t;
+  }
+
+  let of_configs configs =
+    List.fold_left
+      (fun t c ->
+        if Smap.mem c.hostname t.by_name then
+          invalid_arg ("Edits.Indexed.of_configs: duplicate hostname " ^ c.hostname)
+        else
+          {
+            rev_names = c.hostname :: t.rev_names;
+            by_name = Smap.add c.hostname c t.by_name;
+          })
+      { rev_names = []; by_name = Smap.empty }
+      configs
+
+  let to_configs t =
+    List.rev_map (fun n -> Smap.find n t.by_name) t.rev_names
+
+  let find t hostname =
+    match Smap.find_opt hostname t.by_name with
+    | Some c -> c
+    | None -> raise Not_found
+
+  let update t hostname f =
+    { t with by_name = Smap.add hostname (f (find t hostname)) t.by_name }
+
+  let append t (c : Ast.config) =
+    if Smap.mem c.hostname t.by_name then
+      invalid_arg ("Edits.Indexed.append: duplicate hostname " ^ c.hostname)
+    else
+      {
+        rev_names = c.hostname :: t.rev_names;
+        by_name = Smap.add c.hostname c t.by_name;
+      }
+end
+
 let fresh_iface_name c =
   let taken n = List.exists (fun i -> String.equal i.if_name n) c.interfaces in
   let rec search k =

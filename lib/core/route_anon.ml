@@ -1,6 +1,7 @@
 open Netcore
 module Ast = Configlang.Ast
 module Smap = Routing.Device.Smap
+module Sset = Set.Make (String)
 
 type outcome = {
   configs : Ast.config list;
@@ -16,6 +17,7 @@ let c_iterations = Telemetry.counter "anon.iterations"
 let c_fake_hosts = Telemetry.counter "anon.fake_hosts"
 let c_filters_added = Telemetry.counter "anon.filters_added"
 let c_filters_removed = Telemetry.counter "anon.filters_removed"
+let c_walks_skipped = Telemetry.counter "anon.walks_skipped"
 
 (* A filter planned/applied by this algorithm, remembered for rollback. *)
 type filter = {
@@ -24,68 +26,83 @@ type filter = {
   f_attach : Attach.t;
 }
 
-let fresh_host_name existing =
-  let taken = List.map (fun (c : Ast.config) -> c.hostname) existing in
+(* The smallest free "fh<k>" at or above [k] — names are only ever added,
+   so the smallest free index never decreases and one monotonic counter
+   threads through the whole [add_fake_hosts] run instead of a fresh
+   O(configs) scan per fake host. Returns the name and the next counter. *)
+let fresh_host_name taken k =
   let rec search k =
     let candidate = Printf.sprintf "fh%d" k in
-    if List.mem candidate taken then search (k + 1) else candidate
+    if Sset.mem candidate taken then search (k + 1) else (candidate, k + 1)
   in
-  search 1
+  search k
 
 let add_fake_hosts ~k_h configs (snap : Routing.Simulate.snapshot) =
   let alloc = Prefix.alloc_create ~avoid:(Edits.used_prefixes configs) () in
   let hosts = Smap.bindings snap.net.hosts in
-  List.fold_left
-    (fun (configs, fakes) (hname, _) ->
-      let ingress, _ = List.hd (Smap.find hname snap.net.attachments) in
-      let real_config =
-        List.find (fun (c : Ast.config) -> c.hostname = hname) configs
-      in
-      let rec copies configs fakes i =
-        if i >= k_h then (configs, fakes)
-        else begin
-          let subnet = Prefix.alloc_fresh alloc ~len:24 in
-          let gw = Prefix.host subnet 1 and ha = Prefix.host subnet 10 in
-          let fake_name = fresh_host_name configs in
-          (* Same configuration as the original host except hostname and
-             addresses (§5.3). *)
-          let fake_config =
-            {
-              real_config with
-              Ast.hostname = fake_name;
-              interfaces =
-                List.map
-                  (fun (i : Ast.interface) ->
-                    match i.if_address with
-                    | Some (_, _) -> { i with if_address = Some (ha, 24) }
-                    | None -> i)
-                  real_config.interfaces;
-              default_gateway = Some gw;
-            }
-          in
-          let configs =
-            Edits.update configs ingress (fun c ->
-                let name = Edits.fresh_iface_name c in
-                let c =
-                  Edits.add_interface c ~name ~addr:gw ~plen:24
-                    ~desc:("to-" ^ fake_name) ()
-                in
-                let c = Edits.add_igp_network c subnet in
-                Edits.add_bgp_network c subnet)
-          in
-          copies (configs @ [ fake_config ]) ((fake_name, hname) :: fakes) (i + 1)
-        end
-      in
-      copies configs fakes 1)
-    (configs, []) hosts
+  let taken =
+    List.fold_left
+      (fun s (c : Ast.config) -> Sset.add c.hostname s)
+      Sset.empty configs
+  in
+  (* Hostname-indexed view: one O(log n) find plus one O(log n) update per
+     fake host instead of a full config-list scan each. *)
+  let idx = Edits.Indexed.of_configs configs in
+  let idx, fakes, _, _ =
+    List.fold_left
+      (fun (idx, fakes, taken, next) (hname, _) ->
+        let ingress, _ = List.hd (Smap.find hname snap.net.attachments) in
+        let real_config = Edits.Indexed.find idx hname in
+        let rec copies idx fakes taken next i =
+          if i >= k_h then (idx, fakes, taken, next)
+          else begin
+            let subnet = Prefix.alloc_fresh alloc ~len:24 in
+            let gw = Prefix.host subnet 1 and ha = Prefix.host subnet 10 in
+            let fake_name, next = fresh_host_name taken next in
+            (* Same configuration as the original host except hostname and
+               addresses (§5.3). *)
+            let fake_config =
+              {
+                real_config with
+                Ast.hostname = fake_name;
+                interfaces =
+                  List.map
+                    (fun (i : Ast.interface) ->
+                      match i.if_address with
+                      | Some (_, _) -> { i with if_address = Some (ha, 24) }
+                      | None -> i)
+                    real_config.interfaces;
+                default_gateway = Some gw;
+              }
+            in
+            let idx =
+              Edits.Indexed.update idx ingress (fun c ->
+                  let name = Edits.fresh_iface_name c in
+                  let c =
+                    Edits.add_interface c ~name ~addr:gw ~plen:24
+                      ~desc:("to-" ^ fake_name) ()
+                  in
+                  let c = Edits.add_igp_network c subnet in
+                  Edits.add_bgp_network c subnet)
+            in
+            copies
+              (Edits.Indexed.append idx fake_config)
+              ((fake_name, hname) :: fakes)
+              (Sset.add fake_name taken)
+              next (i + 1)
+          end
+        in
+        copies idx fakes taken next 1)
+      (idx, [], taken, 1)
+      hosts
+  in
+  (Edits.Indexed.to_configs idx, fakes)
 
 let apply_one configs f =
   Edits.update configs f.f_router (fun c -> Attach.deny_at c f.f_attach f.f_prefix)
 
 let remove_one configs f =
   Edits.update configs f.f_router (fun c -> Attach.undeny_at c f.f_attach f.f_prefix)
-
-module Sset = Set.Make (String)
 
 (* Routers that can deliver traffic for [fp]: walk every router's FIB and
    check that all ECMP branches reach a router owning the prefix. Walks
@@ -94,14 +111,20 @@ module Sset = Set.Make (String)
    instead of once per ECMP branch per start router. A result is
    memoized only when its computation never hit the cycle check, i.e.
    never depended on the path taken to reach it. *)
-let reachable_routers (snap : Routing.Simulate.snapshot) fp =
+let reachable_routers ?owners (snap : Routing.Simulate.snapshot) fp =
   let owners =
-    Smap.fold
-      (fun rname (r : Routing.Device.router) acc ->
-        if List.exists (fun i -> Prefix.equal (Routing.Device.ifc_prefix i) fp) r.r_ifaces
-        then Sset.add rname acc
-        else acc)
-      snap.net.routers Sset.empty
+    match owners with
+    | Some m -> Option.value ~default:Sset.empty (Prefix.Map.find_opt fp m)
+    | None ->
+        Smap.fold
+          (fun rname (r : Routing.Device.router) acc ->
+            if
+              List.exists
+                (fun i -> Prefix.equal (Routing.Device.ifc_prefix i) fp)
+                r.r_ifaces
+            then Sset.add rname acc
+            else acc)
+          snap.net.routers Sset.empty
   in
   let probe = Prefix.host fp 10 in
   let memo : (string, bool) Hashtbl.t = Hashtbl.create 64 in
@@ -144,6 +167,29 @@ let reachable_routers (snap : Routing.Simulate.snapshot) fp =
     snap.net.routers []
   |> List.sort String.compare
 
+(* Interface prefix -> owning routers, for the whole network: one pass
+   over every interface instead of one full scan per walked prefix. The
+   incremental paths build this once per simulation state and share it
+   across all of that state's walks; the per-prefix set is identical to
+   the scan [reachable_routers] does on its own. *)
+let owners_map (net : Routing.Device.network) =
+  Smap.fold
+    (fun rname (r : Routing.Device.router) acc ->
+      List.fold_left
+        (fun acc i ->
+          let p = Routing.Device.ifc_prefix i in
+          let cur =
+            Option.value ~default:Sset.empty (Prefix.Map.find_opt p acc)
+          in
+          Prefix.Map.add p (Sset.add rname cur) acc)
+        acc r.r_ifaces)
+    net.routers Prefix.Map.empty
+
+(* The routers [routers0] that the current reachable set [now] lost. *)
+let lost_routers routers0 now =
+  let now_set = Sset.of_list now in
+  List.filter (fun r -> not (Sset.mem r now_set)) routers0
+
 let anonymize ~rng ~k_h ?(p = default_noise) ?engine configs =
   Telemetry.with_span "anon.anonymize" @@ fun () ->
   let initial =
@@ -155,7 +201,10 @@ let anonymize ~rng ~k_h ?(p = default_noise) ?engine configs =
   | Error m -> Error ("route_anon: baseline simulation failed: " ^ m)
   | Ok eng0 -> (
       let snap0 = Routing.Engine.snapshot eng0 in
-      let configs, fake_hosts = add_fake_hosts ~k_h configs snap0 in
+      let configs, fake_hosts =
+        Telemetry.with_span "anon.fake_hosts_gen" @@ fun () ->
+        add_fake_hosts ~k_h configs snap0
+      in
       Telemetry.add c_fake_hosts (List.length fake_hosts);
       if fake_hosts = [] then
         Ok
@@ -170,6 +219,8 @@ let anonymize ~rng ~k_h ?(p = default_noise) ?engine configs =
         match Routing.Engine.apply_edit eng0 configs with
         | Error m -> Error ("route_anon: fake-host simulation failed: " ^ m)
         | Ok eng ->
+            let incremental = Anonfix.incremental () in
+            let pool = Routing.Engine.pool eng in
             let snap = Routing.Engine.snapshot eng in
             let fake_prefixes =
               List.filter_map
@@ -178,30 +229,73 @@ let anonymize ~rng ~k_h ?(p = default_noise) ?engine configs =
                     (Smap.find_opt fh snap.net.hosts))
                 fake_hosts
             in
-            (* Baseline reachability per fake prefix (before any noise). *)
+            (* Baseline reachability per fake prefix (before any noise).
+               Each walk's memo table is local to its prefix, so the walks
+               are independent and run in parallel. *)
             let baseline =
-              List.map (fun fp -> (fp, reachable_routers snap fp)) fake_prefixes
+              Telemetry.with_span "anon.baseline_walks" @@ fun () ->
+              if incremental then
+                let owners = owners_map snap.net in
+                Pool.parallel_map ?pool
+                  (fun fp -> (fp, reachable_routers ~owners snap fp))
+                  fake_prefixes
+              else List.map (fun fp -> (fp, reachable_routers snap fp)) fake_prefixes
             in
             (* Plan filters: per (router, fake prefix, next hop), with
-               probability p. *)
+               probability p. The row scan stays in [host_routes] order —
+               it drives the RNG draw sequence. *)
+            let fake_pset =
+              List.fold_left
+                (fun s fp -> Prefix.Set.add fp s)
+                Prefix.Set.empty fake_prefixes
+            in
+            let plan_row r hp nxts =
+              List.filter_map
+                (fun nxt ->
+                  if Rng.bool rng ~p then
+                    Option.map
+                      (fun attach ->
+                        { f_router = r; f_prefix = hp; f_attach = attach })
+                      (Attach.point snap.net r nxt)
+                  else None)
+                nxts
+            in
             let planned =
-              List.concat_map
-                (fun (r, hp, nxts) ->
-                  if not (List.exists (Prefix.equal hp) fake_prefixes) then []
-                  else
-                    List.filter_map
-                      (fun nxt ->
-                        if Rng.bool rng ~p then
-                          Option.map
-                            (fun attach ->
-                              { f_router = r; f_prefix = hp; f_attach = attach })
-                            (Attach.point snap.net r nxt)
-                        else None)
-                      nxts)
-                (Routing.Simulate.host_routes snap)
+              Telemetry.with_span "anon.plan" @@ fun () ->
+              if incremental then
+                (* Only fake-prefix rows ever draw from the RNG, and
+                   [host_routes] orders its rows by (router, prefix) — so
+                   walking the FIB map in name order against the sorted
+                   fake prefixes visits exactly that subsequence, in the
+                   same order, without materializing (or sorting) the
+                   full real+fake relation. *)
+                let fake_sorted = List.sort Prefix.compare fake_prefixes in
+                List.concat_map
+                  (fun (r, fib) ->
+                    List.concat_map
+                      (fun hp ->
+                        match Routing.Fib.find fib hp with
+                        | Some (route : Routing.Fib.route)
+                          when route.rt_nexthops <> [] ->
+                            plan_row r hp (Routing.Fib.nexthop_names route)
+                        | Some _ | None -> [])
+                      fake_sorted)
+                  (Smap.bindings snap.fibs)
+              else
+                List.concat_map
+                  (fun (r, hp, nxts) ->
+                    if not (Prefix.Set.mem hp fake_pset) then []
+                    else plan_row r hp nxts)
+                  (Routing.Simulate.host_routes snap)
             in
             let configs =
-              List.fold_left apply_one configs planned
+              if incremental then
+                Edits.update_all configs
+                  (List.map
+                     (fun f ->
+                       (f.f_router, fun c -> Attach.deny_at c f.f_attach f.f_prefix))
+                     planned)
+              else List.fold_left apply_one configs planned
             in
             (* Reachability repair: any fake prefix that lost a router must
                shed the filters on the routers where walks now dead-end. *)
@@ -209,17 +303,21 @@ let anonymize ~rng ~k_h ?(p = default_noise) ?engine configs =
                changed since it was last checked clean: the added filters
                are per-prefix denies on disjoint fake /24s, so rolling one
                back can only move its own prefix's routes. *)
-            let rec repair eng configs active removed guard suspect =
+            (* Legacy repair: recompute every suspect's walk sequentially
+               each round. Kept verbatim behind [Anonfix] as the
+               differential baseline for the cached parallel path below. *)
+            let rec repair_legacy eng configs active removed guard suspect =
               Telemetry.incr c_iterations;
               match Routing.Engine.apply_edit eng configs with
               | Error m -> Error ("route_anon: repair simulation failed: " ^ m)
               | Ok eng ->
                   let snap' = Routing.Engine.snapshot eng in
                   let broken =
+                    Telemetry.with_span "anon.repair_walks" @@ fun () ->
                     List.filter_map
                       (fun (fp, routers0) ->
                         let now = reachable_routers snap' fp in
-                        let lost = List.filter (fun r -> not (List.mem r now)) routers0 in
+                        let lost = lost_routers routers0 now in
                         if lost = [] then None else Some (fp, lost))
                       suspect
                   in
@@ -262,9 +360,141 @@ let anonymize ~rng ~k_h ?(p = default_noise) ?engine configs =
                               to_remove)
                           baseline
                       in
-                      repair eng configs keep (removed + List.length to_remove)
+                      repair_legacy eng configs keep
+                        (removed + List.length to_remove)
                         (guard - 1) suspect
                   end
+            in
+            (* Incremental repair. [walks] caches each fake prefix's last
+               reachable set; an entry stays valid across an edit as long
+               as no delta router's FIB lookup for the prefix's probe
+               changed — the walk reads nothing else (owners come from
+               interface prefixes, which cannot change without a connected
+               route, hence a FIB, change). [prev_fibs] is the state every
+               cache entry was last validated against, so validity only
+               ever needs the one-step delta. Invalidation runs over the
+               whole cache each round, keeping the invariant for entries
+               outside [suspect] too. Fresh walks run in parallel; results
+               fold back in suspect order, so the job count is
+               unobservable. *)
+            let rec repair_incr eng prev_fibs walks configs active removed
+                guard suspect =
+              Telemetry.incr c_iterations;
+              match Routing.Engine.apply_edit eng configs with
+              | Error m -> Error ("route_anon: repair simulation failed: " ^ m)
+              | Ok eng ->
+                  let snap' = Routing.Engine.snapshot eng in
+                  let walks =
+                    Telemetry.with_span "anon.invalidate" @@ fun () ->
+                    match Routing.Engine.delta eng with
+                    | None -> Prefix.Map.empty
+                    | Some [] -> walks
+                    | Some d ->
+                        Prefix.Map.filter
+                          (fun fp _ ->
+                            let probe = Prefix.host fp 10 in
+                            let look fibs r =
+                              match Smap.find_opt r fibs with
+                              | None -> None
+                              | Some fib -> Routing.Fib.lookup fib probe
+                            in
+                            not
+                              (List.exists
+                                 (fun r ->
+                                   look prev_fibs r <> look snap'.fibs r)
+                                 d))
+                          walks
+                  in
+                  let results =
+                    Telemetry.with_span "anon.repair_walks" @@ fun () ->
+                    let owners = owners_map snap'.net in
+                    Pool.parallel_map ?pool
+                      (fun (fp, routers0) ->
+                        match Prefix.Map.find_opt fp walks with
+                        | Some now -> (fp, routers0, now, false)
+                        | None ->
+                            (fp, routers0, reachable_routers ~owners snap' fp, true))
+                      suspect
+                  in
+                  let walks =
+                    List.fold_left
+                      (fun w (fp, _, now, fresh) ->
+                        if fresh then Prefix.Map.add fp now w else w)
+                      walks results
+                  in
+                  Telemetry.add c_walks_skipped
+                    (List.length
+                       (List.filter (fun (_, _, _, fresh) -> not fresh) results));
+                  let broken =
+                    List.filter_map
+                      (fun (fp, routers0, now, _) ->
+                        let lost = lost_routers routers0 now in
+                        if lost = [] then None else Some (fp, lost))
+                      results
+                  in
+                  if broken = [] then Ok (eng, configs, active, removed)
+                  else if guard <= 0 then
+                    Error "route_anon: reachability repair did not converge"
+                  else begin
+                    let to_remove, keep =
+                      List.partition
+                        (fun f ->
+                          List.exists
+                            (fun (fp, lost) ->
+                              Prefix.equal f.f_prefix fp && List.mem f.f_router lost)
+                            broken)
+                        active
+                    in
+                    let to_remove, keep =
+                      if to_remove <> [] then (to_remove, keep)
+                      else
+                        List.partition
+                          (fun f ->
+                            List.exists
+                              (fun (fp, _) -> Prefix.equal f.f_prefix fp)
+                              broken)
+                          active
+                    in
+                    if to_remove = [] then
+                      Error
+                        "route_anon: fake host unreachable with no filter to \
+                         roll back"
+                    else
+                      let configs =
+                        Edits.update_all configs
+                          (List.map
+                             (fun f ->
+                               ( f.f_router,
+                                 fun c -> Attach.undeny_at c f.f_attach f.f_prefix ))
+                             to_remove)
+                      in
+                      let suspect =
+                        List.filter
+                          (fun (fp, _) ->
+                            List.exists
+                              (fun f -> Prefix.equal f.f_prefix fp)
+                              to_remove)
+                          baseline
+                      in
+                      repair_incr eng snap'.fibs walks configs keep
+                        (removed + List.length to_remove)
+                        (guard - 1) suspect
+                  end
+            in
+            let repaired =
+              if incremental then
+                let walks0 =
+                  List.fold_left
+                    (fun w (fp, now) -> Prefix.Map.add fp now w)
+                    Prefix.Map.empty baseline
+                in
+                repair_incr eng snap.fibs walks0 configs planned 0
+                  (List.length planned + 4)
+                  baseline
+              else
+                repair_legacy eng configs planned 0
+                  (List.length planned + 4)
+                  baseline
             in
             Result.map
               (fun (eng, configs, active, removed) ->
@@ -277,4 +507,4 @@ let anonymize ~rng ~k_h ?(p = default_noise) ?engine configs =
                   filters_removed = removed;
                   engine = eng;
                 })
-              (repair eng configs planned 0 (List.length planned + 4) baseline))
+              repaired)

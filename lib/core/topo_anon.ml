@@ -71,6 +71,7 @@ let anonymize ?(cost_policy = Min_cost) ~rng ~k ~orig:(snap : Routing.Simulate.s
      regular graph), so k is clamped. *)
   let k = min k (max 1 (Graph.num_nodes g)) in
   let fake_edges =
+    Telemetry.with_span "topo.realize" @@ fun () ->
     if not is_bgp then snd (Graphanon.Realize.add_edges ~rng ~k g)
     else begin
       let ag = as_graph net asns in
@@ -99,8 +100,30 @@ let anonymize ?(cost_policy = Min_cost) ~rng ~k ~orig:(snap : Routing.Simulate.s
     | None -> fun _ -> true
     | Some a -> fun r -> Smap.find_opt r asns = Some a
   in
+  (* The SFE cost rule queries one source per fake-edge endpoint; prepare
+     each scope (the whole IGP, or one AS) once and memoize per-source
+     distance maps — endpoints repeat across fake edges, and the scoped
+     CSR build dominates a single Dijkstra on large networks. *)
+  let cost_states = Hashtbl.create 4 in
+  let state_for u =
+    let key = Smap.find_opt u asns in
+    match Hashtbl.find_opt cost_states key with
+    | Some st -> st
+    | None ->
+        let st = Routing.Ospf.min_cost_state ~scope:(scope_of u) net in
+        Hashtbl.add cost_states key st;
+        st
+  in
+  let dist_cache = Hashtbl.create 16 in
   let min_cost u v =
-    let d = Routing.Ospf.min_cost ~scope:(scope_of u) net u in
+    let d =
+      match Hashtbl.find_opt dist_cache u with
+      | Some d -> d
+      | None ->
+          let d = Routing.Ospf.min_cost_from (state_for u) u in
+          Hashtbl.add dist_cache u d;
+          d
+    in
     Smap.find_opt v d
   in
   let alloc = Prefix.alloc_create ~avoid:(Edits.used_prefixes configs) () in
@@ -109,9 +132,15 @@ let anonymize ?(cost_policy = Min_cost) ~rng ~k ~orig:(snap : Routing.Simulate.s
     | Some r -> r.Routing.Device.r_ospf <> None
     | None -> false
   in
-  let configs =
+  (* Decide every edge's addresses and costs first (the allocator and the
+     cost Dijkstras run in edge order, as before), then apply the whole
+     batch of per-router rewrites in one pass over the config list —
+     [Edits.update_all] preserves each router's edit order, which is all
+     the closures (notably [fresh_iface_name]) can observe. *)
+  let edits =
+    Telemetry.with_span "topo.edits" @@ fun () ->
     List.fold_left
-      (fun configs (u, v) ->
+      (fun edits (u, v) ->
         let subnet = Prefix.alloc_fresh alloc ~len:30 in
         let ua = Prefix.host subnet 1 and va = Prefix.host subnet 2 in
         let inter_as =
@@ -119,16 +148,17 @@ let anonymize ?(cost_policy = Min_cost) ~rng ~k ~orig:(snap : Routing.Simulate.s
         in
         if inter_as then begin
           let as_u = Smap.find u asns and as_v = Smap.find v asns in
-          let configs =
-            Edits.update configs u (fun c ->
-                let name = Edits.fresh_iface_name c in
-                let c = Edits.add_interface c ~name ~addr:ua ~plen:30 ~desc:("to-" ^ v) () in
-                Edits.add_bgp_neighbor c ~addr:va ~remote_as:as_v)
+          let eu c =
+            let name = Edits.fresh_iface_name c in
+            let c = Edits.add_interface c ~name ~addr:ua ~plen:30 ~desc:("to-" ^ v) () in
+            Edits.add_bgp_neighbor c ~addr:va ~remote_as:as_v
           in
-          Edits.update configs v (fun c ->
-              let name = Edits.fresh_iface_name c in
-              let c = Edits.add_interface c ~name ~addr:va ~plen:30 ~desc:("to-" ^ u) () in
-              Edits.add_bgp_neighbor c ~addr:ua ~remote_as:as_u)
+          let ev c =
+            let name = Edits.fresh_iface_name c in
+            let c = Edits.add_interface c ~name ~addr:va ~plen:30 ~desc:("to-" ^ u) () in
+            Edits.add_bgp_neighbor c ~addr:ua ~remote_as:as_u
+          in
+          (v, ev) :: (u, eu) :: edits
         end
         else begin
           (* Intra-AS / IGP-only: SFE cost rule for link-state, plain link
@@ -144,23 +174,28 @@ let anonymize ?(cost_policy = Min_cost) ~rng ~k ~orig:(snap : Routing.Simulate.s
           in
           let cost_uv = policy_cost u v in
           let cost_vu = policy_cost v u in
-          let configs =
-            Edits.update configs u (fun c ->
-                let name = Edits.fresh_iface_name c in
-                let c =
-                  Edits.add_interface c ~name ~addr:ua ~plen:30 ?cost:cost_uv
-                    ~desc:("to-" ^ v) ()
-                in
-                Edits.add_igp_network c subnet)
+          let eu c =
+            let name = Edits.fresh_iface_name c in
+            let c =
+              Edits.add_interface c ~name ~addr:ua ~plen:30 ?cost:cost_uv
+                ~desc:("to-" ^ v) ()
+            in
+            Edits.add_igp_network c subnet
           in
-          Edits.update configs v (fun c ->
-              let name = Edits.fresh_iface_name c in
-              let c =
-                Edits.add_interface c ~name ~addr:va ~plen:30 ?cost:cost_vu
-                  ~desc:("to-" ^ u) ()
-              in
-              Edits.add_igp_network c subnet)
+          let ev c =
+            let name = Edits.fresh_iface_name c in
+            let c =
+              Edits.add_interface c ~name ~addr:va ~plen:30 ?cost:cost_vu
+                ~desc:("to-" ^ u) ()
+            in
+            Edits.add_igp_network c subnet
+          in
+          (v, ev) :: (u, eu) :: edits
         end)
-      configs fake_edges
+      [] fake_edges
+  in
+  let configs =
+    Telemetry.with_span "topo.apply" @@ fun () ->
+    Edits.update_all configs (List.rev edits)
   in
   { configs; fake_edges }

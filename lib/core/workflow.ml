@@ -78,16 +78,23 @@ let run ?(params = default_params) ?cache orig_configs =
         in
         Ok (n.configs, snap, n.fake_routers)
     in
-    (* Step 1: topology anonymization. *)
-    let topo = Topo_anon.anonymize ~rng ~k:params.k_r ~orig:base_snapshot base_configs in
+    (* Step 1: topology anonymization. The [workflow.*] phase spans mirror
+       [workflow.baseline]/[workflow.pii] so the bench harness reads one
+       uniform per-phase breakdown. *)
+    let topo =
+      Telemetry.with_span "workflow.topo" @@ fun () ->
+      Topo_anon.anonymize ~rng ~k:params.k_r ~orig:base_snapshot base_configs
+    in
     (* Step 2.1: route equivalence. *)
     let* equiv =
+      Telemetry.with_span "workflow.equiv" @@ fun () ->
       Route_equiv.fix ?cache ~orig:base_snapshot ~fake_edges:topo.fake_edges
         topo.configs
     in
     (* Step 2.2: route anonymity, reusing the engine state route
        equivalence converged with. *)
     let* anon =
+      Telemetry.with_span "workflow.anon" @@ fun () ->
       Route_anon.anonymize ~rng ~k_h:params.k_h ~p:params.noise
         ~engine:equiv.engine equiv.configs
     in

@@ -263,6 +263,51 @@ let workflow =
     check = workflow_check;
   }
 
+(* -------------------- differential anonfix -------------------- *)
+
+(* The anonymization fixpoint is itself an edit walk — every iteration of
+   [Route_equiv.fix] and [Route_anon]'s repair loop applies a filter
+   batch and re-simulates. Replaying the whole walk in both fixpoint
+   modes (legacy full-recompute per iteration vs engine-delta scans with
+   cached parallel reachability walks) must produce byte-identical
+   configurations and identical iteration/filter counts. *)
+let anonfix_check ~seed spec =
+  let configs = Netgen.Emit.emit spec in
+  let params = wf_params ~seed in
+  let in_mode m =
+    Confmask.Anonfix.with_mode m (fun () -> Confmask.Workflow.run ~params configs)
+  in
+  match (in_mode `Legacy, in_mode `Incremental) with
+  | Error m, Error m' when String.equal m m' -> Pass
+  | Error m, Error m' ->
+      fail "modes fail differently: legacy %S vs incremental %S" m m'
+  | Error m, Ok _ -> fail "legacy fails (%s) but incremental succeeds" m
+  | Ok _, Error m -> fail "incremental fails (%s) but legacy succeeds" m
+  | Ok l, Ok i ->
+      if Confmask.Workflow.anon_texts l <> Confmask.Workflow.anon_texts i then
+        Fail "anonymized outputs differ between legacy and incremental anonfix"
+      else if
+        l.equiv_iterations <> i.equiv_iterations
+        || l.equiv_filters <> i.equiv_filters
+      then
+        fail "equivalence loop diverged: legacy %d iters / %d filters, incremental %d / %d"
+          l.equiv_iterations l.equiv_filters i.equiv_iterations i.equiv_filters
+      else if
+        l.anon_filters_added <> i.anon_filters_added
+        || l.anon_filters_removed <> i.anon_filters_removed
+      then
+        fail "repair loop diverged: legacy +%d/-%d filters, incremental +%d/-%d"
+          l.anon_filters_added l.anon_filters_removed i.anon_filters_added
+          i.anon_filters_removed
+      else Pass
+
+let anonfix =
+  {
+    name = "anonfix";
+    doc = "legacy vs incremental anonymization fixpoint byte-identity";
+    check = anonfix_check;
+  }
+
 (* -------------------- metamorphic: router renaming -------------------- *)
 
 let rename_check ~seed spec =
@@ -543,7 +588,16 @@ let deanon_budget =
 (* -------------------- registry -------------------- *)
 
 let all =
-  [ diff_fib; workflow; rename; scrub; reanon; policy_transfer; deanon_budget ]
+  [
+    diff_fib;
+    workflow;
+    anonfix;
+    rename;
+    scrub;
+    reanon;
+    policy_transfer;
+    deanon_budget;
+  ]
 
 let find name =
   match List.find_opt (fun o -> o.name = name) all with

@@ -16,6 +16,11 @@
       equivalence (original nodes/links/hosts preserved and identical
       delivered path sets), and byte-identical output on a second run
       under the same seed;
+    - [anonfix] — differential: the whole anonymization workflow replayed
+      under [CONFMASK_ANONFIX=legacy] (full recompute per fixpoint
+      iteration) and the incremental mode (engine-delta scans, cached
+      parallel reachability walks) must produce byte-identical outputs
+      and identical iteration/filter counts;
     - [rename] — metamorphic: permuting router names (same declaration
       order, so the emitter assigns identical addresses) must permute the
       FIBs without changing their structure;
@@ -47,6 +52,7 @@ type t = {
 
 val diff_fib : t
 val workflow : t
+val anonfix : t
 val rename : t
 val reanon : t
 val scrub : t
@@ -55,7 +61,7 @@ val deanon_budget : t
 
 val all : t list
 (** In cost order:
-    [diff_fib; workflow; rename; scrub; reanon; policy_transfer;
+    [diff_fib; workflow; anonfix; rename; scrub; reanon; policy_transfer;
      deanon_budget]. *)
 
 val find : string -> (t, string) result

@@ -1,9 +1,14 @@
 open Netcore
 
+let c_rounds = Telemetry.counter "graphanon.rounds"
+let c_stuck = Telemetry.counter "graphanon.stuck"
+let c_added = Telemetry.counter "graphanon.edges_added"
+
 let one_attempt ?(allowed = fun _ _ -> true) ~rng ~k g =
   let n = Graph.num_nodes g in
   let added = ref [] in
   let add u v g =
+    Telemetry.incr c_added;
     added := (u, v) :: !added;
     Graph.add_edge u v g
   in
@@ -55,6 +60,7 @@ let one_attempt ?(allowed = fun _ _ -> true) ~rng ~k g =
      graph is k-anonymous. Degrees are monotonically non-decreasing and
      bounded by n-1, so this terminates; the guard is belt and braces. *)
   let rec outer g round =
+    Telemetry.incr c_rounds;
     if Gmetrics.is_k_degree_anonymous k g then g
     else if round > 4 * n + 8 then g
     else begin
@@ -68,26 +74,43 @@ let one_attempt ?(allowed = fun _ _ -> true) ~rng ~k g =
         else matching_pass ~respect_allowed:false g' node_targets
       in
       if Graph.num_edges g' = Graph.num_edges g then begin
+        Telemetry.incr c_stuck;
         (* Stuck: the remaining deficient nodes are pairwise adjacent.
-           Connect the most deficient node to any non-adjacent node to
-           shake the histogram, then retry. *)
-        let nodes = Graph.nodes g' in
-        let candidates =
-          List.concat_map
-            (fun u ->
-              List.filter_map
-                (fun v ->
-                  if String.compare u v < 0 && not (Graph.mem_edge u v g') then
-                    Some (u, v)
-                  else None)
-                nodes)
-            nodes
-        in
-        match candidates with
-        | [] -> g' (* complete graph: trivially anonymous *)
-        | _ ->
-            let u, v = Rng.pick rng candidates in
-            outer (add u v g') (round + 1)
+           Connect a uniformly random non-adjacent pair to shake the
+           histogram, then retry. Drawn as [Rng.pick] over the (u, v)
+           pairs with u < v in sorted-node order would — same count,
+           same index, same pair — but by locating the index instead of
+           materializing all O(n^2) candidates. *)
+        let nodes = Array.of_list (Graph.nodes g') in
+        let n_nodes = Array.length nodes in
+        let total = (n_nodes * (n_nodes - 1) / 2) - Graph.num_edges g' in
+        if total = 0 then g' (* complete graph: trivially anonymous *)
+        else begin
+          let i = Rng.int rng total in
+          (* Walk u in sorted order, skipping each u's count of
+             non-neighbors above it, then walk to the i-th such v. *)
+          let rec locate pos i =
+            let u = nodes.(pos) in
+            let nbrs = Graph.neighbors u g' in
+            let above = n_nodes - pos - 1 in
+            let nbrs_above =
+              Graph.Sset.cardinal
+                (Graph.Sset.filter (fun v -> String.compare u v < 0) nbrs)
+            in
+            let count_u = above - nbrs_above in
+            if i >= count_u then locate (pos + 1) (i - count_u)
+            else
+              let rec nth_v vpos i =
+                let v = nodes.(vpos) in
+                if Graph.Sset.mem v nbrs then nth_v (vpos + 1) i
+                else if i = 0 then v
+                else nth_v (vpos + 1) (i - 1)
+              in
+              (u, nth_v (pos + 1) i)
+          in
+          let u, v = locate 0 i in
+          outer (add u v g') (round + 1)
+        end
       end
       else outer g' (round + 1)
     end

@@ -138,6 +138,10 @@ type t = {
   base : Fib.t Smap.t;
   bgp : Fib.route list Smap.t;
   fibs : Fib.t Smap.t;
+  (* Routers whose final FIB changed relative to the previous engine
+     state; [None] for from-scratch builds (no previous state to diff
+     against — consumers must treat every router as changed). *)
+  delta : string list option;
 }
 
 let snapshot t = { Simulate.net = t.net; fibs = t.fibs; compiled = t.compiled }
@@ -147,6 +151,8 @@ let compiled t = t.compiled
 let fibs t = t.fibs
 let is_incremental t = t.incremental
 let cache t = t.cache
+let pool t = t.pool
+let delta t = t.delta
 
 (* ---- per-domain computation with cache reuse ---- *)
 
@@ -385,6 +391,7 @@ let build ?(incremental = true) ?pool ?cache ?prev configs =
               base = ps.ps_base;
               bgp = ps.ps_bgp;
               fibs = ps.ps_fibs;
+              delta = None;
             }
       | None ->
       let unchanged =
@@ -528,6 +535,25 @@ let build ?(incremental = true) ?pool ?cache ?prev configs =
               ps_fibs = fibs;
             }
       | Some _ -> ());
+      (* The FIB delta of this build. The final-FIB representation is
+         canonical (a sorted route array), so structural equality is a
+         sound change test whatever path produced the value; the physical
+         check first makes the common reuse case O(1). *)
+      let delta =
+        match prev with
+        | None -> None
+        | Some p ->
+            let changed =
+              Smap.merge
+                (fun name f f' ->
+                  match (f, f') with
+                  | Some a, Some b when a == b || a = b -> None
+                  | None, None -> None
+                  | _ -> Some name)
+                p.fibs fibs
+            in
+            Some (List.map fst (Smap.bindings changed))
+      in
       Ok
         {
           incremental;
@@ -542,6 +568,7 @@ let build ?(incremental = true) ?pool ?cache ?prev configs =
           base;
           bgp;
           fibs;
+          delta;
         }
 
 let of_configs ?(incremental = true) ?pool ?cache configs =

@@ -110,3 +110,21 @@ val is_incremental : t -> bool
 
 val cache : t -> Netcore.Diskcache.t option
 (** The persistent cache this engine reads and writes, if any. *)
+
+val pool : t -> Netcore.Pool.t option
+(** The worker pool this engine fans out on, if one was pinned at
+    {!of_configs} time ([None] means the process-wide shared pool). The
+    anonymization fixpoints reuse it so their own sharded scans run on
+    the same parallelism budget as the engine rebuilds they interleave
+    with. *)
+
+val delta : t -> string list option
+(** The routers whose final FIB changed in the build that produced [t],
+    relative to the engine state the edit was applied to — the
+    invalidation frontier consumers of {!apply_edit} can restrict their
+    own per-router analyses to. Sorted by name. [None] after a
+    from-scratch build ({!of_configs}, a whole-state disk restore, or any
+    build with [incremental:false]): there is no previous state to diff
+    against, so callers must treat every router as changed. The change
+    test is structural equality of the canonical FIB representation, so
+    a reported delta of [[]] really is a no-op edit. *)

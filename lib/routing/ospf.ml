@@ -689,29 +689,49 @@ let compute ?(scope = all) ?pool (net : Device.network) =
           | routes -> Smap.add name routes acc)
       net.routers Smap.empty
 
-let min_cost ?(scope = all) (net : Device.network) u =
-  (* Distance from [u] to each router v: Dijkstra on forward adjacencies. *)
+(* One scope's forward-distance machinery, prepared once and reused
+   across sources: the scoped adjacency map and (under the compiled
+   kernels) the interner + forward CSR, whose construction dominates a
+   single-source query on large networks. *)
+type cost_state = {
+  cs_adjs : Device.adj list Smap.t;
+  cs_csr : (Interner.t * Compiled.Csr.t) option;
+}
+
+let min_cost_state ?(scope = all) (net : Device.network) =
   let adjs = ospf_adjs ~scope net in
-  if Compiled.use_compiled () then
-    let it = scoped_interner adjs in
-    let fcsr = scoped_csr ~rev:false it adjs in
-    distances_csr it fcsr [ (u, 0) ]
-  else
-  let rec loop dist pq =
-    match Pqueue.pop pq with
-    | None -> dist
-    | Some (d, v, pq) ->
-        if Smap.mem v dist then loop dist pq
-        else
-          let dist = Smap.add v d dist in
-          let pq =
-            List.fold_left
-              (fun pq (a : Device.adj) ->
-                if Smap.mem a.a_to dist then pq
-                else Pqueue.insert (d + a.a_out_iface.ifc_cost) a.a_to pq)
-              pq
-              (Option.value ~default:[] (Smap.find_opt v adjs))
-          in
-          loop dist pq
+  let cs_csr =
+    if Compiled.use_compiled () then
+      let it = scoped_interner adjs in
+      Some (it, scoped_csr ~rev:false it adjs)
+    else None
   in
-  loop Smap.empty (Pqueue.insert 0 u Pqueue.empty)
+  { cs_adjs = adjs; cs_csr }
+
+let min_cost_from st u =
+  (* Distance from [u] to each router v: Dijkstra on forward adjacencies. *)
+  match st.cs_csr with
+  | Some (it, fcsr) -> distances_csr it fcsr [ (u, 0) ]
+  | None ->
+      let adjs = st.cs_adjs in
+      let rec loop dist pq =
+        match Pqueue.pop pq with
+        | None -> dist
+        | Some (d, v, pq) ->
+            if Smap.mem v dist then loop dist pq
+            else
+              let dist = Smap.add v d dist in
+              let pq =
+                List.fold_left
+                  (fun pq (a : Device.adj) ->
+                    if Smap.mem a.a_to dist then pq
+                    else Pqueue.insert (d + a.a_out_iface.ifc_cost) a.a_to pq)
+                  pq
+                  (Option.value ~default:[] (Smap.find_opt v adjs))
+              in
+              loop dist pq
+      in
+      loop Smap.empty (Pqueue.insert 0 u Pqueue.empty)
+
+let min_cost ?scope (net : Device.network) u =
+  min_cost_from (min_cost_state ?scope net) u

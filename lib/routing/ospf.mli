@@ -103,3 +103,17 @@ val min_cost :
 (** [min_cost net u] is the OSPF shortest-path distance from router [u] to
     every other reachable router in the domain — the [min_cost(u, v)] of
     the link-state SFE conditions (§5.1). *)
+
+type cost_state
+(** One scope's prepared forward-distance machinery (scoped adjacencies
+    plus, under the compiled kernels, the interner and forward CSR).
+    Preparing it once and querying many sources avoids the per-call
+    graph rebuild that dominates {!min_cost} on large networks. *)
+
+val min_cost_state :
+  ?scope:(string -> bool) -> Device.network -> cost_state
+(** Prepare a scope for repeated single-source queries. *)
+
+val min_cost_from : cost_state -> string -> int Smap.t
+(** [min_cost_from st u] equals [min_cost ~scope net u] for the [scope]
+    and [net] that built [st]. *)

@@ -473,6 +473,58 @@ let prop_pipeline_equivalence =
           Workflow.functional_equivalence r
           && (Metrics.topology_of_snapshot r.anon_snapshot).min_degree_group >= 3)
 
+let prop_anonfix_modes_agree =
+  (* The incremental fixpoint (engine-delta scans, cached parallel
+     reachability walks, grouped filter application) must be bit-identical
+     to the legacy full-recompute path, at every job count. Runs both
+     stage-2 algorithms end to end and compares the printed configs plus
+     every iteration/filter count. *)
+  QCheck2.Test.make ~name:"incremental anonfix == legacy at jobs 1/2/4"
+    ~count:6 gen_netspec (fun input ->
+      let spec = spec_of input in
+      let configs = Netgen.Emit.emit spec in
+      let _, _, _, seed = input in
+      let orig = Routing.Simulate.run_exn configs in
+      let rng = Netcore.Rng.create seed in
+      let topo = Topo_anon.anonymize ~rng ~k:3 ~orig configs in
+      let stage mode jobs =
+        let pool = Netcore.Pool.create ~jobs () in
+        Fun.protect
+          ~finally:(fun () -> Netcore.Pool.shutdown pool)
+          (fun () ->
+            Anonfix.with_mode mode @@ fun () ->
+            let eng = Routing.Engine.of_configs_exn ~pool topo.configs in
+            match
+              Route_equiv.fix ~engine:eng ~orig ~fake_edges:topo.fake_edges
+                topo.configs
+            with
+            | Error m -> Error ("equiv: " ^ m)
+            | Ok e -> (
+                let rng2 = Netcore.Rng.create (seed + 7) in
+                match
+                  Route_anon.anonymize ~rng:rng2 ~k_h:2 ~p:0.3
+                    ~engine:e.engine e.configs
+                with
+                | Error m -> Error ("anon: " ^ m)
+                | Ok a ->
+                    Ok
+                      ( List.map Configlang.Printer.to_string a.configs,
+                        e.iterations,
+                        e.filters_added,
+                        a.filters_added,
+                        a.filters_removed )))
+      in
+      let base = stage `Legacy 1 in
+      List.for_all
+        (fun (mode, jobs) ->
+          let got = stage mode jobs in
+          if got = base then true
+          else
+            QCheck2.Test.fail_reportf
+              "anonfix mismatch at jobs=%d (%s vs legacy/1)" jobs
+              (match mode with `Legacy -> "legacy" | `Incremental -> "incremental"))
+        [ (`Legacy, 4); (`Incremental, 1); (`Incremental, 2); (`Incremental, 4) ])
+
 (* ---- adversary scoring conventions ---- *)
 
 (* Deanon.assess's degenerate-case conventions are load-bearing for the
@@ -507,7 +559,12 @@ let test_deanon_assess_canonicalization () =
 
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_pipeline_equivalence; prop_strawman2_equivalence; prop_high_noise_safe ]
+    [
+      prop_pipeline_equivalence;
+      prop_strawman2_equivalence;
+      prop_high_noise_safe;
+      prop_anonfix_modes_agree;
+    ]
 
 let () =
   Alcotest.run "confmask"
